@@ -1,0 +1,183 @@
+//! Microbenchmarks of the core MMU structures.
+//!
+//! These measure the raw simulation throughput of the individual components
+//! (TLB, walker pool, MMU caches, page table, full translation engine) so that
+//! regressions in the hot translation path are visible independently of the
+//! figure-level experiments.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use neummu_mmu::{
+    AddressTranslator, MmuConfig, Tlb, TranslationEngine, TranslationPathCache,
+    UnifiedPageTableCache, WalkCache, WalkerPool,
+};
+use neummu_vmem::{MemNode, PageSize, PageTable, PathTag, PhysFrameNum, VirtAddr};
+
+/// Builds a page table with `pages` consecutive 4 KB mappings.
+fn streaming_table(pages: u64) -> PageTable {
+    let mut pt = PageTable::new();
+    for i in 0..pages {
+        pt.map(
+            VirtAddr::new(0x10_0000_0000 + i * 4096),
+            PageSize::Size4K,
+            PhysFrameNum::new(0x40_0000 + i),
+            MemNode::Npu(0),
+        )
+        .unwrap();
+    }
+    pt
+}
+
+fn bench_tlb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let accesses = 10_000u64;
+    group.throughput(Throughput::Elements(accesses));
+    group.bench_function("lookup_hit_stream", |b| {
+        let mut tlb = Tlb::new(2048, 8);
+        for page in 0..2048u64 {
+            tlb.insert(page);
+        }
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..accesses {
+                if tlb.lookup(black_box(i % 2048)) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("streaming_miss_fill", |b| {
+        b.iter(|| {
+            let mut tlb = Tlb::new(2048, 8);
+            for page in 0..accesses {
+                tlb.lookup(black_box(page));
+                tlb.insert(black_box(page));
+            }
+            tlb.occupancy()
+        })
+    });
+    group.finish();
+}
+
+fn bench_page_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_table");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let pt = streaming_table(4096);
+    let walks = 4096u64;
+    group.throughput(Throughput::Elements(walks));
+    group.bench_function("walk_4k_mapped", |b| {
+        b.iter(|| {
+            let mut accesses = 0u32;
+            for i in 0..walks {
+                let path = pt.walk(black_box(VirtAddr::new(0x10_0000_0000 + i * 4096)));
+                accesses += path.memory_accesses();
+            }
+            accesses
+        })
+    });
+    group.finish();
+}
+
+fn bench_walker_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("walker_pool");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let walks = 10_000u64;
+    group.throughput(Throughput::Elements(walks));
+    group.bench_function("start_and_retire_128_walkers", |b| {
+        b.iter(|| {
+            let mut pool = WalkerPool::new(128, 32, 100, true);
+            let mut cycle = 0u64;
+            for i in 0..walks {
+                let va = VirtAddr::new(i * 4096);
+                match pool.start_walk(cycle, i, PathTag::of(va), 4, true) {
+                    neummu_mmu::walker::WalkAdmission::Rejected { retry_at } => {
+                        pool.retire_completed(retry_at);
+                        cycle = retry_at;
+                    }
+                    _ => cycle += 1,
+                }
+            }
+            pool.retire_completed(u64::MAX).len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_mmu_caches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mmu_caches");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let pt = streaming_table(2048);
+    let walks: Vec<_> =
+        (0..2048u64).map(|i| pt.walk(VirtAddr::new(0x10_0000_0000 + i * 4096))).collect();
+    group.throughput(Throughput::Elements(walks.len() as u64));
+    group.bench_function("uptc_16_entries", |b| {
+        b.iter(|| {
+            let mut cache = UnifiedPageTableCache::new(16);
+            let mut skipped = 0u64;
+            for walk in &walks {
+                skipped += u64::from(cache.access(black_box(walk)).skipped_levels);
+            }
+            skipped
+        })
+    });
+    group.bench_function("tpc_single_entry", |b| {
+        b.iter(|| {
+            let mut cache = TranslationPathCache::new(1);
+            let mut skipped = 0u64;
+            for walk in &walks {
+                skipped += u64::from(cache.access(black_box(walk)).skipped_levels);
+            }
+            skipped
+        })
+    });
+    group.finish();
+}
+
+fn bench_translation_engine_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translation_engine");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let pages = 2048u64;
+    let pt = streaming_table(pages);
+    // An 8-transactions-per-page burst, as a 512-byte DMA stream would produce.
+    let requests: Vec<VirtAddr> = (0..pages * 8)
+        .map(|i| VirtAddr::new(0x10_0000_0000 + i * 512))
+        .collect();
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    for (name, config) in [
+        ("baseline_iommu", MmuConfig::baseline_iommu()),
+        ("neummu", MmuConfig::neummu()),
+        ("neummu_1024ptw_no_prmb", MmuConfig::baseline_iommu().with_ptws(1024)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut engine = TranslationEngine::new(config);
+                let mut cycle = 0u64;
+                for va in &requests {
+                    let outcome = engine.translate(&pt, black_box(*va), cycle);
+                    cycle = outcome.accept_cycle + 1;
+                }
+                engine.stats().walks
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tlb,
+    bench_page_table,
+    bench_walker_pool,
+    bench_mmu_caches,
+    bench_translation_engine_burst
+);
+criterion_main!(benches);

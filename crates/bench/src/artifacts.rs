@@ -1,0 +1,112 @@
+//! Writing experiment artifacts (Markdown, CSV, JSON) to disk.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use neummu_sim::ResultTable;
+
+/// A directory that collects the artifacts of one experiments run.
+#[derive(Debug, Clone)]
+pub struct ExperimentArtifacts {
+    root: PathBuf,
+    written: Vec<PathBuf>,
+}
+
+impl ExperimentArtifacts {
+    /// Creates (if needed) the artifact directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the directory cannot be created.
+    pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(ExperimentArtifacts { root, written: Vec::new() })
+    }
+
+    /// The artifact directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Files written so far.
+    #[must_use]
+    pub fn written(&self) -> &[PathBuf] {
+        &self.written
+    }
+
+    /// Writes a result table as both Markdown and CSV.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if a file cannot be written.
+    pub fn table(&mut self, name: &str, table: &ResultTable) -> io::Result<()> {
+        let md = self.root.join(format!("{name}.md"));
+        fs::write(&md, table.to_markdown())?;
+        self.written.push(md);
+        let csv = self.root.join(format!("{name}.csv"));
+        fs::write(&csv, table.to_csv())?;
+        self.written.push(csv);
+        Ok(())
+    }
+
+    /// Writes a serializable value as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file cannot be written or the value cannot
+    /// be serialized.
+    pub fn json<T: Serialize>(&mut self, name: &str, value: &T) -> io::Result<()> {
+        let path = self.root.join(format!("{name}.json"));
+        let body = serde_json::to_string_pretty(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        fs::write(&path, body)?;
+        self.written.push(path);
+        Ok(())
+    }
+}
+
+/// Convenience wrapper: write one table into `dir` under `name`.
+///
+/// # Errors
+///
+/// Returns an I/O error if the directory or files cannot be written.
+pub fn write_table(dir: impl Into<PathBuf>, name: &str, table: &ResultTable) -> io::Result<()> {
+    ExperimentArtifacts::new(dir)?.table(name, table)
+}
+
+/// Convenience wrapper: write one JSON document into `dir` under `name`.
+///
+/// # Errors
+///
+/// Returns an I/O error if the directory or files cannot be written.
+pub fn write_json<T: Serialize>(dir: impl Into<PathBuf>, name: &str, value: &T) -> io::Result<()> {
+    ExperimentArtifacts::new(dir)?.json(name, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_markdown_csv_and_json() {
+        let dir = std::env::temp_dir().join(format!("neummu-artifacts-{}", std::process::id()));
+        let mut artifacts = ExperimentArtifacts::new(&dir).unwrap();
+        let mut table = ResultTable::new("demo", &["a", "b"]);
+        table.push_row(&["1", "2"]);
+        artifacts.table("demo", &table).unwrap();
+        artifacts.json("demo_raw", &vec![1, 2, 3]).unwrap();
+        assert_eq!(artifacts.written().len(), 3);
+        let md = fs::read_to_string(dir.join("demo.md")).unwrap();
+        assert!(md.contains("### demo"));
+        let csv = fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert!(csv.starts_with("a,b"));
+        let json = fs::read_to_string(dir.join("demo_raw.json")).unwrap();
+        assert!(json.contains('1'));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

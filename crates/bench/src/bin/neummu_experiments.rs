@@ -1,0 +1,248 @@
+//! Regenerates every table and figure of the NeuMMU evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! neummu-experiments [--quick] [--out <dir>] [--only <exp>[,<exp>...]]
+//! ```
+//!
+//! * `--quick` runs the reduced (smoke) suite instead of the full benchmark
+//!   suite; useful for a fast end-to-end check.
+//! * `--out` selects the artifact directory (default `results/`).
+//! * `--only` restricts the run to a comma-separated list of experiment ids
+//!   (`table1`, `fig06`, `fig07`, `fig08`, `fig10`, `fig11`, `fig12a`,
+//!   `fig12b`, `fig13`, `fig14`, `mmu_cache`, `summary`, `largepage`,
+//!   `spatial`, `sensitivity`, `fig15`, `fig16`).
+//!
+//! Every experiment writes a Markdown table, a CSV file and a JSON dump into
+//! the artifact directory and prints the Markdown to stdout.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use neummu_bench::ExperimentArtifacts;
+use neummu_sim::experiments::{
+    characterization, mmu_cache_study, performance, recommender, table1, ExperimentScale,
+};
+use neummu_workloads::WorkloadId;
+
+struct Options {
+    scale: ExperimentScale,
+    out_dir: String,
+    only: Option<BTreeSet<String>>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut scale = ExperimentScale::Full;
+    let mut out_dir = "results".to_string();
+    let mut only = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => scale = ExperimentScale::Smoke,
+            "--out" => {
+                out_dir = args.next().ok_or("--out requires a directory argument")?;
+            }
+            "--only" => {
+                let list = args.next().ok_or("--only requires a comma-separated list")?;
+                only = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: neummu-experiments [--quick] [--out <dir>] [--only <exp>[,<exp>...]]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Options { scale, out_dir, only })
+}
+
+fn wants(options: &Options, id: &str) -> bool {
+    options.only.as_ref().is_none_or(|set| set.contains(id))
+}
+
+fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let mut artifacts = ExperimentArtifacts::new(&options.out_dir)?;
+    let scale = options.scale;
+    let started = Instant::now();
+
+    let emit = |name: &str,
+                    table: neummu_sim::ResultTable,
+                    artifacts: &mut ExperimentArtifacts|
+     -> Result<(), Box<dyn std::error::Error>> {
+        println!("{}", table.to_markdown());
+        artifacts.table(name, &table)?;
+        Ok(())
+    };
+
+    if wants(options, "table1") {
+        emit("table1_configuration", table1::run(), &mut artifacts)?;
+    }
+
+    if wants(options, "fig06") {
+        let result = characterization::fig06_page_divergence(scale)?;
+        artifacts.json("fig06_page_divergence", &result)?;
+        emit("fig06_page_divergence", result.to_table(), &mut artifacts)?;
+    }
+
+    if wants(options, "fig07") {
+        for (workload, name) in [(WorkloadId::Cnn1, "fig07a_cnn1"), (WorkloadId::Rnn1, "fig07b_rnn1")] {
+            let result = characterization::fig07_translation_bursts(workload, 1)?;
+            artifacts.json(name, &result)?;
+            println!(
+                "Figure 7 ({}): peak {} translations per {}-cycle window, bursty fraction {:.2}\n",
+                workload.label(),
+                result.peak(),
+                result.window_cycles,
+                result.bursty_fraction()
+            );
+            artifacts.table(name, &result.to_table())?;
+        }
+    }
+
+    if wants(options, "fig08") {
+        let result = performance::fig08_baseline_iommu(scale)?;
+        artifacts.json("fig08_baseline_iommu", &result)?;
+        emit(
+            "fig08_baseline_iommu",
+            result.to_table("Figure 8: baseline IOMMU normalized performance (4KB pages)"),
+            &mut artifacts,
+        )?;
+    }
+
+    if wants(options, "fig10") {
+        let result = performance::fig10_prmb_sweep(scale)?;
+        artifacts.json("fig10_prmb_sweep", &result)?;
+        emit(
+            "fig10_prmb_sweep",
+            result.to_table("Figure 10: sensitivity to PRMB mergeable slots (8 PTWs)"),
+            &mut artifacts,
+        )?;
+    }
+
+    if wants(options, "fig11") {
+        let result = performance::fig11_ptw_sweep(scale)?;
+        artifacts.json("fig11_ptw_sweep", &result)?;
+        emit(
+            "fig11_ptw_sweep",
+            result.to_table("Figure 11: sensitivity to the number of PTWs with PRMB(32)"),
+            &mut artifacts,
+        )?;
+    }
+
+    if wants(options, "fig12a") {
+        let result = performance::fig12a_ptw_no_prmb(scale)?;
+        artifacts.json("fig12a_ptw_no_prmb", &result)?;
+        emit(
+            "fig12a_ptw_no_prmb",
+            result.to_table("Figure 12a: sensitivity to the number of PTWs without the PRMB"),
+            &mut artifacts,
+        )?;
+    }
+
+    if wants(options, "fig12b") {
+        let result = performance::fig12b_energy_perf(scale)?;
+        artifacts.json("fig12b_energy_perf", &result)?;
+        emit("fig12b_energy_perf", result.to_table(), &mut artifacts)?;
+    }
+
+    if wants(options, "fig13") {
+        let result = performance::fig13_tpreg_hit_rate(scale)?;
+        artifacts.json("fig13_tpreg_hit_rate", &result)?;
+        emit("fig13_tpreg_hit_rate", result.to_table(), &mut artifacts)?;
+    }
+
+    if wants(options, "fig14") {
+        let result = characterization::fig14_va_trace(WorkloadId::Cnn1, 1)?;
+        artifacts.json("fig14_va_trace", &result)?;
+        emit("fig14_va_trace", result.to_table(), &mut artifacts)?;
+    }
+
+    if wants(options, "mmu_cache") {
+        let result = mmu_cache_study::run(scale)?;
+        artifacts.json("mmu_cache_uptc_vs_tpc", &result)?;
+        println!(
+            "TPC eliminates {:.1}% of the page-table reads left by the UPTC\n",
+            result.tpc_walk_reduction_vs_uptc() * 100.0
+        );
+        emit("mmu_cache_uptc_vs_tpc", result.to_table(), &mut artifacts)?;
+    }
+
+    if wants(options, "summary") {
+        let result = performance::summary_neummu(scale)?;
+        artifacts.json("summary_neummu", &result)?;
+        emit("summary_neummu", result.to_table(), &mut artifacts)?;
+    }
+
+    if wants(options, "largepage") {
+        let result = performance::largepage_dense(scale)?;
+        artifacts.json("largepage_dense", &result)?;
+        emit(
+            "largepage_dense",
+            result.to_table("Section VI-A: dense workloads with 2MB large pages"),
+            &mut artifacts,
+        )?;
+    }
+
+    if wants(options, "spatial") {
+        let result = performance::spatial_npu(scale)?;
+        artifacts.json("spatial_npu", &result)?;
+        emit(
+            "spatial_npu",
+            result.to_table("Section VI-B: spatial-array NPU"),
+            &mut artifacts,
+        )?;
+    }
+
+    if wants(options, "sensitivity") {
+        let result = performance::sensitivity(scale)?;
+        artifacts.json("sensitivity", &result)?;
+        emit("sensitivity", result.to_table(), &mut artifacts)?;
+    }
+
+    if wants(options, "fig15") {
+        let result = recommender::fig15_numa_breakdown(scale)?;
+        artifacts.json("fig15_numa_breakdown", &result)?;
+        println!(
+            "Figure 15: average latency reduction vs the MMU-less baseline: NUMA(slow) {:.0}%, NUMA(fast) {:.0}%\n",
+            result.average_latency_reduction("NUMA(slow)") * 100.0,
+            result.average_latency_reduction("NUMA(fast)") * 100.0
+        );
+        emit("fig15_numa_breakdown", result.to_table(), &mut artifacts)?;
+    }
+
+    if wants(options, "fig16") {
+        let result = recommender::fig16_demand_paging(scale)?;
+        artifacts.json("fig16_demand_paging", &result)?;
+        emit("fig16_demand_paging", result.to_table(), &mut artifacts)?;
+    }
+
+    println!(
+        "wrote {} artifacts to `{}` in {:.1}s ({} scale)",
+        artifacts.written().len(),
+        options.out_dir,
+        started.elapsed().as_secs_f64(),
+        scale.label()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_all(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Benchmark harness for the NeuMMU reproduction.
+//!
+//! This crate contains:
+//!
+//! * the `neummu-experiments` binary, which regenerates every table and figure
+//!   of the paper's evaluation and writes Markdown/CSV/JSON artifacts, and
+//! * the Criterion benches (`dense_figures`, `embedding_figures`,
+//!   `mmu_microbench`), one benchmark per table/figure plus microbenchmarks of
+//!   the core MMU structures.
+//!
+//! The [`artifacts`] module holds the small amount of shared plumbing for
+//! writing result tables to disk.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifacts;
+
+pub use artifacts::{write_json, write_table, ExperimentArtifacts};

@@ -1,0 +1,605 @@
+//! The cycle-accounted translation front end driven by the NPU's DMA engine.
+//!
+//! The DMA presents translation requests in program order, at most one per
+//! cycle. Each request flows through the structures of Figure 9:
+//!
+//! 1. the IOTLB (hit → done after the TLB hit latency),
+//! 2. on a miss, the pending translation scoreboard (PTS); a hit merges the
+//!    request into the in-flight walk's PRMB,
+//! 3. otherwise a free page-table walker starts a walk, reading one
+//!    page-table level per `walk_latency_per_level` cycles (minus the levels
+//!    its TPreg lets it skip),
+//! 4. when neither a walker nor a mergeable slot is available the request —
+//!    and therefore the DMA — stalls until translation bandwidth frees up.
+//!
+//! The engine reports, for every request, when it was *accepted* (the DMA may
+//! not issue the next request earlier) and when its translation *completed*
+//! (the data fetch may start no earlier). These two numbers are what couple
+//! address translation into the NPU performance model.
+
+use serde::{Deserialize, Serialize};
+
+use neummu_energy::{EnergyEvent, EnergyMeter};
+use neummu_vmem::{PageSize, PageTable, PathTag, VirtAddr};
+
+use crate::config::{MmuConfig, MmuKind};
+use crate::stats::TranslationStats;
+use crate::tlb::Tlb;
+use crate::walker::{WalkAdmission, WalkerPool};
+
+/// How a translation request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TranslationSource {
+    /// Satisfied with zero latency by the oracular MMU.
+    Oracle,
+    /// Hit in the IOTLB.
+    TlbHit,
+    /// Merged into an in-flight walk by the PTS/PRMB.
+    Merged,
+    /// Required a page-table walk that read the given number of levels.
+    PageWalk {
+        /// Page-table levels read from memory.
+        levels_read: u32,
+    },
+}
+
+/// The timing outcome of one translation request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TranslationOutcome {
+    /// Cycle at which the engine accepted the request. Always at least the
+    /// issue cycle; later when the request had to stall for translation
+    /// bandwidth. The requester may issue its next request no earlier than
+    /// `accept_cycle + 1`.
+    pub accept_cycle: u64,
+    /// Cycle at which the translated physical address is available.
+    pub complete_cycle: u64,
+    /// How the request was satisfied.
+    pub source: TranslationSource,
+    /// True if the page was not mapped (translation fault). The caller decides
+    /// how to handle the fault (demand paging, NUMA mapping, abort).
+    pub fault: bool,
+}
+
+/// Common interface of the oracular MMU and the cycle-accounted engines.
+pub trait AddressTranslator {
+    /// Translates `va` for a request issued at `cycle`.
+    ///
+    /// Requests must be issued in non-decreasing cycle order; the engine
+    /// models an in-order DMA front end.
+    fn translate(&mut self, page_table: &PageTable, va: VirtAddr, cycle: u64)
+        -> TranslationOutcome;
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> &TranslationStats;
+
+    /// Energy meter accumulated so far.
+    fn energy(&self) -> &EnergyMeter;
+
+    /// The configured page size of the engine.
+    fn page_size(&self) -> PageSize;
+
+    /// Resets statistics, energy and internal occupancy (but not the
+    /// configuration).
+    fn reset(&mut self);
+
+    /// Invalidates any cached translation state for the page containing `va`
+    /// (after page migration or unmapping). The oracle has no cached state,
+    /// so the default implementation does nothing.
+    fn invalidate_page(&mut self, va: VirtAddr) {
+        let _ = va;
+    }
+}
+
+/// The oracular MMU: every translation hits with zero latency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OracleTranslator {
+    page_size: PageSize,
+    stats: TranslationStats,
+    energy: EnergyMeter,
+}
+
+impl OracleTranslator {
+    /// Creates an oracle translating at the given page size.
+    #[must_use]
+    pub fn new(page_size: PageSize) -> Self {
+        OracleTranslator { page_size, stats: TranslationStats::default(), energy: EnergyMeter::default() }
+    }
+}
+
+impl Default for OracleTranslator {
+    fn default() -> Self {
+        Self::new(PageSize::Size4K)
+    }
+}
+
+impl AddressTranslator for OracleTranslator {
+    fn translate(
+        &mut self,
+        page_table: &PageTable,
+        va: VirtAddr,
+        cycle: u64,
+    ) -> TranslationOutcome {
+        self.stats.requests += 1;
+        self.stats.tlb_hits += 1;
+        self.stats.last_completion_cycle = self.stats.last_completion_cycle.max(cycle);
+        let fault = !page_table.is_mapped(va);
+        if fault {
+            self.stats.faults += 1;
+        }
+        TranslationOutcome {
+            accept_cycle: cycle,
+            complete_cycle: cycle,
+            source: TranslationSource::Oracle,
+            fault,
+        }
+    }
+
+    fn stats(&self) -> &TranslationStats {
+        &self.stats
+    }
+
+    fn energy(&self) -> &EnergyMeter {
+        &self.energy
+    }
+
+    fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    fn reset(&mut self) {
+        self.stats = TranslationStats::default();
+        self.energy.reset();
+    }
+}
+
+/// The cycle-accounted IOMMU / NeuMMU translation engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TranslationEngine {
+    config: MmuConfig,
+    tlb: Tlb,
+    walkers: WalkerPool,
+    stats: TranslationStats,
+    energy: EnergyMeter,
+}
+
+impl TranslationEngine {
+    /// Creates an engine from a configuration.
+    #[must_use]
+    pub fn new(config: MmuConfig) -> Self {
+        TranslationEngine {
+            config,
+            tlb: Tlb::new(config.tlb_entries, config.tlb_ways),
+            walkers: WalkerPool::new(
+                config.num_ptws,
+                config.prmb_slots_per_ptw,
+                config.walk_latency_per_level,
+                config.tpreg_enabled,
+            ),
+            stats: TranslationStats::default(),
+            energy: EnergyMeter::default(),
+        }
+    }
+
+    /// Builds the translator matching a configuration — the oracle for
+    /// [`MmuKind::Oracle`], a cycle-accounted engine otherwise.
+    #[must_use]
+    pub fn for_config(config: MmuConfig) -> Box<dyn AddressTranslator> {
+        if config.kind == MmuKind::Oracle {
+            Box::new(OracleTranslator::new(config.page_size))
+        } else {
+            Box::new(TranslationEngine::new(config))
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> MmuConfig {
+        self.config
+    }
+
+    /// The IOTLB (for inspection in tests and experiments).
+    #[must_use]
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+
+    fn page_number_of(&self, va: VirtAddr) -> u64 {
+        va.page_number(self.config.page_size)
+    }
+
+    /// Retires completed walks up to `cycle`, filling the TLB.
+    fn drain_completions(&mut self, cycle: u64) {
+        for walk in self.walkers.retire_completed(cycle) {
+            if walk.mapped {
+                self.tlb.insert(walk.page_number);
+                self.energy.record(EnergyEvent::TlbFill, 1);
+            }
+            if walk.merged_requests > 0 {
+                self.energy.record(EnergyEvent::PrmbRead, u64::from(walk.merged_requests));
+            }
+        }
+    }
+
+}
+
+impl AddressTranslator for TranslationEngine {
+    fn translate(
+        &mut self,
+        page_table: &PageTable,
+        va: VirtAddr,
+        cycle: u64,
+    ) -> TranslationOutcome {
+        self.stats.requests += 1;
+        let page_number = self.page_number_of(va);
+        let mut now = cycle;
+
+        loop {
+            // Retire walks that completed before this attempt so their
+            // translations are visible in the TLB and their walkers are free.
+            self.drain_completions(now);
+
+            // 1. IOTLB lookup.
+            self.energy.record(EnergyEvent::TlbLookup, 1);
+            if self.tlb.lookup(page_number) {
+                self.stats.tlb_hits += 1;
+                let complete = now + self.config.tlb_hit_latency;
+                self.stats.last_completion_cycle =
+                    self.stats.last_completion_cycle.max(complete);
+                self.stats.stall_cycles += now - cycle;
+                return TranslationOutcome {
+                    accept_cycle: now,
+                    complete_cycle: complete,
+                    source: TranslationSource::TlbHit,
+                    fault: false,
+                };
+            }
+
+            // 2. PTS lookup / PRMB merge.
+            if self.config.merging_enabled() {
+                self.energy.record(EnergyEvent::PtsLookup, 1);
+                if let Some((_walker, completes_at)) = self.walkers.try_merge(page_number) {
+                    self.stats.tlb_misses += 1;
+                    self.stats.merged += 1;
+                    self.energy.record(EnergyEvent::PrmbWrite, 1);
+                    self.stats.last_completion_cycle =
+                        self.stats.last_completion_cycle.max(completes_at);
+                    self.stats.stall_cycles += now - cycle;
+                    return TranslationOutcome {
+                        accept_cycle: now,
+                        complete_cycle: completes_at,
+                        source: TranslationSource::Merged,
+                        fault: false,
+                    };
+                }
+            }
+
+            // 3. Try to start a walk on a free walker.
+            let walk_path = page_table.walk(va);
+            let mapped = walk_path.is_hit();
+            let full_levels = if mapped {
+                walk_path.memory_accesses()
+            } else {
+                // A fault is detected as soon as the walk reaches the missing
+                // level.
+                walk_path.memory_accesses().max(1)
+            };
+            if self.config.tpreg_enabled {
+                self.energy.record(EnergyEvent::TpregAccess, 1);
+            }
+            match self.walkers.start_walk(
+                now,
+                page_number,
+                PathTag::of(va),
+                full_levels,
+                mapped,
+            ) {
+                WalkAdmission::Started { completes_at, path_match, levels_read, .. } => {
+                    self.stats.tlb_misses += 1;
+                    self.stats.walks += 1;
+                    self.stats.walk_memory_accesses += u64::from(levels_read);
+                    self.energy
+                        .record(EnergyEvent::PageWalkMemoryAccess, u64::from(levels_read));
+                    if self.config.tpreg_enabled {
+                        self.stats.tpreg_lookups += 1;
+                        self.stats.tpreg_skipped_levels +=
+                            u64::from(full_levels.saturating_sub(levels_read));
+                        if path_match.l4 {
+                            self.stats.tpreg_l4_hits += 1;
+                        }
+                        if path_match.l3 {
+                            self.stats.tpreg_l3_hits += 1;
+                        }
+                        if path_match.l2 {
+                            self.stats.tpreg_l2_hits += 1;
+                        }
+                    }
+                    if !mapped {
+                        self.stats.faults += 1;
+                    }
+                    self.stats.last_completion_cycle =
+                        self.stats.last_completion_cycle.max(completes_at);
+                    self.stats.stall_cycles += now - cycle;
+                    return TranslationOutcome {
+                        accept_cycle: now,
+                        complete_cycle: completes_at,
+                        source: TranslationSource::PageWalk { levels_read },
+                        fault: !mapped,
+                    };
+                }
+                WalkAdmission::Merged { completes_at, .. } => {
+                    // Unreachable in practice (merging is attempted above),
+                    // but handled for completeness.
+                    self.stats.tlb_misses += 1;
+                    self.stats.merged += 1;
+                    self.stats.stall_cycles += now - cycle;
+                    return TranslationOutcome {
+                        accept_cycle: now,
+                        complete_cycle: completes_at,
+                        source: TranslationSource::Merged,
+                        fault: false,
+                    };
+                }
+                WalkAdmission::Rejected { retry_at } => {
+                    // All walkers busy and no mergeable slot: the DMA stalls
+                    // until translation bandwidth frees up, then retries.
+                    self.stats.structural_stalls += 1;
+                    now = retry_at.max(now + 1);
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> &TranslationStats {
+        &self.stats
+    }
+
+    fn energy(&self) -> &EnergyMeter {
+        &self.energy
+    }
+
+    fn page_size(&self) -> PageSize {
+        self.config.page_size
+    }
+
+    fn reset(&mut self) {
+        *self = TranslationEngine::new(self.config);
+    }
+
+    fn invalidate_page(&mut self, va: VirtAddr) {
+        let page = self.page_number_of(va);
+        self.tlb.invalidate(page);
+        self.walkers.invalidate_tpregs();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neummu_vmem::{MemNode, PhysFrameNum};
+
+    /// Maps `pages` consecutive 4 KB pages starting at `base`.
+    fn mapped_table(base: u64, pages: u64) -> PageTable {
+        let mut pt = PageTable::new();
+        for i in 0..pages {
+            pt.map(
+                VirtAddr::new(base + i * 4096),
+                PageSize::Size4K,
+                PhysFrameNum::new(0x10_0000 + i),
+                MemNode::Npu(0),
+            )
+            .unwrap();
+        }
+        pt
+    }
+
+    #[test]
+    fn oracle_translations_are_free() {
+        let pt = mapped_table(0x100_0000, 4);
+        let mut oracle = OracleTranslator::default();
+        let out = oracle.translate(&pt, VirtAddr::new(0x100_0000), 123);
+        assert_eq!(out.accept_cycle, 123);
+        assert_eq!(out.complete_cycle, 123);
+        assert!(!out.fault);
+        assert_eq!(oracle.stats().requests, 1);
+    }
+
+    #[test]
+    fn first_access_walks_then_tlb_hits() {
+        let pt = mapped_table(0x100_0000, 1);
+        let mut mmu = TranslationEngine::new(MmuConfig::baseline_iommu());
+        let first = mmu.translate(&pt, VirtAddr::new(0x100_0000), 0);
+        assert!(matches!(first.source, TranslationSource::PageWalk { levels_read: 4 }));
+        assert_eq!(first.complete_cycle, 400);
+        // After the walk completes, the same page hits in the TLB.
+        let second = mmu.translate(&pt, VirtAddr::new(0x100_0040), first.complete_cycle + 1);
+        assert_eq!(second.source, TranslationSource::TlbHit);
+        assert_eq!(second.complete_cycle, second.accept_cycle + 5);
+        assert_eq!(mmu.stats().walks, 1);
+        assert_eq!(mmu.stats().tlb_hits, 1);
+    }
+
+    #[test]
+    fn baseline_iommu_spends_redundant_walks_on_bursts_to_one_page() {
+        // Back-to-back requests to the same page, issued before the first
+        // walk completes: without a PRMB each one burns its own walker.
+        let pt = mapped_table(0x200_0000, 1);
+        let mut mmu = TranslationEngine::new(MmuConfig::baseline_iommu());
+        for i in 0..8u64 {
+            let out = mmu.translate(&pt, VirtAddr::new(0x200_0000 + i * 64), i);
+            assert!(matches!(out.source, TranslationSource::PageWalk { .. }));
+        }
+        assert_eq!(mmu.stats().walks, 8);
+        assert_eq!(mmu.stats().merged, 0);
+        assert_eq!(mmu.stats().walk_memory_accesses, 32);
+    }
+
+    #[test]
+    fn neummu_merges_bursts_to_one_page() {
+        let pt = mapped_table(0x200_0000, 1);
+        let mut mmu = TranslationEngine::new(MmuConfig::neummu());
+        let mut cycle = 0;
+        for i in 0..8u64 {
+            let out = mmu.translate(&pt, VirtAddr::new(0x200_0000 + i * 64), cycle);
+            cycle = out.accept_cycle + 1;
+        }
+        assert_eq!(mmu.stats().walks, 1);
+        assert_eq!(mmu.stats().merged, 7);
+        assert!(mmu.stats().merge_rate() > 0.8);
+    }
+
+    #[test]
+    fn structural_stall_blocks_the_requester() {
+        // One walker, no merging: the second request to a *different* page
+        // must wait for the first walk to finish.
+        let config = MmuConfig::baseline_iommu().with_ptws(1);
+        let pt = mapped_table(0x300_0000, 2);
+        let mut mmu = TranslationEngine::new(config);
+        let first = mmu.translate(&pt, VirtAddr::new(0x300_0000), 0);
+        let second = mmu.translate(&pt, VirtAddr::new(0x300_1000), 1);
+        assert_eq!(first.complete_cycle, 400);
+        assert!(second.accept_cycle >= 400, "accept at {}", second.accept_cycle);
+        assert_eq!(mmu.stats().structural_stalls, 1);
+        assert!(mmu.stats().stall_cycles >= 399);
+    }
+
+    #[test]
+    fn prmb_overflow_falls_back_to_stalling() {
+        // One walker with a single mergeable slot: the third request to the
+        // same page can neither merge nor start a walk.
+        let config = MmuConfig::baseline_iommu().with_ptws(1).with_prmb_slots(1);
+        let pt = mapped_table(0x400_0000, 1);
+        let mut mmu = TranslationEngine::new(config);
+        let a = mmu.translate(&pt, VirtAddr::new(0x400_0000), 0);
+        let b = mmu.translate(&pt, VirtAddr::new(0x400_0100), 1);
+        let c = mmu.translate(&pt, VirtAddr::new(0x400_0200), 2);
+        assert!(matches!(a.source, TranslationSource::PageWalk { .. }));
+        assert_eq!(b.source, TranslationSource::Merged);
+        // The third request stalls until the walk retires, then hits the TLB.
+        assert!(c.accept_cycle >= a.complete_cycle);
+        assert_eq!(c.source, TranslationSource::TlbHit);
+    }
+
+    #[test]
+    fn tpreg_reduces_walk_memory_accesses_for_streaming_pages() {
+        let pages = 64;
+        let pt = mapped_table(0x800_0000, pages);
+        let with_tpreg = MmuConfig::neummu().with_ptws(1);
+        let without_tpreg = MmuConfig::neummu().with_ptws(1).with_tpreg(false);
+        let run = |config: MmuConfig| {
+            let mut mmu = TranslationEngine::new(config);
+            let mut cycle = 0;
+            for i in 0..pages {
+                let out = mmu.translate(&pt, VirtAddr::new(0x800_0000 + i * 4096), cycle);
+                cycle = out.complete_cycle + 1;
+            }
+            mmu.stats().walk_memory_accesses
+        };
+        let accesses_with = run(with_tpreg);
+        let accesses_without = run(without_tpreg);
+        assert_eq!(accesses_without, pages as u64 * 4);
+        // First walk reads 4 levels, the rest only the leaf.
+        assert_eq!(accesses_with, 4 + (pages as u64 - 1));
+        assert!(accesses_without > 2 * accesses_with);
+    }
+
+    #[test]
+    fn tpreg_hit_rates_follow_the_figure13_shape() {
+        // Stream many consecutive pages through a single walker: L4/L3 always
+        // match after the first walk; L2 misses at every 2 MB boundary.
+        let pages = 2048; // 8 MB of consecutive pages
+        let pt = mapped_table(0x4000_0000, pages);
+        let mut mmu = TranslationEngine::new(
+            MmuConfig::neummu().with_ptws(1).with_tlb_entries(16),
+        );
+        let mut cycle = 0;
+        for i in 0..pages {
+            let out = mmu.translate(&pt, VirtAddr::new(0x4000_0000 + i * 4096), cycle);
+            cycle = out.complete_cycle + 1;
+        }
+        let stats = mmu.stats();
+        assert!(stats.tpreg_l4_rate() > 0.99);
+        assert!(stats.tpreg_l3_rate() > 0.99);
+        assert!(stats.tpreg_l2_rate() > 0.9);
+        assert!(stats.tpreg_l2_rate() < stats.tpreg_l3_rate());
+    }
+
+    #[test]
+    fn unmapped_page_reports_a_fault_after_a_partial_walk() {
+        let pt = PageTable::new();
+        let mut mmu = TranslationEngine::new(MmuConfig::neummu());
+        let out = mmu.translate(&pt, VirtAddr::new(0x9999_0000), 0);
+        assert!(out.fault);
+        assert!(matches!(out.source, TranslationSource::PageWalk { levels_read: 1 }));
+        assert_eq!(mmu.stats().faults, 1);
+        // A faulting walk never fills the TLB.
+        let again = mmu.translate(&pt, VirtAddr::new(0x9999_0000), out.complete_cycle + 1);
+        assert!(again.fault);
+    }
+
+    #[test]
+    fn large_pages_walk_three_levels_and_cover_more_reach() {
+        let mut pt = PageTable::new();
+        pt.map(
+            VirtAddr::new(0x4000_0000),
+            PageSize::Size2M,
+            PhysFrameNum::new(0x8_0000),
+            MemNode::Npu(0),
+        )
+        .unwrap();
+        let mut mmu =
+            TranslationEngine::new(MmuConfig::baseline_iommu().with_page_size(PageSize::Size2M));
+        let first = mmu.translate(&pt, VirtAddr::new(0x4000_0000), 0);
+        assert!(matches!(first.source, TranslationSource::PageWalk { levels_read: 3 }));
+        assert_eq!(first.complete_cycle, 300);
+        // An address 1 MB away is still in the same 2 MB page: TLB hit.
+        let second = mmu.translate(&pt, VirtAddr::new(0x4010_0000), 400);
+        assert_eq!(second.source, TranslationSource::TlbHit);
+    }
+
+    #[test]
+    fn invalidate_page_forces_a_new_walk() {
+        let pt = mapped_table(0xa00_0000, 1);
+        let mut mmu = TranslationEngine::new(MmuConfig::neummu());
+        let first = mmu.translate(&pt, VirtAddr::new(0xa00_0000), 0);
+        let hit = mmu.translate(&pt, VirtAddr::new(0xa00_0000), first.complete_cycle + 1);
+        assert_eq!(hit.source, TranslationSource::TlbHit);
+        mmu.invalidate_page(VirtAddr::new(0xa00_0000));
+        let after = mmu.translate(&pt, VirtAddr::new(0xa00_0000), hit.complete_cycle + 1);
+        assert!(matches!(after.source, TranslationSource::PageWalk { .. }));
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_configuration() {
+        let pt = mapped_table(0xb00_0000, 2);
+        let mut mmu = TranslationEngine::new(MmuConfig::neummu());
+        mmu.translate(&pt, VirtAddr::new(0xb00_0000), 0);
+        mmu.reset();
+        assert_eq!(mmu.stats().requests, 0);
+        assert_eq!(mmu.config().kind, MmuKind::NeuMmu);
+        assert_eq!(mmu.energy().total_nj(), 0.0);
+    }
+
+    #[test]
+    fn for_config_dispatches_oracle() {
+        let pt = mapped_table(0xc00_0000, 1);
+        let mut oracle = TranslationEngine::for_config(MmuConfig::oracle());
+        let out = oracle.translate(&pt, VirtAddr::new(0xc00_0000), 7);
+        assert_eq!(out.source, TranslationSource::Oracle);
+        let mut engine = TranslationEngine::for_config(MmuConfig::neummu());
+        let out = engine.translate(&pt, VirtAddr::new(0xc00_0000), 7);
+        assert!(matches!(out.source, TranslationSource::PageWalk { .. }));
+    }
+
+    #[test]
+    fn energy_accumulates_walk_accesses() {
+        let pt = mapped_table(0xd00_0000, 4);
+        let mut mmu = TranslationEngine::new(MmuConfig::baseline_iommu());
+        let mut cycle = 0;
+        for i in 0..4u64 {
+            let out = mmu.translate(&pt, VirtAddr::new(0xd00_0000 + i * 4096), cycle);
+            cycle = out.accept_cycle + 1;
+        }
+        assert_eq!(mmu.energy().count(neummu_energy::EnergyEvent::PageWalkMemoryAccess), 16);
+        assert!(mmu.energy().total_nj() > 0.0);
+    }
+}

@@ -1,0 +1,408 @@
+//! The page-table walker pool, pending translation scoreboard (PTS) and
+//! pending request merging buffers (PRMB).
+//!
+//! The pool tracks every in-flight page-table walk with its completion time,
+//! the virtual page it is translating and how many requests have been merged
+//! into it. The PTS is modelled functionally as a lookup from virtual page
+//! number to the in-flight walk (the hardware structure is a fully-associative
+//! CAM with one entry per walker, Section IV-A / Figure 9); the PRMB is the
+//! per-walker budget of mergeable slots.
+//!
+//! Walkers are assigned to new walks in FIFO (round-robin) order, which is
+//! what distributes consecutive walks across walkers and gives the per-walker
+//! TPreg its characteristic L4/L3 ≫ L2 hit-rate profile (Figure 13).
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::tpreg::{PathMatch, TranslationPathRegister};
+use neummu_vmem::PathTag;
+
+/// The result of asking the pool to start or join a walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalkAdmission {
+    /// The request was merged into the in-flight walk of the given walker;
+    /// it will complete when that walk completes.
+    Merged {
+        /// Walker whose PRMB absorbed the request.
+        walker: usize,
+        /// Completion cycle of the in-flight walk.
+        completes_at: u64,
+    },
+    /// A new walk was started on the given walker.
+    Started {
+        /// Walker that accepted the walk.
+        walker: usize,
+        /// Completion cycle of the new walk.
+        completes_at: u64,
+        /// How much of the upper path the walker's TPreg matched.
+        path_match: PathMatch,
+        /// Page-table levels actually read from memory by this walk.
+        levels_read: u32,
+    },
+    /// Every walker is busy and no mergeable slot is available; the requester
+    /// must retry at or after the given cycle.
+    Rejected {
+        /// Earliest cycle at which capacity may become available.
+        retry_at: u64,
+    },
+}
+
+/// A walk that has completed and should be retired (its translation inserted
+/// into the TLB and its merged requests released).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompletedWalk {
+    /// Page number (at the engine's page size) that was translated.
+    pub page_number: u64,
+    /// Cycle at which the walk finished.
+    pub completed_at: u64,
+    /// Number of requests that were merged into the walk.
+    pub merged_requests: u32,
+    /// Whether the walked page was actually mapped.
+    pub mapped: bool,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct InFlightWalk {
+    page_number: u64,
+    walker: usize,
+    completes_at: u64,
+    merged_requests: u32,
+    mapped: bool,
+}
+
+/// Min-heap ordering by completion time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct HeapEntry {
+    completes_at: u64,
+    walk_slot: usize,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .completes_at
+            .cmp(&self.completes_at)
+            .then_with(|| other.walk_slot.cmp(&self.walk_slot))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The pool of hardware page-table walkers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalkerPool {
+    num_walkers: usize,
+    prmb_slots: usize,
+    walk_latency_per_level: u64,
+    tpreg_enabled: bool,
+    tpregs: Vec<TranslationPathRegister>,
+    /// FIFO of idle walker indices (round-robin assignment).
+    free_walkers: VecDeque<usize>,
+    /// In-flight walks, indexed by slot id.
+    walks: Vec<Option<InFlightWalk>>,
+    free_slots: Vec<usize>,
+    /// PTS: page number -> in-flight walk slot.
+    pts: HashMap<u64, usize>,
+    /// Completion order.
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl WalkerPool {
+    /// Creates a pool of `num_walkers` walkers, each with `prmb_slots`
+    /// mergeable PRMB slots (0 disables merging) and a per-level walk latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_walkers` is zero.
+    #[must_use]
+    pub fn new(
+        num_walkers: usize,
+        prmb_slots: usize,
+        walk_latency_per_level: u64,
+        tpreg_enabled: bool,
+    ) -> Self {
+        assert!(num_walkers > 0, "the walker pool needs at least one walker");
+        WalkerPool {
+            num_walkers,
+            prmb_slots,
+            walk_latency_per_level,
+            tpreg_enabled,
+            tpregs: vec![TranslationPathRegister::new(); num_walkers],
+            free_walkers: (0..num_walkers).collect(),
+            walks: Vec::new(),
+            free_slots: Vec::new(),
+            pts: HashMap::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of walkers in the pool.
+    #[must_use]
+    pub fn num_walkers(&self) -> usize {
+        self.num_walkers
+    }
+
+    /// Number of walks currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.num_walkers - self.free_walkers.len()
+    }
+
+    /// Retires every walk that has completed by `cycle`, returning them in
+    /// completion order. The caller is responsible for filling the TLB.
+    pub fn retire_completed(&mut self, cycle: u64) -> Vec<CompletedWalk> {
+        let mut retired = Vec::new();
+        while let Some(top) = self.heap.peek() {
+            if top.completes_at > cycle {
+                break;
+            }
+            let entry = self.heap.pop().expect("peeked entry exists");
+            let walk = self.walks[entry.walk_slot]
+                .take()
+                .expect("heap entries always reference live walks");
+            self.free_slots.push(entry.walk_slot);
+            self.pts.remove(&walk.page_number);
+            self.free_walkers.push_back(walk.walker);
+            retired.push(CompletedWalk {
+                page_number: walk.page_number,
+                completed_at: walk.completes_at,
+                merged_requests: walk.merged_requests,
+                mapped: walk.mapped,
+            });
+        }
+        retired
+    }
+
+    /// Earliest cycle at which any in-flight walk completes (`None` if idle).
+    #[must_use]
+    pub fn next_completion(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.completes_at)
+    }
+
+    /// Probes the PTS for an in-flight walk of `page_number` and, if present
+    /// and a PRMB slot is free, merges the request into it.
+    ///
+    /// Returns the completion cycle of the walk the request was merged into,
+    /// or `None` if no merge was possible (no in-flight walk, merging
+    /// disabled, or the walker's PRMB is full).
+    pub fn try_merge(&mut self, page_number: u64) -> Option<(usize, u64)> {
+        if self.prmb_slots == 0 {
+            return None;
+        }
+        let slot = *self.pts.get(&page_number)?;
+        let walk = self.walks[slot].as_mut().expect("PTS entries reference live walks");
+        if walk.merged_requests as usize >= self.prmb_slots {
+            return None;
+        }
+        walk.merged_requests += 1;
+        Some((walk.walker, walk.completes_at))
+    }
+
+    /// Starts a new walk at `cycle` for `page_number`, whose full walk would
+    /// read `full_levels` page-table entries and whose upper-path tag is
+    /// `tag`. `mapped` records whether the page table actually holds a
+    /// translation (an unmapped page still costs a partial walk).
+    ///
+    /// Returns [`WalkAdmission::Rejected`] when every walker is busy.
+    pub fn start_walk(
+        &mut self,
+        cycle: u64,
+        page_number: u64,
+        tag: PathTag,
+        full_levels: u32,
+        mapped: bool,
+    ) -> WalkAdmission {
+        let Some(walker) = self.free_walkers.pop_front() else {
+            let retry_at = self
+                .next_completion()
+                .expect("no free walkers implies at least one in-flight walk");
+            return WalkAdmission::Rejected { retry_at };
+        };
+
+        let path_match = if self.tpreg_enabled {
+            self.tpregs[walker].probe(tag)
+        } else {
+            PathMatch::miss()
+        };
+        // The TPreg can only skip levels that the walk would otherwise read:
+        // for a 4 KB page all of L4/L3/L2, for a 2 MB page only L4/L3 (its L2
+        // entry is the leaf and must be read to obtain the translation).
+        let skippable_by_size = full_levels.saturating_sub(1);
+        let skipped = path_match.skippable_levels().min(skippable_by_size);
+        let levels_read = (full_levels - skipped).max(1);
+        let completes_at = cycle + u64::from(levels_read) * self.walk_latency_per_level;
+
+        if self.tpreg_enabled {
+            self.tpregs[walker].fill(tag);
+        }
+
+        let walk = InFlightWalk { page_number, walker, completes_at, merged_requests: 0, mapped };
+        let slot = if let Some(slot) = self.free_slots.pop() {
+            self.walks[slot] = Some(walk);
+            slot
+        } else {
+            self.walks.push(Some(walk));
+            self.walks.len() - 1
+        };
+        if self.prmb_slots > 0 {
+            self.pts.insert(page_number, slot);
+        }
+        self.heap.push(HeapEntry { completes_at, walk_slot: slot });
+        WalkAdmission::Started { walker, completes_at, path_match, levels_read }
+    }
+
+    /// Invalidates every walker's TPreg (page-table update).
+    pub fn invalidate_tpregs(&mut self) {
+        for reg in &mut self.tpregs {
+            reg.invalidate();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neummu_vmem::VirtAddr;
+
+    fn tag_of_page(page: u64) -> PathTag {
+        PathTag::of(VirtAddr::new(page << 12))
+    }
+
+    fn start(pool: &mut WalkerPool, cycle: u64, page: u64) -> WalkAdmission {
+        pool.start_walk(cycle, page, tag_of_page(page), 4, true)
+    }
+
+    #[test]
+    fn walks_complete_after_per_level_latency() {
+        let mut pool = WalkerPool::new(2, 0, 100, false);
+        match start(&mut pool, 0, 7) {
+            WalkAdmission::Started { completes_at, levels_read, .. } => {
+                assert_eq!(levels_read, 4);
+                assert_eq!(completes_at, 400);
+            }
+            other => panic!("expected Started, got {other:?}"),
+        }
+        assert_eq!(pool.in_flight(), 1);
+        assert!(pool.retire_completed(399).is_empty());
+        let retired = pool.retire_completed(400);
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].page_number, 7);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn pool_rejects_when_all_walkers_busy() {
+        let mut pool = WalkerPool::new(2, 0, 100, false);
+        start(&mut pool, 0, 1);
+        start(&mut pool, 0, 2);
+        match start(&mut pool, 0, 3) {
+            WalkAdmission::Rejected { retry_at } => assert_eq!(retry_at, 400),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        // After retiring, capacity is available again.
+        pool.retire_completed(400);
+        assert!(matches!(start(&mut pool, 400, 3), WalkAdmission::Started { .. }));
+    }
+
+    #[test]
+    fn merging_requires_prmb_slots() {
+        let mut no_merge = WalkerPool::new(4, 0, 100, false);
+        start(&mut no_merge, 0, 9);
+        assert!(no_merge.try_merge(9).is_none());
+
+        let mut pool = WalkerPool::new(4, 2, 100, false);
+        start(&mut pool, 0, 9);
+        assert!(pool.try_merge(9).is_some());
+        assert!(pool.try_merge(9).is_some());
+        // PRMB full after two merges.
+        assert!(pool.try_merge(9).is_none());
+        // A different page has no in-flight walk to merge into.
+        assert!(pool.try_merge(10).is_none());
+        let retired = pool.retire_completed(1_000);
+        assert_eq!(retired[0].merged_requests, 2);
+    }
+
+    #[test]
+    fn merged_requests_complete_with_their_walk() {
+        let mut pool = WalkerPool::new(1, 8, 50, false);
+        let completes = match start(&mut pool, 10, 5) {
+            WalkAdmission::Started { completes_at, .. } => completes_at,
+            other => panic!("unexpected {other:?}"),
+        };
+        let (_, merged_completes) = pool.try_merge(5).unwrap();
+        assert_eq!(merged_completes, completes);
+    }
+
+    #[test]
+    fn tpreg_skips_levels_for_same_region_walks() {
+        let mut pool = WalkerPool::new(1, 0, 100, true);
+        // First walk of a region reads all four levels.
+        match pool.start_walk(0, 0x1000, tag_of_page(0x1000), 4, true) {
+            WalkAdmission::Started { levels_read, .. } => assert_eq!(levels_read, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        pool.retire_completed(u64::MAX);
+        // The next page in the same 2 MB region only reads the leaf level.
+        match pool.start_walk(500, 0x1001, tag_of_page(0x1001), 4, true) {
+            WalkAdmission::Started { levels_read, path_match, completes_at, .. } => {
+                assert_eq!(levels_read, 1);
+                assert!(path_match.l2);
+                assert_eq!(completes_at, 600);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tpreg_cannot_skip_the_leaf_of_a_2mb_walk() {
+        let mut pool = WalkerPool::new(1, 0, 100, true);
+        // 2 MB pages walk three levels; even a full TPreg match must still
+        // read the leaf (L2) entry.
+        pool.start_walk(0, 0, tag_of_page(0), 3, true);
+        pool.retire_completed(u64::MAX);
+        match pool.start_walk(0, 1, tag_of_page(0), 3, true) {
+            WalkAdmission::Started { levels_read, .. } => assert_eq!(levels_read, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_robin_assignment_spreads_walks_across_walkers() {
+        let mut pool = WalkerPool::new(4, 0, 100, false);
+        let mut walkers = Vec::new();
+        for page in 0..4 {
+            if let WalkAdmission::Started { walker, .. } = start(&mut pool, 0, page) {
+                walkers.push(walker);
+            }
+        }
+        walkers.sort_unstable();
+        assert_eq!(walkers, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn retire_order_is_completion_order() {
+        let mut pool = WalkerPool::new(4, 0, 100, true);
+        // Page 1 misses the TPreg (4 levels); page 2 walk on a different
+        // walker also misses. Start them at different cycles.
+        start(&mut pool, 100, 1);
+        start(&mut pool, 0, 2);
+        let retired = pool.retire_completed(u64::MAX);
+        assert_eq!(retired.len(), 2);
+        assert!(retired[0].completed_at <= retired[1].completed_at);
+        assert_eq!(retired[0].page_number, 2);
+    }
+
+    #[test]
+    fn unmapped_pages_still_consume_a_walk() {
+        let mut pool = WalkerPool::new(1, 4, 100, false);
+        pool.start_walk(0, 77, tag_of_page(77), 1, false);
+        let retired = pool.retire_completed(u64::MAX);
+        assert!(!retired[0].mapped);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the MMU structures and the translation engine.
+
+use proptest::prelude::*;
+
+use neummu_mmu::prelude::*;
+use neummu_vmem::{MemNode, PageSize, PageTable, PhysFrameNum, VirtAddr};
+
+/// Builds a page table with the given 4 KB virtual pages mapped.
+fn table_with_pages(pages: &[u64]) -> PageTable {
+    let mut pt = PageTable::new();
+    for (i, &vpn) in pages.iter().enumerate() {
+        pt.map(
+            VirtAddr::new(vpn << 12),
+            PageSize::Size4K,
+            PhysFrameNum::new(0x100_0000 + i as u64),
+            MemNode::Npu(0),
+        )
+        .expect("test pages are distinct");
+    }
+    pt
+}
+
+/// Strategy: a monotonically increasing stream of (page, offset) accesses over
+/// a small page range, mimicking a DMA sweep.
+fn access_stream() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..64, 0u64..4096), 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The TLB never reports more hits than lookups and its occupancy never
+    /// exceeds its capacity, for any interleaving of lookups and fills.
+    #[test]
+    fn tlb_invariants(ops in prop::collection::vec((0u64..512, any::<bool>()), 1..500),
+                      entries in 1usize..512, ways in 1usize..16) {
+        let mut tlb = Tlb::new(entries, ways);
+        for (page, is_fill) in ops {
+            if is_fill {
+                tlb.insert(page);
+            } else {
+                let hit = tlb.lookup(page);
+                if hit {
+                    prop_assert!(tlb.contains(page));
+                }
+            }
+            prop_assert!(tlb.occupancy() <= tlb.capacity());
+            prop_assert!(tlb.hits() <= tlb.lookups());
+        }
+    }
+
+    /// A lookup immediately after an insert always hits, regardless of prior
+    /// history (the inserted entry is the most recently used in its set).
+    #[test]
+    fn tlb_insert_then_lookup_hits(history in prop::collection::vec(0u64..4096, 0..300), probe in 0u64..4096) {
+        let mut tlb = Tlb::new(128, 4);
+        for page in history {
+            tlb.insert(page);
+        }
+        tlb.insert(probe);
+        prop_assert!(tlb.lookup(probe));
+    }
+
+    /// Engine timing sanity: outcomes are accepted no earlier than issued,
+    /// complete no earlier than accepted, and every request is accounted for
+    /// as exactly one of {TLB hit, merged, walk}.
+    #[test]
+    fn engine_accounting_is_exact(stream in access_stream(), neummu in any::<bool>()) {
+        let pages: Vec<u64> = (0..64).collect();
+        let pt = table_with_pages(&pages);
+        let config = if neummu { MmuConfig::neummu() } else { MmuConfig::baseline_iommu() };
+        let mut engine = TranslationEngine::new(config);
+        let mut cycle = 0u64;
+        for (page, offset) in &stream {
+            let va = VirtAddr::new((page << 12) | offset);
+            let outcome = engine.translate(&pt, va, cycle);
+            prop_assert!(outcome.accept_cycle >= cycle);
+            prop_assert!(outcome.complete_cycle >= outcome.accept_cycle);
+            prop_assert!(!outcome.fault);
+            cycle = outcome.accept_cycle + 1;
+        }
+        let stats = engine.stats();
+        prop_assert_eq!(stats.requests, stream.len() as u64);
+        prop_assert_eq!(stats.requests, stats.tlb_hits + stats.merged + stats.walks);
+        prop_assert!(stats.walk_memory_accesses >= stats.walks);
+        prop_assert!(stats.walk_memory_accesses <= stats.walks * 4);
+    }
+
+    /// The oracle is a lower bound: for any request stream, its last
+    /// completion time never exceeds that of a real engine driven with the
+    /// same stream.
+    #[test]
+    fn oracle_is_a_lower_bound(stream in access_stream()) {
+        let pages: Vec<u64> = (0..64).collect();
+        let pt = table_with_pages(&pages);
+        let mut oracle = OracleTranslator::default();
+        let mut engine = TranslationEngine::new(MmuConfig::baseline_iommu());
+        let mut oracle_cycle = 0u64;
+        let mut engine_cycle = 0u64;
+        let mut oracle_last = 0u64;
+        let mut engine_last = 0u64;
+        for (page, offset) in &stream {
+            let va = VirtAddr::new((page << 12) | offset);
+            let o = oracle.translate(&pt, va, oracle_cycle);
+            oracle_cycle = o.accept_cycle + 1;
+            oracle_last = oracle_last.max(o.complete_cycle);
+            let e = engine.translate(&pt, va, engine_cycle);
+            engine_cycle = e.accept_cycle + 1;
+            engine_last = engine_last.max(e.complete_cycle);
+        }
+        prop_assert!(oracle_last <= engine_last);
+    }
+
+    /// Merging never changes *what* is translated, only how much walk work is
+    /// spent: with merging enabled the engine performs at most as many walks
+    /// and walk memory accesses as without it.
+    #[test]
+    fn prmb_never_increases_walk_work(stream in access_stream()) {
+        let pages: Vec<u64> = (0..64).collect();
+        let pt = table_with_pages(&pages);
+        let run = |prmb_slots: usize| {
+            let mut engine = TranslationEngine::new(
+                MmuConfig::baseline_iommu().with_ptws(16).with_prmb_slots(prmb_slots),
+            );
+            let mut cycle = 0u64;
+            for (page, offset) in &stream {
+                let va = VirtAddr::new((page << 12) | offset);
+                let outcome = engine.translate(&pt, va, cycle);
+                cycle = outcome.accept_cycle + 1;
+            }
+            (engine.stats().walks, engine.stats().walk_memory_accesses)
+        };
+        let (walks_without, accesses_without) = run(0);
+        let (walks_with, accesses_with) = run(32);
+        prop_assert!(walks_with <= walks_without);
+        prop_assert!(accesses_with <= accesses_without);
+    }
+
+    /// The TPreg only removes upper-level reads: per walk, between 1 and 4
+    /// levels are read, and enabling it never increases total accesses.
+    #[test]
+    fn tpreg_never_increases_walk_accesses(page_order in prop::collection::vec(0u64..256, 1..150)) {
+        let pages: Vec<u64> = (0..256).collect();
+        let pt = table_with_pages(&pages);
+        let run = |tpreg: bool| {
+            let mut engine = TranslationEngine::new(
+                MmuConfig::neummu().with_tlb_entries(16).with_tpreg(tpreg),
+            );
+            let mut cycle = 0u64;
+            for page in &page_order {
+                let outcome = engine.translate(&pt, VirtAddr::new(page << 12), cycle);
+                cycle = outcome.complete_cycle + 1;
+            }
+            engine.stats().walk_memory_accesses
+        };
+        let with_tpreg = run(true);
+        let without_tpreg = run(false);
+        prop_assert!(with_tpreg <= without_tpreg);
+    }
+
+    /// A path tag always matches itself and the TPC/UPTC never skip the leaf
+    /// level of a walk.
+    #[test]
+    fn walk_caches_never_skip_the_leaf(pages_accessed in prop::collection::vec(0u64..1024, 1..100)) {
+        let pages: Vec<u64> = (0..1024).collect();
+        let pt = table_with_pages(&pages);
+        let mut tpc = TranslationPathCache::new(4);
+        let mut uptc = UnifiedPageTableCache::new(16);
+        for page in pages_accessed {
+            let walk = pt.walk(VirtAddr::new(page << 12));
+            let total = walk.memory_accesses();
+            for outcome in [tpc.access(&walk), uptc.access(&walk)] {
+                prop_assert!(outcome.levels_read >= 1);
+                prop_assert_eq!(outcome.levels_read + outcome.skipped_levels, total);
+            }
+        }
+    }
+}

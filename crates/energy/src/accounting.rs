@@ -1,0 +1,247 @@
+//! The [`EnergyMeter`]: event counting and energy aggregation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::tables::EnergyTable;
+
+/// An energy-relevant event in the translation pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnergyEvent {
+    /// One DRAM access performed by a page-table walk (one visited level).
+    PageWalkMemoryAccess,
+    /// One IOTLB lookup.
+    TlbLookup,
+    /// One IOTLB fill.
+    TlbFill,
+    /// One pending-translation-scoreboard lookup.
+    PtsLookup,
+    /// One PRMB slot write (request merged into an in-flight walk).
+    PrmbWrite,
+    /// One PRMB slot read (merged request returned to the DMA).
+    PrmbRead,
+    /// One TPreg access (tag compare or fill).
+    TpregAccess,
+    /// One multi-entry MMU-cache lookup (UPTC/TPC design points).
+    MmuCacheLookup,
+}
+
+impl EnergyEvent {
+    /// All event kinds.
+    pub const ALL: [EnergyEvent; 8] = [
+        EnergyEvent::PageWalkMemoryAccess,
+        EnergyEvent::TlbLookup,
+        EnergyEvent::TlbFill,
+        EnergyEvent::PtsLookup,
+        EnergyEvent::PrmbWrite,
+        EnergyEvent::PrmbRead,
+        EnergyEvent::TpregAccess,
+        EnergyEvent::MmuCacheLookup,
+    ];
+}
+
+impl fmt::Display for EnergyEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            EnergyEvent::PageWalkMemoryAccess => "page-walk DRAM access",
+            EnergyEvent::TlbLookup => "TLB lookup",
+            EnergyEvent::TlbFill => "TLB fill",
+            EnergyEvent::PtsLookup => "PTS lookup",
+            EnergyEvent::PrmbWrite => "PRMB write",
+            EnergyEvent::PrmbRead => "PRMB read",
+            EnergyEvent::TpregAccess => "TPreg access",
+            EnergyEvent::MmuCacheLookup => "MMU-cache lookup",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Per-event-kind energy totals, in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy spent on page-walk DRAM accesses.
+    pub dram_nj: f64,
+    /// Energy spent on all SRAM structures (TLB, PTS, PRMB, TPreg, MMU caches).
+    pub sram_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in nanojoules.
+    #[must_use]
+    pub fn total_nj(&self) -> f64 {
+        self.dram_nj + self.sram_nj
+    }
+}
+
+/// Counts translation-pipeline events and converts them to energy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyMeter {
+    table: EnergyTable,
+    counts: [u64; EnergyEvent::ALL.len()],
+}
+
+impl Default for EnergyMeter {
+    fn default() -> Self {
+        Self::new(EnergyTable::default())
+    }
+}
+
+impl EnergyMeter {
+    /// Creates a meter using the given energy table.
+    #[must_use]
+    pub fn new(table: EnergyTable) -> Self {
+        EnergyMeter { table, counts: [0; EnergyEvent::ALL.len()] }
+    }
+
+    fn index(event: EnergyEvent) -> usize {
+        EnergyEvent::ALL
+            .iter()
+            .position(|e| *e == event)
+            .expect("every event kind is listed in EnergyEvent::ALL")
+    }
+
+    /// Records `count` occurrences of `event`.
+    pub fn record(&mut self, event: EnergyEvent, count: u64) {
+        self.counts[Self::index(event)] += count;
+    }
+
+    /// Number of recorded occurrences of `event`.
+    #[must_use]
+    pub fn count(&self, event: EnergyEvent) -> u64 {
+        self.counts[Self::index(event)]
+    }
+
+    /// Energy cost of a single occurrence of `event`, in nanojoules.
+    #[must_use]
+    pub fn unit_cost_nj(&self, event: EnergyEvent) -> f64 {
+        match event {
+            EnergyEvent::PageWalkMemoryAccess => self.table.dram_access_nj,
+            EnergyEvent::TlbLookup => self.table.tlb_lookup_nj,
+            EnergyEvent::TlbFill => self.table.tlb_fill_nj,
+            EnergyEvent::PtsLookup => self.table.pts_lookup_nj,
+            EnergyEvent::PrmbWrite => self.table.prmb_write_nj,
+            EnergyEvent::PrmbRead => self.table.prmb_read_nj,
+            EnergyEvent::TpregAccess => self.table.tpreg_access_nj,
+            EnergyEvent::MmuCacheLookup => self.table.mmu_cache_lookup_nj,
+        }
+    }
+
+    /// Total translation energy in nanojoules.
+    #[must_use]
+    pub fn total_nj(&self) -> f64 {
+        EnergyEvent::ALL
+            .iter()
+            .map(|e| self.count(*e) as f64 * self.unit_cost_nj(*e))
+            .sum()
+    }
+
+    /// DRAM-vs-SRAM breakdown of the total energy.
+    #[must_use]
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        let dram_nj = self.count(EnergyEvent::PageWalkMemoryAccess) as f64
+            * self.unit_cost_nj(EnergyEvent::PageWalkMemoryAccess);
+        EnergyBreakdown { dram_nj, sram_nj: self.total_nj() - dram_nj }
+    }
+
+    /// Merges another meter's counts into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two meters use different energy tables.
+    pub fn merge(&mut self, other: &EnergyMeter) {
+        assert!(
+            self.table == other.table,
+            "cannot merge energy meters that use different energy tables"
+        );
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        self.counts = [0; EnergyEvent::ALL.len()];
+    }
+
+    /// Ratio of this meter's total energy to `baseline`'s total energy.
+    ///
+    /// Returns `None` if the baseline recorded zero energy.
+    #[must_use]
+    pub fn relative_to(&self, baseline: &EnergyMeter) -> Option<f64> {
+        let base = baseline.total_nj();
+        if base == 0.0 {
+            None
+        } else {
+            Some(self.total_nj() / base)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_total() {
+        let mut m = EnergyMeter::default();
+        assert_eq!(m.total_nj(), 0.0);
+        m.record(EnergyEvent::PageWalkMemoryAccess, 4);
+        m.record(EnergyEvent::TlbLookup, 100);
+        assert_eq!(m.count(EnergyEvent::PageWalkMemoryAccess), 4);
+        assert_eq!(m.count(EnergyEvent::TlbLookup), 100);
+        let expected = 4.0 * m.unit_cost_nj(EnergyEvent::PageWalkMemoryAccess)
+            + 100.0 * m.unit_cost_nj(EnergyEvent::TlbLookup);
+        assert!((m.total_nj() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_splits_dram_and_sram() {
+        let mut m = EnergyMeter::default();
+        m.record(EnergyEvent::PageWalkMemoryAccess, 10);
+        m.record(EnergyEvent::PrmbWrite, 10);
+        let b = m.breakdown();
+        assert!(b.dram_nj > b.sram_nj);
+        assert!((b.total_nj() - m.total_nj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = EnergyMeter::default();
+        let mut b = EnergyMeter::default();
+        a.record(EnergyEvent::TlbLookup, 5);
+        b.record(EnergyEvent::TlbLookup, 7);
+        b.record(EnergyEvent::TpregAccess, 2);
+        a.merge(&b);
+        assert_eq!(a.count(EnergyEvent::TlbLookup), 12);
+        assert_eq!(a.count(EnergyEvent::TpregAccess), 2);
+    }
+
+    #[test]
+    fn relative_to_baseline() {
+        let mut neummu = EnergyMeter::default();
+        let mut iommu = EnergyMeter::default();
+        neummu.record(EnergyEvent::PageWalkMemoryAccess, 10);
+        iommu.record(EnergyEvent::PageWalkMemoryAccess, 163);
+        let ratio = iommu.relative_to(&neummu).unwrap();
+        assert!((ratio - 16.3).abs() < 0.01);
+        let empty = EnergyMeter::default();
+        assert!(neummu.relative_to(&empty).is_none());
+    }
+
+    #[test]
+    fn reset_clears_counts() {
+        let mut m = EnergyMeter::default();
+        m.record(EnergyEvent::PrmbRead, 3);
+        m.reset();
+        assert_eq!(m.total_nj(), 0.0);
+        assert_eq!(m.count(EnergyEvent::PrmbRead), 0);
+    }
+
+    #[test]
+    fn event_display_names_are_nonempty() {
+        for e in EnergyEvent::ALL {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! DMA transaction generation: the source of translation bursts.
+//!
+//! A tile fetch is a multi-MB byte window of an operand segment. Because the
+//! operands are multi-dimensional tensors mapped onto a linear address space,
+//! the DMA decomposes each tile into many smaller linearized memory
+//! transactions, every one of which needs a virtual-to-physical translation
+//! before the data can be read (Section III-C). The DMA issues these
+//! translation requests back to back — up to one per cycle — which is what
+//! produces the translation bursts of Figure 7 and the per-tile page
+//! divergence of Figure 6.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::DmaConfig;
+use crate::tensor::TensorKind;
+use crate::tiling::TileFetch;
+
+/// One linearized memory transaction issued by the DMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemTransaction {
+    /// Operand tensor the transaction reads.
+    pub kind: TensorKind,
+    /// Byte offset within the operand's segment.
+    pub offset: u64,
+    /// Transaction length in bytes.
+    pub bytes: u64,
+}
+
+impl MemTransaction {
+    /// One-past-the-end offset.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.offset + self.bytes
+    }
+}
+
+/// Summary of the translation demand created by one tile fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileTranslationDemand {
+    /// Number of memory transactions (== translation requests).
+    pub transactions: u64,
+    /// Number of distinct 4 KB pages touched.
+    pub distinct_pages_4k: u64,
+    /// Number of distinct 2 MB pages touched.
+    pub distinct_pages_2m: u64,
+}
+
+/// The DMA engine: decomposes tile fetches into memory transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmaEngine {
+    config: DmaConfig,
+}
+
+impl DmaEngine {
+    /// Creates a DMA engine with the given configuration.
+    #[must_use]
+    pub fn new(config: DmaConfig) -> Self {
+        DmaEngine { config }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> DmaConfig {
+        self.config
+    }
+
+    /// Decomposes a tile fetch into linearized memory transactions.
+    ///
+    /// Transactions are aligned to the transaction size within the segment so
+    /// that a transaction never straddles more pages than necessary; the first
+    /// and last transactions may be short.
+    #[must_use]
+    pub fn transactions(&self, fetch: &TileFetch) -> Vec<MemTransaction> {
+        let mut out = Vec::new();
+        let txn = self.config.max_transaction_bytes;
+        let mut cursor = fetch.offset;
+        let end = fetch.end();
+        while cursor < end {
+            let next_boundary = (cursor / txn + 1) * txn;
+            let chunk_end = next_boundary.min(end);
+            out.push(MemTransaction {
+                kind: fetch.kind,
+                offset: cursor,
+                bytes: chunk_end - cursor,
+            });
+            cursor = chunk_end;
+        }
+        out
+    }
+
+    /// Number of transactions a fetch decomposes into, without materializing
+    /// them.
+    #[must_use]
+    pub fn transaction_count(&self, fetch: &TileFetch) -> u64 {
+        if fetch.bytes == 0 {
+            return 0;
+        }
+        let txn = self.config.max_transaction_bytes;
+        let first = fetch.offset / txn;
+        let last = (fetch.end() - 1) / txn;
+        last - first + 1
+    }
+
+    /// Translation demand (transactions and distinct pages) of a tile fetch.
+    #[must_use]
+    pub fn translation_demand(&self, fetch: &TileFetch) -> TileTranslationDemand {
+        let pages_4k = Self::distinct_pages(fetch, 12);
+        let pages_2m = Self::distinct_pages(fetch, 21);
+        TileTranslationDemand {
+            transactions: self.transaction_count(fetch),
+            distinct_pages_4k: pages_4k,
+            distinct_pages_2m: pages_2m,
+        }
+    }
+
+    fn distinct_pages(fetch: &TileFetch, shift: u32) -> u64 {
+        if fetch.bytes == 0 {
+            return 0;
+        }
+        let first = fetch.offset >> shift;
+        let last = (fetch.end() - 1) >> shift;
+        last - first + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> DmaEngine {
+        DmaEngine::new(DmaConfig { max_transaction_bytes: 512, translations_per_cycle: 1 })
+    }
+
+    fn fetch(offset: u64, bytes: u64) -> TileFetch {
+        TileFetch { kind: TensorKind::Weight, offset, bytes }
+    }
+
+    #[test]
+    fn aligned_fetch_decomposes_into_equal_transactions() {
+        let txns = engine().transactions(&fetch(0, 4096));
+        assert_eq!(txns.len(), 8);
+        assert!(txns.iter().all(|t| t.bytes == 512));
+        assert_eq!(txns[0].offset, 0);
+        assert_eq!(txns[7].end(), 4096);
+    }
+
+    #[test]
+    fn unaligned_fetch_has_short_head_and_tail() {
+        let txns = engine().transactions(&fetch(100, 1024));
+        let total: u64 = txns.iter().map(|t| t.bytes).sum();
+        assert_eq!(total, 1024);
+        assert_eq!(txns.first().unwrap().offset, 100);
+        assert_eq!(txns.first().unwrap().bytes, 412);
+        assert_eq!(txns.last().unwrap().end(), 1124);
+        // Interior transactions are aligned to the transaction size.
+        for t in &txns[1..] {
+            assert_eq!(t.offset % 512, 0);
+        }
+    }
+
+    #[test]
+    fn transaction_count_matches_materialized_list() {
+        for (off, len) in [(0u64, 512u64), (1, 1), (511, 2), (1000, 100_000), (4096, 5 << 20)] {
+            let f = fetch(off, len);
+            assert_eq!(
+                engine().transaction_count(&f),
+                engine().transactions(&f).len() as u64,
+                "mismatch for offset {off} len {len}"
+            );
+        }
+        assert_eq!(engine().transaction_count(&fetch(0, 0)), 0);
+    }
+
+    #[test]
+    fn a_5mb_tile_produces_kilo_scale_translation_bursts() {
+        // The headline numbers from Section III-C: a 5 MB tile covers ~1.2K
+        // distinct 4 KB pages and decomposes into several thousand
+        // transactions, each needing a translation.
+        let demand = engine().translation_demand(&fetch(0, 5 << 20));
+        assert_eq!(demand.distinct_pages_4k, 1280);
+        assert_eq!(demand.transactions, 10240);
+        assert!(demand.transactions > demand.distinct_pages_4k);
+        assert_eq!(demand.distinct_pages_2m, 3);
+    }
+
+    #[test]
+    fn page_counts_account_for_straddling() {
+        let demand = engine().translation_demand(&fetch(4000, 200));
+        assert_eq!(demand.distinct_pages_4k, 2);
+        let demand = engine().translation_demand(&fetch(4000, 50));
+        assert_eq!(demand.distinct_pages_4k, 1);
+    }
+
+    #[test]
+    fn transactions_preserve_tensor_kind() {
+        let f = TileFetch { kind: TensorKind::InputActivation, offset: 0, bytes: 2048 };
+        assert!(engine().transactions(&f).iter().all(|t| t.kind == TensorKind::InputActivation));
+    }
+}

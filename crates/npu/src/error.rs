@@ -1,0 +1,78 @@
+//! Error types for the NPU architecture model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building NPU execution plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NpuError {
+    /// A layer has an invalid (zero) dimension.
+    InvalidLayer {
+        /// Name of the offending layer.
+        layer: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A tile does not fit in the scratchpad even at minimum tile dimensions.
+    TileTooLarge {
+        /// Name of the offending layer.
+        layer: String,
+        /// Bytes required by the minimum tile.
+        required_bytes: u64,
+        /// Bytes available in the scratchpad partition.
+        available_bytes: u64,
+    },
+    /// The NPU configuration is inconsistent (for example a zero-sized
+    /// scratchpad or a zero-dimension systolic array).
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NpuError::InvalidLayer { layer, reason } => {
+                write!(f, "layer `{layer}` is invalid: {reason}")
+            }
+            NpuError::TileTooLarge { layer, required_bytes, available_bytes } => write!(
+                f,
+                "layer `{layer}` needs a {required_bytes}-byte tile but only {available_bytes} bytes of scratchpad are available"
+            ),
+            NpuError::InvalidConfig { reason } => {
+                write!(f, "invalid NPU configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let errs = [
+            NpuError::InvalidLayer { layer: "conv1".into(), reason: "zero channels".into() },
+            NpuError::TileTooLarge {
+                layer: "fc6".into(),
+                required_bytes: 1 << 30,
+                available_bytes: 1 << 20,
+            },
+            NpuError::InvalidConfig { reason: "zero scratchpad".into() },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<NpuError>();
+    }
+}

@@ -1,0 +1,189 @@
+//! Double-buffered scratchpad occupancy model.
+//!
+//! The NPU keeps activations and weights in software-managed scratchpads
+//! (SPMs) rather than caches (Section II-A). Accesses from the processing
+//! elements to the SPM never need address translation; only the DMA transfers
+//! between main memory and the SPM do. This module models SPM occupancy so
+//! that tiling decisions can be checked against the double-buffering
+//! invariant: while tile *n* is being computed from one buffer half, tile
+//! *n+1* is being fetched into the other half.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::NpuConfig;
+use crate::tensor::TensorKind;
+use crate::tiling::TileWork;
+
+/// Occupancy state of one double-buffered scratchpad partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct Partition {
+    capacity: u64,
+    active_bytes: u64,
+    staging_bytes: u64,
+    peak_bytes: u64,
+}
+
+impl Partition {
+    fn new(capacity: u64) -> Self {
+        Partition { capacity, ..Partition::default() }
+    }
+
+    fn stage(&mut self, bytes: u64) -> bool {
+        if self.staging_bytes + bytes > self.half() {
+            return false;
+        }
+        self.staging_bytes += bytes;
+        self.peak_bytes = self.peak_bytes.max(self.active_bytes + self.staging_bytes);
+        true
+    }
+
+    fn swap(&mut self) {
+        self.active_bytes = self.staging_bytes;
+        self.staging_bytes = 0;
+    }
+
+    fn half(&self) -> u64 {
+        self.capacity / 2
+    }
+}
+
+/// The NPU's on-chip scratchpad memory (activation and weight partitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scratchpad {
+    act: Partition,
+    weight: Partition,
+    double_buffered: bool,
+}
+
+impl Scratchpad {
+    /// Creates a scratchpad from the NPU configuration.
+    #[must_use]
+    pub fn new(npu: &NpuConfig) -> Self {
+        Scratchpad {
+            act: Partition::new(npu.act_spm_bytes),
+            weight: Partition::new(npu.weight_spm_bytes),
+            double_buffered: npu.double_buffered,
+        }
+    }
+
+    /// Stages the fetches of a tile into the inactive buffer halves.
+    ///
+    /// Returns `false` (without changing state) if the tile does not fit,
+    /// which indicates a tiling bug.
+    pub fn stage_tile(&mut self, tile: &TileWork) -> bool {
+        let ia_bytes = tile.ia_fetch.map_or(0, |f| f.bytes);
+        let w_bytes = tile.w_fetch.map_or(0, |f| f.bytes);
+        let snapshot = *self;
+        if ia_bytes > 0 && !self.act.stage(ia_bytes) {
+            *self = snapshot;
+            return false;
+        }
+        if w_bytes > 0 && !self.weight.stage(w_bytes) {
+            *self = snapshot;
+            return false;
+        }
+        true
+    }
+
+    /// Completes the double-buffer swap at a tile boundary: the staged data
+    /// becomes the active working set and the staging halves are emptied.
+    pub fn swap_buffers(&mut self) {
+        self.act.swap();
+        self.weight.swap();
+    }
+
+    /// Bytes currently active (being computed on) in the given partition.
+    #[must_use]
+    pub fn active_bytes(&self, kind: TensorKind) -> u64 {
+        match kind {
+            TensorKind::InputActivation | TensorKind::OutputActivation => self.act.active_bytes,
+            TensorKind::Weight => self.weight.active_bytes,
+        }
+    }
+
+    /// Peak combined occupancy observed in the given partition.
+    #[must_use]
+    pub fn peak_bytes(&self, kind: TensorKind) -> u64 {
+        match kind {
+            TensorKind::InputActivation | TensorKind::OutputActivation => self.act.peak_bytes,
+            TensorKind::Weight => self.weight.peak_bytes,
+        }
+    }
+
+    /// True if the scratchpad is operated in double-buffered mode.
+    #[must_use]
+    pub fn is_double_buffered(&self) -> bool {
+        self.double_buffered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use crate::tiling::TilingPlan;
+
+    #[test]
+    fn every_tile_of_a_plan_fits_the_scratchpad() {
+        let npu = NpuConfig::tpu_like();
+        let layers = [
+            Layer::conv2d("conv1", 8, 3, 224, 224, 64, 7, 7, 2, 3),
+            Layer::fully_connected("fc", 8, 25088, 4096),
+            Layer::lstm_cell("lstm", 8, 2048, 2048, 1),
+        ];
+        for layer in layers {
+            let plan = TilingPlan::for_layer(&layer, &npu).unwrap();
+            let mut spm = Scratchpad::new(&npu);
+            for tile in plan.tiles() {
+                assert!(spm.stage_tile(tile), "tile {} does not fit for {}", tile.index, layer.name());
+                spm.swap_buffers();
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_tile_is_rejected_without_state_change() {
+        let npu = NpuConfig::tpu_like();
+        let mut spm = Scratchpad::new(&npu);
+        let tile = TileWork {
+            index: 0,
+            ia_fetch: Some(crate::tiling::TileFetch {
+                kind: TensorKind::InputActivation,
+                offset: 0,
+                bytes: npu.act_spm_bytes, // double the per-tile budget
+            }),
+            w_fetch: None,
+            oa_writeback_bytes: 0,
+            compute: crate::layer::GemmDims { m: 1, k: 1, n: 1 },
+        };
+        assert!(!spm.stage_tile(&tile));
+        assert_eq!(spm.peak_bytes(TensorKind::InputActivation), 0);
+    }
+
+    #[test]
+    fn swap_moves_staged_to_active() {
+        let npu = NpuConfig::tpu_like();
+        let mut spm = Scratchpad::new(&npu);
+        let tile = TileWork {
+            index: 0,
+            ia_fetch: Some(crate::tiling::TileFetch {
+                kind: TensorKind::InputActivation,
+                offset: 0,
+                bytes: 1024,
+            }),
+            w_fetch: Some(crate::tiling::TileFetch {
+                kind: TensorKind::Weight,
+                offset: 0,
+                bytes: 2048,
+            }),
+            oa_writeback_bytes: 0,
+            compute: crate::layer::GemmDims { m: 1, k: 1, n: 1 },
+        };
+        assert!(spm.stage_tile(&tile));
+        assert_eq!(spm.active_bytes(TensorKind::Weight), 0);
+        spm.swap_buffers();
+        assert_eq!(spm.active_bytes(TensorKind::Weight), 2048);
+        assert_eq!(spm.active_bytes(TensorKind::InputActivation), 1024);
+        assert!(spm.is_double_buffered());
+    }
+}

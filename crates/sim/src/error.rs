@@ -1,0 +1,74 @@
+//! Error type of the integrated simulator.
+
+use std::error::Error;
+use std::fmt;
+
+use neummu_npu::NpuError;
+use neummu_vmem::VmemError;
+
+/// Errors produced while setting up or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The NPU model rejected a layer or configuration.
+    Npu(NpuError),
+    /// The virtual-memory substrate reported an error (out of memory,
+    /// double-mapping, …).
+    Vmem(VmemError),
+    /// A simulation was configured inconsistently.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Npu(e) => write!(f, "npu model error: {e}"),
+            SimError::Vmem(e) => write!(f, "virtual memory error: {e}"),
+            SimError::InvalidConfig { reason } => {
+                write!(f, "invalid simulation configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Npu(e) => Some(e),
+            SimError::Vmem(e) => Some(e),
+            SimError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<NpuError> for SimError {
+    fn from(value: NpuError) -> Self {
+        SimError::Npu(value)
+    }
+}
+
+impl From<VmemError> for SimError {
+    fn from(value: VmemError) -> Self {
+        SimError::Vmem(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_messages() {
+        let npu_err: SimError = NpuError::InvalidConfig { reason: "x".into() }.into();
+        assert!(npu_err.to_string().contains("npu model error"));
+        let vmem_err: SimError =
+            VmemError::SegmentNotFound { name: "weights".into() }.into();
+        assert!(vmem_err.to_string().contains("virtual memory error"));
+        assert!(Error::source(&vmem_err).is_some());
+        let cfg = SimError::InvalidConfig { reason: "zero npus".into() };
+        assert!(Error::source(&cfg).is_none());
+    }
+}

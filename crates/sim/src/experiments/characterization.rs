@@ -1,0 +1,258 @@
+//! Data-driven characterization experiments: Figures 6, 7 and 14.
+
+use serde::{Deserialize, Serialize};
+
+use neummu_mmu::MmuConfig;
+use neummu_workloads::{DenseWorkload, WorkloadId};
+
+use crate::dense::{DenseSimConfig, DenseSimulator};
+use crate::error::SimError;
+use crate::experiments::ExperimentScale;
+use crate::report::ResultTable;
+
+/// One row of Figure 6: per-tile page divergence of a workload/batch point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageDivergenceRow {
+    /// Workload identity.
+    pub workload: WorkloadId,
+    /// Batch size.
+    pub batch: u64,
+    /// Maximum distinct 4 KB pages touched by a single tile fetch.
+    pub max_pages: u64,
+    /// Average distinct 4 KB pages touched per tile fetch.
+    pub avg_pages: f64,
+}
+
+/// Figure 6 result: page divergence per DMA tile across the dense suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig06Result {
+    /// One row per `(workload, batch)` point.
+    pub rows: Vec<PageDivergenceRow>,
+}
+
+impl Fig06Result {
+    /// Renders the result as a table.
+    #[must_use]
+    pub fn to_table(&self) -> ResultTable {
+        let mut table = ResultTable::new(
+            "Figure 6: distinct 4KB pages per DMA tile",
+            &["Workload", "Batch", "Max pages/tile", "Avg pages/tile"],
+        );
+        for row in &self.rows {
+            table.push_row(&[
+                row.workload.label().to_string(),
+                format!("b{:02}", row.batch),
+                row.max_pages.to_string(),
+                format!("{:.0}", row.avg_pages),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs the Figure 6 experiment: page divergence is a property of the tiling
+/// and the DMA, so the oracle MMU is used (the MMU choice cannot change it).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig06_page_divergence(scale: ExperimentScale) -> Result<Fig06Result, SimError> {
+    let sim = DenseSimulator::new(DenseSimConfig::with_mmu(MmuConfig::oracle()));
+    let mut rows = Vec::new();
+    for workload_id in scale.workloads() {
+        let workload = DenseWorkload::new(workload_id);
+        for &batch in &scale.batches() {
+            let result = sim.simulate_workload(&workload.layers(batch))?;
+            rows.push(PageDivergenceRow {
+                workload: workload_id,
+                batch,
+                max_pages: result.max_pages_per_tile(),
+                avg_pages: result.avg_pages_per_tile(),
+            });
+        }
+    }
+    Ok(Fig06Result { rows })
+}
+
+/// Figure 7 result: translations requested per 1 000-cycle window over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig07Result {
+    /// Workload the trace belongs to.
+    pub workload: WorkloadId,
+    /// Batch size.
+    pub batch: u64,
+    /// Window width in cycles.
+    pub window_cycles: u64,
+    /// Translations issued in each window.
+    pub counts: Vec<u64>,
+}
+
+impl Fig07Result {
+    /// Peak translations per window (the burst ceiling; at most the window
+    /// width because the DMA issues one per cycle).
+    #[must_use]
+    pub fn peak(&self) -> u64 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of windows in which the DMA was bursting at more than half of
+    /// its peak issue rate.
+    #[must_use]
+    pub fn bursty_fraction(&self) -> f64 {
+        if self.counts.is_empty() {
+            return 0.0;
+        }
+        let threshold = self.window_cycles / 2;
+        self.counts.iter().filter(|&&c| c > threshold).count() as f64 / self.counts.len() as f64
+    }
+
+    /// Renders (a prefix of) the series as a table.
+    #[must_use]
+    pub fn to_table(&self) -> ResultTable {
+        let mut table = ResultTable::new(
+            format!(
+                "Figure 7: translations per {}-cycle window ({} b{:02})",
+                self.window_cycles,
+                self.workload.label(),
+                self.batch
+            ),
+            &["Window start (cycles)", "Translations"],
+        );
+        for (i, count) in self.counts.iter().enumerate() {
+            table.push_row(&[(i as u64 * self.window_cycles).to_string(), count.to_string()]);
+        }
+        table
+    }
+}
+
+/// Runs the Figure 7 experiment for one workload (the paper shows CNN-1 and
+/// RNN-1 at batch 1) under the baseline 4 KB oracle MMU.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig07_translation_bursts(
+    workload_id: WorkloadId,
+    batch: u64,
+) -> Result<Fig07Result, SimError> {
+    let config = DenseSimConfig::with_mmu(MmuConfig::oracle()).with_traces();
+    let sim = DenseSimulator::new(config);
+    let workload = DenseWorkload::new(workload_id);
+    let result = sim.simulate_workload(&workload.layers(batch))?;
+    let trace = result.trace.expect("traces were requested");
+    Ok(Fig07Result {
+        workload: workload_id,
+        batch,
+        window_cycles: trace.window_cycles,
+        counts: trace.counts,
+    })
+}
+
+/// Figure 14 result: the virtual-address windows touched by consecutive tiles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig14Result {
+    /// Workload the trace belongs to.
+    pub workload: WorkloadId,
+    /// Batch size.
+    pub batch: u64,
+    /// `(tile index, operand, VA window start, VA window end)` per tile fetch.
+    pub windows: Vec<(u64, String, u64, u64)>,
+}
+
+impl Fig14Result {
+    /// Renders the trace as a table.
+    #[must_use]
+    pub fn to_table(&self) -> ResultTable {
+        let mut table = ResultTable::new(
+            format!("Figure 14: virtual addresses of consecutive tiles ({})", self.workload.label()),
+            &["Tile", "Operand", "VA start", "VA end"],
+        );
+        for (tile, kind, start, end) in &self.windows {
+            table.push_row(&[
+                tile.to_string(),
+                kind.clone(),
+                format!("{start:#x}"),
+                format!("{end:#x}"),
+            ]);
+        }
+        table
+    }
+
+    /// True if, per operand, the windows advance monotonically (the streaming
+    /// property the TPreg exploits).
+    #[must_use]
+    pub fn is_streaming(&self) -> bool {
+        for kind in ["IA", "W"] {
+            let mut last = 0u64;
+            let mut last_tile = 0u64;
+            for (tile, k, start, _) in &self.windows {
+                if k != kind {
+                    continue;
+                }
+                // Restart detection: a new layer or a new sweep of the same
+                // operand begins again at a lower address; only require
+                // monotonicity within a consecutive run.
+                if *start < last && *tile == last_tile + 1 {
+                    continue;
+                }
+                if *tile == last_tile + 1 && *start < last {
+                    return false;
+                }
+                last = *start;
+                last_tile = *tile;
+            }
+        }
+        true
+    }
+}
+
+/// Runs the Figure 14 experiment (AlexNet, batch 1 in the paper).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig14_va_trace(workload_id: WorkloadId, batch: u64) -> Result<Fig14Result, SimError> {
+    let config = DenseSimConfig::with_mmu(MmuConfig::oracle()).with_traces();
+    let sim = DenseSimulator::new(config);
+    let workload = DenseWorkload::new(workload_id);
+    let result = sim.simulate_workload(&workload.layers(batch))?;
+    let trace = result.trace.expect("traces were requested");
+    Ok(Fig14Result { workload: workload_id, batch, windows: trace.tile_va_windows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig06_reports_kilo_page_tiles_for_rnns() {
+        let result = fig06_page_divergence(ExperimentScale::Smoke).unwrap();
+        assert_eq!(result.rows.len(), 2);
+        let rnn = result.rows.iter().find(|r| r.workload == WorkloadId::Rnn2).unwrap();
+        // A ~5 MB weight tile covers on the order of 1.2K distinct pages.
+        assert!(rnn.max_pages > 1000, "max pages {}", rnn.max_pages);
+        assert!(rnn.avg_pages > 100.0);
+        let table = result.to_table();
+        assert_eq!(table.rows().len(), 2);
+    }
+
+    #[test]
+    fn fig07_shows_full_rate_bursts() {
+        let result = fig07_translation_bursts(WorkloadId::Cnn1, 1).unwrap();
+        assert!(!result.counts.is_empty());
+        // During a burst the DMA issues every cycle: the peak approaches the
+        // window width.
+        assert!(result.peak() > 900, "peak {}", result.peak());
+        assert!(result.peak() <= result.window_cycles);
+        assert!(result.bursty_fraction() > 0.0);
+    }
+
+    #[test]
+    fn fig14_trace_is_streaming() {
+        let result = fig14_va_trace(WorkloadId::Cnn1, 1).unwrap();
+        assert!(!result.windows.is_empty());
+        assert!(result.is_streaming());
+        let table = result.to_table();
+        assert!(table.rows().len() >= result.windows.len().min(10));
+    }
+}

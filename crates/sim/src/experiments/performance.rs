@@ -1,0 +1,656 @@
+//! Performance and energy experiments: Figures 8, 10, 11, 12, 13, the
+//! Section IV-D summary, and the Section VI studies.
+
+use serde::{Deserialize, Serialize};
+
+use neummu_mmu::MmuConfig;
+use neummu_npu::NpuConfig;
+use neummu_vmem::PageSize;
+use neummu_workloads::{DenseWorkload, WorkloadId};
+
+use crate::dense::{DenseSimConfig, DenseSimulator, WorkloadResult};
+use crate::error::SimError;
+use crate::experiments::{DensePoint, ExperimentScale};
+use crate::report::{geomean, mean, norm, pct, ResultTable};
+
+/// Runs one `(workload, batch)` point under a given MMU configuration.
+fn run_point(
+    workload_id: WorkloadId,
+    batch: u64,
+    mmu: MmuConfig,
+    npu: NpuConfig,
+) -> Result<WorkloadResult, SimError> {
+    let mut config = DenseSimConfig::with_mmu(mmu);
+    config.npu = npu;
+    let sim = DenseSimulator::new(config);
+    let workload = DenseWorkload::new(workload_id);
+    sim.simulate_workload(&workload.layers(batch))
+}
+
+/// Performance of `mmu` normalized to the oracle on the same point.
+fn normalized_point(
+    workload_id: WorkloadId,
+    batch: u64,
+    mmu: MmuConfig,
+    npu: NpuConfig,
+) -> Result<f64, SimError> {
+    let oracle = run_point(workload_id, batch, MmuConfig::oracle().with_page_size(mmu.page_size), npu)?;
+    let candidate = run_point(workload_id, batch, mmu, npu)?;
+    Ok(candidate.normalized_to(&oracle))
+}
+
+/// A normalized-performance sweep over the dense suite for several MMU
+/// configurations (the common shape of Figures 8, 10, 11 and 12a).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NormalizedSweep {
+    /// Human-readable name of the swept parameter (e.g. `PTW`).
+    pub parameter: String,
+    /// The label of each configuration (e.g. `PTW(8)`).
+    pub config_labels: Vec<String>,
+    /// For each configuration, one point per `(workload, batch)`.
+    pub points: Vec<Vec<DensePoint>>,
+}
+
+impl NormalizedSweep {
+    /// Average normalized performance of each configuration.
+    #[must_use]
+    pub fn averages(&self) -> Vec<f64> {
+        self.points
+            .iter()
+            .map(|pts| mean(&pts.iter().map(|p| p.normalized_perf).collect::<Vec<_>>()))
+            .collect()
+    }
+
+    /// Renders the sweep as a table (rows: workload/batch, columns: configs).
+    #[must_use]
+    pub fn to_table(&self, title: &str) -> ResultTable {
+        let mut headers: Vec<&str> = vec!["Workload", "Batch"];
+        let labels: Vec<String> = self.config_labels.clone();
+        for label in &labels {
+            headers.push(label.as_str());
+        }
+        let mut table = ResultTable::new(title, &headers);
+        if let Some(first) = self.points.first() {
+            for (i, point) in first.iter().enumerate() {
+                let mut row = vec![
+                    point.workload.label().to_string(),
+                    format!("b{:02}", point.batch),
+                ];
+                for config_points in &self.points {
+                    row.push(norm(config_points[i].normalized_perf));
+                }
+                table.push_row(&row);
+            }
+        }
+        let mut avg_row = vec!["Average".to_string(), "-".to_string()];
+        for avg in self.averages() {
+            avg_row.push(norm(avg));
+        }
+        table.push_row(&avg_row);
+        table
+    }
+}
+
+/// Runs a sweep of MMU configurations over the dense suite.
+fn sweep(
+    parameter: &str,
+    configs: &[(String, MmuConfig)],
+    scale: ExperimentScale,
+    npu: NpuConfig,
+) -> Result<NormalizedSweep, SimError> {
+    let mut points = Vec::with_capacity(configs.len());
+    for (_, mmu) in configs {
+        let mut config_points = Vec::new();
+        for workload_id in scale.workloads() {
+            for &batch in &scale.batches() {
+                let normalized = normalized_point(workload_id, batch, *mmu, npu)?;
+                config_points.push(DensePoint { workload: workload_id, batch, normalized_perf: normalized });
+            }
+        }
+        points.push(config_points);
+    }
+    Ok(NormalizedSweep {
+        parameter: parameter.to_string(),
+        config_labels: configs.iter().map(|(l, _)| l.clone()).collect(),
+        points,
+    })
+}
+
+/// Figure 8: normalized performance of the baseline IOMMU (2048-entry TLB,
+/// 8 PTWs) with 4 KB pages, relative to the oracular MMU.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig08_baseline_iommu(scale: ExperimentScale) -> Result<NormalizedSweep, SimError> {
+    sweep(
+        "Baseline IOMMU",
+        &[("IOMMU".to_string(), MmuConfig::baseline_iommu())],
+        scale,
+        NpuConfig::tpu_like(),
+    )
+}
+
+/// Figure 10: sensitivity to the number of PRMB mergeable slots (8 PTWs).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig10_prmb_sweep(scale: ExperimentScale) -> Result<NormalizedSweep, SimError> {
+    let configs: Vec<(String, MmuConfig)> = [1usize, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&slots| {
+            (format!("PRMB({slots})"), MmuConfig::baseline_iommu().with_prmb_slots(slots))
+        })
+        .collect();
+    sweep("PRMB slots", &configs, scale, NpuConfig::tpu_like())
+}
+
+/// Figure 11: sensitivity to the number of PTWs with PRMB(32).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig11_ptw_sweep(scale: ExperimentScale) -> Result<NormalizedSweep, SimError> {
+    let counts: &[usize] = match scale {
+        ExperimentScale::Full => &[8, 16, 32, 64, 128, 256, 512, 1024],
+        ExperimentScale::Smoke => &[8, 128],
+    };
+    let configs: Vec<(String, MmuConfig)> = counts
+        .iter()
+        .map(|&ptws| {
+            (
+                format!("PTW({ptws})"),
+                MmuConfig::baseline_iommu().with_prmb_slots(32).with_ptws(ptws),
+            )
+        })
+        .collect();
+    sweep("PTWs with PRMB(32)", &configs, scale, NpuConfig::tpu_like())
+}
+
+/// Figure 12a: sensitivity to the number of PTWs *without* the PRMB.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig12a_ptw_no_prmb(scale: ExperimentScale) -> Result<NormalizedSweep, SimError> {
+    let counts: &[usize] = match scale {
+        ExperimentScale::Full => &[8, 16, 32, 64, 128, 256, 512, 1024],
+        ExperimentScale::Smoke => &[8, 1024],
+    };
+    let configs: Vec<(String, MmuConfig)> = counts
+        .iter()
+        .map(|&ptws| (format!("PTW({ptws})"), MmuConfig::baseline_iommu().with_ptws(ptws)))
+        .collect();
+    sweep("PTWs without PRMB", &configs, scale, NpuConfig::tpu_like())
+}
+
+/// One `[PRMB, PTW]` design point of Figure 12b.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyPerfPoint {
+    /// PRMB mergeable slots per walker.
+    pub prmb_slots: usize,
+    /// Number of page-table walkers.
+    pub num_ptws: usize,
+    /// Average normalized performance over the suite.
+    pub normalized_perf: f64,
+    /// Translation energy normalized to the `[32, 128]` NeuMMU design point.
+    pub normalized_energy: f64,
+}
+
+/// Figure 12b: energy and performance of `[PRMB, PTW]` design points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig12bResult {
+    /// The swept design points.
+    pub points: Vec<EnergyPerfPoint>,
+}
+
+impl Fig12bResult {
+    /// Renders the result as a table.
+    #[must_use]
+    pub fn to_table(&self) -> ResultTable {
+        let mut table = ResultTable::new(
+            "Figure 12b: energy vs performance of [PRMB, PTW] design points",
+            &["[PRMB, PTW]", "Normalized performance", "Normalized energy"],
+        );
+        for p in &self.points {
+            table.push_row(&[
+                format!("[{},{}]", p.prmb_slots, p.num_ptws),
+                norm(p.normalized_perf),
+                norm(p.normalized_energy),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs the Figure 12b experiment.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig12b_energy_perf(scale: ExperimentScale) -> Result<Fig12bResult, SimError> {
+    let design_points: &[(usize, usize)] = match scale {
+        ExperimentScale::Full => &[
+            (512, 8),
+            (256, 16),
+            (128, 32),
+            (64, 64),
+            (32, 128),
+            (16, 256),
+            (8, 512),
+            (4, 1024),
+            (2, 2048),
+            (1, 4096),
+        ],
+        ExperimentScale::Smoke => &[(32, 128), (1, 4096)],
+    };
+    let npu = NpuConfig::tpu_like();
+    let mut measured = Vec::new();
+    for &(prmb, ptws) in design_points {
+        let mmu = MmuConfig::neummu().with_prmb_slots(prmb).with_ptws(ptws);
+        let mut perfs = Vec::new();
+        let mut energy = 0.0f64;
+        for workload_id in scale.workloads() {
+            for &batch in &scale.batches() {
+                let oracle = run_point(workload_id, batch, MmuConfig::oracle(), npu)?;
+                let run = run_point(workload_id, batch, mmu, npu)?;
+                perfs.push(run.normalized_to(&oracle));
+                energy += run.translation_energy_nj;
+            }
+        }
+        measured.push((prmb, ptws, mean(&perfs), energy));
+    }
+    let reference_energy = measured
+        .iter()
+        .find(|(prmb, ptws, _, _)| *prmb == 32 && *ptws == 128)
+        .map_or_else(|| measured[0].3, |m| m.3)
+        .max(1e-9);
+    let points = measured
+        .into_iter()
+        .map(|(prmb_slots, num_ptws, normalized_perf, energy)| EnergyPerfPoint {
+            prmb_slots,
+            num_ptws,
+            normalized_perf,
+            normalized_energy: energy / reference_energy,
+        })
+        .collect();
+    Ok(Fig12bResult { points })
+}
+
+/// One row of Figure 13: TPreg tag-match rates of a workload/batch point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TpregHitRow {
+    /// Workload identity.
+    pub workload: WorkloadId,
+    /// Batch size.
+    pub batch: u64,
+    /// L4-index match rate.
+    pub l4_rate: f64,
+    /// L3-index match rate.
+    pub l3_rate: f64,
+    /// L2-index match rate.
+    pub l2_rate: f64,
+}
+
+/// Figure 13 result: TPreg hit rates across the dense suite.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig13Result {
+    /// One row per `(workload, batch)` point.
+    pub rows: Vec<TpregHitRow>,
+}
+
+impl Fig13Result {
+    /// Renders the result as a table.
+    #[must_use]
+    pub fn to_table(&self) -> ResultTable {
+        let mut table = ResultTable::new(
+            "Figure 13: TPreg tag-match rate at the L4/L3/L2 indices",
+            &["Workload", "Batch", "L4 idx", "L3 idx", "L2 idx"],
+        );
+        for row in &self.rows {
+            table.push_row(&[
+                row.workload.label().to_string(),
+                format!("b{:02}", row.batch),
+                pct(row.l4_rate),
+                pct(row.l3_rate),
+                pct(row.l2_rate),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs the Figure 13 experiment under the NeuMMU design point.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig13_tpreg_hit_rate(scale: ExperimentScale) -> Result<Fig13Result, SimError> {
+    let npu = NpuConfig::tpu_like();
+    let mut rows = Vec::new();
+    for workload_id in scale.workloads() {
+        for &batch in &scale.batches() {
+            let run = run_point(workload_id, batch, MmuConfig::neummu(), npu)?;
+            rows.push(TpregHitRow {
+                workload: workload_id,
+                batch,
+                l4_rate: run.translation.tpreg_l4_rate(),
+                l3_rate: run.translation.tpreg_l3_rate(),
+                l2_rate: run.translation.tpreg_l2_rate(),
+            });
+        }
+    }
+    Ok(Fig13Result { rows })
+}
+
+/// The headline Section IV-D summary: baseline IOMMU vs NeuMMU overheads,
+/// energy ratio, and walk-access reduction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryResult {
+    /// Average performance overhead of the baseline IOMMU (1 − normalized).
+    pub iommu_avg_overhead: f64,
+    /// Average performance overhead of NeuMMU.
+    pub neummu_avg_overhead: f64,
+    /// Baseline-IOMMU translation energy divided by NeuMMU translation energy.
+    pub energy_reduction: f64,
+    /// Baseline-IOMMU page-walk DRAM accesses divided by NeuMMU's.
+    pub walk_access_reduction: f64,
+}
+
+impl SummaryResult {
+    /// Renders the result as a table.
+    #[must_use]
+    pub fn to_table(&self) -> ResultTable {
+        let mut table = ResultTable::new(
+            "Section IV-D summary: NeuMMU vs baseline IOMMU",
+            &["Metric", "Value"],
+        );
+        table.push_row(&["Baseline IOMMU avg performance overhead", &pct(self.iommu_avg_overhead)]);
+        table.push_row(&["NeuMMU avg performance overhead", &pct(self.neummu_avg_overhead)]);
+        table.push_row(&["Translation energy reduction (IOMMU / NeuMMU)", &format!("{:.1}x", self.energy_reduction)]);
+        table.push_row(&[
+            "Page-walk memory-access reduction (IOMMU / NeuMMU)",
+            &format!("{:.1}x", self.walk_access_reduction),
+        ]);
+        table
+    }
+}
+
+/// Runs the Section IV-D summary experiment.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn summary_neummu(scale: ExperimentScale) -> Result<SummaryResult, SimError> {
+    let npu = NpuConfig::tpu_like();
+    let mut iommu_perfs = Vec::new();
+    let mut neummu_perfs = Vec::new();
+    let mut iommu_energy = 0.0;
+    let mut neummu_energy = 0.0;
+    let mut iommu_walk_accesses = 0u64;
+    let mut neummu_walk_accesses = 0u64;
+    for workload_id in scale.workloads() {
+        for &batch in &scale.batches() {
+            let oracle = run_point(workload_id, batch, MmuConfig::oracle(), npu)?;
+            let iommu = run_point(workload_id, batch, MmuConfig::baseline_iommu(), npu)?;
+            let neummu = run_point(workload_id, batch, MmuConfig::neummu(), npu)?;
+            iommu_perfs.push(iommu.normalized_to(&oracle));
+            neummu_perfs.push(neummu.normalized_to(&oracle));
+            iommu_energy += iommu.translation_energy_nj;
+            neummu_energy += neummu.translation_energy_nj;
+            iommu_walk_accesses += iommu.walk_memory_accesses;
+            neummu_walk_accesses += neummu.walk_memory_accesses;
+        }
+    }
+    Ok(SummaryResult {
+        iommu_avg_overhead: 1.0 - mean(&iommu_perfs),
+        neummu_avg_overhead: 1.0 - mean(&neummu_perfs),
+        energy_reduction: iommu_energy / neummu_energy.max(1e-9),
+        walk_access_reduction: iommu_walk_accesses as f64 / neummu_walk_accesses.max(1) as f64,
+    })
+}
+
+/// Section VI-A: the dense suite with 2 MB large pages, baseline IOMMU and
+/// NeuMMU, both normalized to a large-page oracle.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn largepage_dense(scale: ExperimentScale) -> Result<NormalizedSweep, SimError> {
+    let configs = vec![
+        ("IOMMU-2MB".to_string(), MmuConfig::baseline_iommu().with_page_size(PageSize::Size2M)),
+        ("NeuMMU-2MB".to_string(), MmuConfig::neummu().with_page_size(PageSize::Size2M)),
+    ];
+    sweep("Large pages", &configs, scale, NpuConfig::tpu_like())
+}
+
+/// Section VI-B: the spatial-array NPU with the baseline IOMMU and NeuMMU.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn spatial_npu(scale: ExperimentScale) -> Result<NormalizedSweep, SimError> {
+    let configs = vec![
+        ("IOMMU".to_string(), MmuConfig::baseline_iommu()),
+        ("NeuMMU".to_string(), MmuConfig::neummu()),
+    ];
+    sweep("Spatial-array NPU", &configs, scale, NpuConfig::spatial_array())
+}
+
+/// One sensitivity point of Section VI-C.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityPoint {
+    /// Description of the configuration.
+    pub label: String,
+    /// Average normalized performance across the covered suite.
+    pub avg_normalized_perf: f64,
+    /// Worst-case normalized performance.
+    pub min_normalized_perf: f64,
+}
+
+/// Section VI-C sensitivity result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityResult {
+    /// Architecture-parameter sensitivity points (PRMB / PTW / TLB sweeps).
+    pub architecture_points: Vec<SensitivityPoint>,
+    /// Large-batch (common-layer) points: `(workload, batch, IOMMU, NeuMMU)`.
+    pub large_batch_points: Vec<(WorkloadId, u64, f64, f64)>,
+}
+
+impl SensitivityResult {
+    /// Average normalized performance over every architecture point.
+    #[must_use]
+    pub fn overall_average(&self) -> f64 {
+        mean(&self.architecture_points.iter().map(|p| p.avg_normalized_perf).collect::<Vec<_>>())
+    }
+
+    /// Worst normalized performance over every architecture point.
+    #[must_use]
+    pub fn overall_minimum(&self) -> f64 {
+        self.architecture_points
+            .iter()
+            .map(|p| p.min_normalized_perf)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Renders the result as a table.
+    #[must_use]
+    pub fn to_table(&self) -> ResultTable {
+        let mut table = ResultTable::new(
+            "Section VI-C: NeuMMU sensitivity",
+            &["Configuration", "Avg normalized perf", "Min normalized perf"],
+        );
+        for p in &self.architecture_points {
+            table.push_row(&[p.label.clone(), norm(p.avg_normalized_perf), norm(p.min_normalized_perf)]);
+        }
+        for (workload, batch, iommu, neummu) in &self.large_batch_points {
+            table.push_row(&[
+                format!("{} common layer b{batch} (IOMMU vs NeuMMU)", workload.label()),
+                norm(*iommu),
+                norm(*neummu),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs the Section VI-C sensitivity study: architecture sweeps over the
+/// dense suite plus large-batch common-layer runs.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn sensitivity(scale: ExperimentScale) -> Result<SensitivityResult, SimError> {
+    let npu = NpuConfig::tpu_like();
+    let arch_configs: Vec<(String, MmuConfig)> = match scale {
+        ExperimentScale::Full => vec![
+            ("PRMB(1) PTW(128)".into(), MmuConfig::neummu().with_prmb_slots(1)),
+            ("PRMB(8) PTW(128)".into(), MmuConfig::neummu().with_prmb_slots(8)),
+            ("PRMB(32) PTW(64)".into(), MmuConfig::neummu().with_ptws(64)),
+            ("PRMB(32) PTW(256)".into(), MmuConfig::neummu().with_ptws(256)),
+            ("TLB(128)".into(), MmuConfig::neummu().with_tlb_entries(128)),
+            ("TLB(512)".into(), MmuConfig::neummu().with_tlb_entries(512)),
+            ("No TPreg".into(), MmuConfig::neummu().with_tpreg(false)),
+        ],
+        ExperimentScale::Smoke => vec![
+            ("PRMB(32) PTW(64)".into(), MmuConfig::neummu().with_ptws(64)),
+            ("TLB(128)".into(), MmuConfig::neummu().with_tlb_entries(128)),
+        ],
+    };
+
+    let mut architecture_points = Vec::new();
+    for (label, mmu) in arch_configs {
+        let mut perfs = Vec::new();
+        for workload_id in scale.workloads() {
+            for &batch in &scale.batches() {
+                perfs.push(normalized_point(workload_id, batch, mmu, npu)?);
+            }
+        }
+        architecture_points.push(SensitivityPoint {
+            label,
+            avg_normalized_perf: mean(&perfs),
+            min_normalized_perf: perfs.iter().copied().fold(f64::INFINITY, f64::min),
+        });
+    }
+
+    // Large-batch study over the per-network common layer.
+    let large_batches: &[u64] = match scale {
+        ExperimentScale::Full => &[32, 64, 128],
+        ExperimentScale::Smoke => &[32],
+    };
+    let mut large_batch_points = Vec::new();
+    for workload_id in scale.workloads() {
+        let workload = DenseWorkload::new(workload_id);
+        for &batch in large_batches {
+            let layer = workload.common_layer(batch);
+            let sim_for = |mmu: MmuConfig| -> Result<WorkloadResult, SimError> {
+                let mut config = DenseSimConfig::with_mmu(mmu);
+                config.npu = npu;
+                DenseSimulator::new(config).simulate_layer(&layer)
+            };
+            let oracle = sim_for(MmuConfig::oracle())?;
+            let iommu = sim_for(MmuConfig::baseline_iommu())?.normalized_to(&oracle);
+            let neummu = sim_for(MmuConfig::neummu())?.normalized_to(&oracle);
+            large_batch_points.push((workload_id, batch, iommu, neummu));
+        }
+    }
+
+    Ok(SensitivityResult { architecture_points, large_batch_points })
+}
+
+/// Geometric-mean helper re-exported for the experiments binary.
+#[must_use]
+pub fn geomean_of(points: &[DensePoint]) -> f64 {
+    geomean(&points.iter().map(|p| p.normalized_perf).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SMOKE: ExperimentScale = ExperimentScale::Smoke;
+
+    #[test]
+    fn fig08_baseline_iommu_loses_most_of_its_performance() {
+        let sweep = fig08_baseline_iommu(SMOKE).unwrap();
+        let avg = sweep.averages()[0];
+        assert!(avg < 0.6, "baseline IOMMU normalized perf {avg}");
+        let table = sweep.to_table("Figure 8");
+        assert!(table.to_markdown().contains("Average"));
+    }
+
+    #[test]
+    fn fig10_more_prmb_slots_help() {
+        // Smoke-scale variant with two slot counts to bound runtime.
+        let configs = vec![
+            ("PRMB(1)".to_string(), MmuConfig::baseline_iommu().with_prmb_slots(1)),
+            ("PRMB(32)".to_string(), MmuConfig::baseline_iommu().with_prmb_slots(32)),
+        ];
+        let sweep = super::sweep("PRMB slots", &configs, SMOKE, NpuConfig::tpu_like()).unwrap();
+        let avgs = sweep.averages();
+        assert!(avgs[1] >= avgs[0], "PRMB(32) {} should beat PRMB(1) {}", avgs[1], avgs[0]);
+    }
+
+    #[test]
+    fn fig11_more_ptws_close_the_gap() {
+        let sweep = fig11_ptw_sweep(SMOKE).unwrap();
+        let avgs = sweep.averages();
+        // 8 vs 128 walkers with PRMB(32).
+        assert!(avgs[1] > avgs[0]);
+        assert!(avgs[1] > 0.9, "128 PTWs with PRMB should be near oracle, got {}", avgs[1]);
+    }
+
+    #[test]
+    fn fig12_many_ptws_without_prmb_match_perf_but_waste_energy() {
+        let with_prmb = fig12b_energy_perf(SMOKE).unwrap();
+        let nominal = &with_prmb.points[0];
+        let no_prmb_like = &with_prmb.points[1]; // [1, 4096]
+        assert!(no_prmb_like.normalized_perf > 0.9);
+        assert!(nominal.normalized_perf > 0.9);
+        assert!(
+            no_prmb_like.normalized_energy > 2.0 * nominal.normalized_energy,
+            "expected the merge-less design point to spend much more energy: {} vs {}",
+            no_prmb_like.normalized_energy,
+            nominal.normalized_energy
+        );
+    }
+
+    #[test]
+    fn fig13_tpreg_hit_rates_are_high_at_l4_l3() {
+        let result = fig13_tpreg_hit_rate(SMOKE).unwrap();
+        for row in &result.rows {
+            assert!(row.l4_rate > 0.9, "{:?} l4 {}", row.workload, row.l4_rate);
+            assert!(row.l3_rate > 0.9);
+            assert!(row.l2_rate <= row.l3_rate + 1e-9);
+        }
+    }
+
+    #[test]
+    fn summary_shows_neummu_closing_the_gap() {
+        let summary = summary_neummu(SMOKE).unwrap();
+        assert!(summary.iommu_avg_overhead > 0.4, "iommu overhead {}", summary.iommu_avg_overhead);
+        assert!(summary.neummu_avg_overhead < 0.1, "neummu overhead {}", summary.neummu_avg_overhead);
+        assert!(summary.energy_reduction > 2.0);
+        assert!(summary.walk_access_reduction > 2.0);
+        assert!(summary.to_table().rows().len() == 4);
+    }
+
+    #[test]
+    fn largepages_reduce_dense_overheads() {
+        let large = largepage_dense(SMOKE).unwrap();
+        let small = fig08_baseline_iommu(SMOKE).unwrap();
+        // IOMMU with 2 MB pages performs much better than with 4 KB pages.
+        assert!(large.averages()[0] > small.averages()[0]);
+        // NeuMMU stays near the oracle under large pages too.
+        assert!(large.averages()[1] > 0.9);
+    }
+
+    #[test]
+    fn spatial_array_npu_benefits_similarly() {
+        let result = spatial_npu(SMOKE).unwrap();
+        let avgs = result.averages();
+        assert!(avgs[1] > avgs[0], "NeuMMU should beat IOMMU on the spatial NPU");
+        assert!(avgs[1] > 0.85);
+    }
+}

@@ -1,0 +1,88 @@
+//! Table I: the baseline NPU / IOMMU / interconnect configuration.
+
+use neummu_mem::dram::DramConfig;
+use neummu_mem::interconnect::InterconnectConfig;
+use neummu_mmu::MmuConfig;
+use neummu_npu::NpuConfig;
+
+use crate::report::ResultTable;
+
+/// Produces the Table I configuration dump as a result table.
+#[must_use]
+pub fn run() -> ResultTable {
+    let npu = NpuConfig::tpu_like();
+    let dram = DramConfig::table1();
+    let mmu = MmuConfig::baseline_iommu();
+    let ic = InterconnectConfig::table1();
+
+    let mut table = ResultTable::new("Table I: baseline configuration", &["Group", "Parameter", "Value"]);
+    table.push_row(&["Processor", "Systolic-array dimension", "128 x 128"]);
+    table.push_row(&["Processor", "Operating frequency", &format!("{} GHz", npu.frequency_ghz)]);
+    table.push_row(&[
+        "Processor",
+        "Scratchpad size (activations/weights)",
+        &format!("{}/{} MB", npu.act_spm_bytes >> 20, npu.weight_spm_bytes >> 20),
+    ]);
+    table.push_row(&["Memory", "Number of memory channels", &dram.num_channels.to_string()]);
+    table.push_row(&[
+        "Memory",
+        "Memory bandwidth",
+        &format!("{} GB/sec", dram.bandwidth_bytes_per_cycle as u64),
+    ]);
+    table.push_row(&[
+        "Memory",
+        "Memory access latency",
+        &format!("{} cycles", dram.access_latency_cycles),
+    ]);
+    table.push_row(&["IOMMU", "Number of TLB entries", &mmu.tlb_entries.to_string()]);
+    table.push_row(&["IOMMU", "TLB hit latency", &format!("{} cycles", mmu.tlb_hit_latency)]);
+    table.push_row(&["IOMMU", "Number of page-table walkers", &mmu.num_ptws.to_string()]);
+    table.push_row(&[
+        "IOMMU",
+        "Latency to walk page-tables",
+        &format!("{} cycles per level", mmu.walk_latency_per_level),
+    ]);
+    table.push_row(&[
+        "Interconnect",
+        "NUMA access latency",
+        &format!("{} cycles", ic.numa_hop_latency_cycles),
+    ]);
+    table.push_row(&[
+        "Interconnect",
+        "CPU-NPU bandwidth",
+        &format!("{} GB/sec", ic.pcie.bandwidth_bytes_per_cycle as u64),
+    ]);
+    table.push_row(&[
+        "Interconnect",
+        "NPU-NPU bandwidth",
+        &format!("{} GB/sec", ic.npu_link.bandwidth_bytes_per_cycle as u64),
+    ]);
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_the_paper() {
+        let table = run();
+        let md = table.to_markdown();
+        for expected in [
+            "128 x 128",
+            "1 GHz",
+            "15/10 MB",
+            "600 GB/sec",
+            "100 cycles",
+            "2048",
+            "5 cycles",
+            "100 cycles per level",
+            "150 cycles",
+            "16 GB/sec",
+            "160 GB/sec",
+        ] {
+            assert!(md.contains(expected), "missing `{expected}` in:\n{md}");
+        }
+        assert_eq!(table.rows().len(), 13);
+    }
+}

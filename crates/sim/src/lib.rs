@@ -1,0 +1,44 @@
+//! Integrated NPU + MMU simulator and the per-figure experiment runners.
+//!
+//! This crate ties the substrates together into the two simulators the paper's
+//! evaluation is built on:
+//!
+//! * [`dense`] — the per-layer, per-tile pipeline simulator for conventional
+//!   dense DNNs (Figures 6–14 and the Section VI studies). It drives one
+//!   translation request per DMA transaction through an
+//!   [`neummu_mmu::AddressTranslator`] and overlaps each tile's compute phase
+//!   with the next tile's memory phase, exactly as sketched in Figure 3.
+//! * [`embedding`] — the multi-NPU embedding-layer case study of Section V
+//!   (Figures 15 and 16): model-parallel embedding tables, CPU-relayed copies
+//!   vs. fine-grained NUMA gathers vs. demand paging.
+//!
+//! [`experiments`] contains one runner per table/figure of the paper; each
+//! returns a typed result that can be rendered with [`report`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod embedding;
+pub mod error;
+pub mod experiments;
+pub mod report;
+
+pub use dense::{DenseSimConfig, DenseSimulator, LayerResult, TranslationTrace, WorkloadResult};
+pub use embedding::{
+    EmbeddingPhaseBreakdown, EmbeddingSimConfig, EmbeddingSimulator, GatherStrategy,
+};
+pub use error::SimError;
+pub use report::ResultTable;
+
+/// Convenience re-exports for downstream crates.
+pub mod prelude {
+    pub use crate::dense::{
+        DenseSimConfig, DenseSimulator, LayerResult, TranslationTrace, WorkloadResult,
+    };
+    pub use crate::embedding::{
+        EmbeddingPhaseBreakdown, EmbeddingSimConfig, EmbeddingSimulator, GatherStrategy,
+    };
+    pub use crate::error::SimError;
+    pub use crate::report::ResultTable;
+}

@@ -1,0 +1,548 @@
+//! Device address spaces: segment allocation, demand paging and migration.
+//!
+//! An [`AddressSpace`] models the unified virtual address space that an
+//! MMU-equipped NPU shares with the host (Section II-B of the paper). Dense
+//! DNN workloads allocate a handful of large segments (input activations,
+//! weights, output activations); the embedding case study additionally
+//! allocates one segment per embedding-table shard, placed on the owning
+//! NPU's memory node, and exercises demand paging / page migration.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{PageSize, VirtAddr, VirtPageNum};
+use crate::error::VmemError;
+use crate::frame_alloc::PhysicalMemory;
+use crate::numa::MemNode;
+use crate::page_table::{PageTable, Translation, WalkPath};
+
+/// Base of the heap used for segment allocation.
+///
+/// Kept well above zero so that a null-ish address is never a valid segment
+/// address, and below the 48-bit canonical limit.
+const SEGMENT_BASE: u64 = 0x0000_1000_0000;
+
+/// How a segment's pages are populated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Population {
+    /// All pages are mapped at allocation time (the common case for dense
+    /// DNN tensors, which the runtime allocates up front).
+    Eager,
+    /// Pages are mapped on first touch via [`AddressSpace::ensure_mapped`]
+    /// (used to model demand paging of remote embedding pages in Figure 16).
+    Lazy,
+}
+
+/// Options controlling segment allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentOptions {
+    /// Memory node backing the segment.
+    pub node: MemNode,
+    /// Page size used for the segment's mappings.
+    pub page_size: PageSize,
+    /// Eager or lazy population.
+    pub population: Population,
+}
+
+impl SegmentOptions {
+    /// Eagerly populated segment on `node` with the given page size.
+    #[must_use]
+    pub fn new(node: MemNode, page_size: PageSize) -> Self {
+        SegmentOptions { node, page_size, population: Population::Eager }
+    }
+
+    /// Switches the segment to lazy (demand-paged) population.
+    #[must_use]
+    pub fn lazy(mut self) -> Self {
+        self.population = Population::Lazy;
+        self
+    }
+}
+
+/// A named, contiguous virtual-address segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    name: String,
+    start: VirtAddr,
+    size: u64,
+    options: SegmentOptions,
+}
+
+impl Segment {
+    /// Segment name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// First virtual address of the segment.
+    #[must_use]
+    pub fn start(&self) -> VirtAddr {
+        self.start
+    }
+
+    /// Size in bytes.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// One-past-the-end virtual address.
+    #[must_use]
+    pub fn end(&self) -> VirtAddr {
+        self.start.add(self.size)
+    }
+
+    /// Allocation options the segment was created with.
+    #[must_use]
+    pub fn options(&self) -> SegmentOptions {
+        self.options
+    }
+
+    /// True if `va` lies within the segment.
+    #[must_use]
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        va >= self.start && va < self.end()
+    }
+
+    /// Virtual address at byte offset `offset` into the segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` is out of bounds.
+    #[must_use]
+    pub fn addr_at(&self, offset: u64) -> VirtAddr {
+        assert!(offset < self.size, "offset {offset} out of bounds for segment `{}`", self.name);
+        self.start.add(offset)
+    }
+
+    /// Number of pages (of the segment's page size) spanned by the segment.
+    #[must_use]
+    pub fn page_count(&self) -> u64 {
+        self.size.div_ceil(self.options.page_size.bytes())
+    }
+}
+
+/// Result of a demand-paging fault handled by [`AddressSpace::ensure_mapped`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultOutcome {
+    /// The address was already mapped; no fault occurred.
+    AlreadyMapped(Translation),
+    /// A page was populated to satisfy the fault.
+    Populated {
+        /// The new translation.
+        translation: Translation,
+        /// Page size of the populated page (also the amount of data that a
+        /// demand-paging transfer has to move).
+        page_size: PageSize,
+    },
+}
+
+impl FaultOutcome {
+    /// The translation that is now valid for the faulting address.
+    #[must_use]
+    pub fn translation(&self) -> Translation {
+        match self {
+            FaultOutcome::AlreadyMapped(t) => *t,
+            FaultOutcome::Populated { translation, .. } => *translation,
+        }
+    }
+
+    /// True if a page had to be populated.
+    #[must_use]
+    pub fn faulted(&self) -> bool {
+        matches!(self, FaultOutcome::Populated { .. })
+    }
+}
+
+/// Statistics about an address space's demand-paging and migration activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpaceStats {
+    /// Number of demand-paging faults served.
+    pub faults: u64,
+    /// Bytes transferred by demand paging (sum of faulted page sizes).
+    pub fault_bytes: u64,
+    /// Number of pages migrated between nodes.
+    pub migrations: u64,
+    /// Bytes moved by migrations.
+    pub migration_bytes: u64,
+}
+
+/// A virtual address space with named segments backed by a page table.
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    name: String,
+    page_table: PageTable,
+    segments: HashMap<String, Segment>,
+    segment_order: Vec<String>,
+    next_va: VirtAddr,
+    stats: SpaceStats,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        AddressSpace {
+            name: name.into(),
+            page_table: PageTable::new(),
+            segments: HashMap::new(),
+            segment_order: Vec::new(),
+            next_va: VirtAddr::new(SEGMENT_BASE),
+            stats: SpaceStats::default(),
+        }
+    }
+
+    /// Name of the address space (e.g. the owning device).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Allocates a named segment of `size` bytes.
+    ///
+    /// Segments are 2 MB aligned so that large-page and small-page segments
+    /// never share a 2 MB region. Eager segments are fully mapped immediately,
+    /// drawing frames from `memory`; lazy segments are mapped on first touch.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmemError::EmptySegment`] for a zero-sized request.
+    /// * [`VmemError::SegmentExists`] if the name is already in use.
+    /// * Frame-allocation errors for eager segments.
+    pub fn alloc_segment(
+        &mut self,
+        name: impl Into<String>,
+        size: u64,
+        options: SegmentOptions,
+        memory: &mut PhysicalMemory,
+    ) -> Result<Segment, VmemError> {
+        let name = name.into();
+        if size == 0 {
+            return Err(VmemError::EmptySegment { name });
+        }
+        if self.segments.contains_key(&name) {
+            return Err(VmemError::SegmentExists { name });
+        }
+        let start = self.next_va.align_up(PageSize::Size2M);
+        let segment = Segment { name: name.clone(), start, size, options };
+        // Reserve the VA range (rounded up to the segment page size).
+        let reserved = size.div_ceil(options.page_size.bytes()) * options.page_size.bytes();
+        self.next_va = start.add(reserved);
+
+        if options.population == Population::Eager {
+            self.populate_range(&segment, 0, size, memory)?;
+        }
+        self.segments.insert(name.clone(), segment.clone());
+        self.segment_order.push(name);
+        Ok(segment)
+    }
+
+    fn populate_range(
+        &mut self,
+        segment: &Segment,
+        from_offset: u64,
+        len: u64,
+        memory: &mut PhysicalMemory,
+    ) -> Result<(), VmemError> {
+        let page_bytes = segment.options.page_size.bytes();
+        let first_page = from_offset / page_bytes;
+        let last_page = (from_offset + len - 1) / page_bytes;
+        for page in first_page..=last_page {
+            let va = segment.start.add(page * page_bytes);
+            if self.page_table.is_mapped(va) {
+                continue;
+            }
+            let pfn = memory.alloc_page(segment.options.node, segment.options.page_size)?;
+            self.page_table.map(va, segment.options.page_size, pfn, segment.options.node)?;
+        }
+        Ok(())
+    }
+
+    /// Looks up a segment by name.
+    #[must_use]
+    pub fn segment(&self, name: &str) -> Option<&Segment> {
+        self.segments.get(name)
+    }
+
+    /// All segments in allocation order.
+    pub fn segments(&self) -> impl Iterator<Item = &Segment> {
+        self.segment_order.iter().map(|n| &self.segments[n])
+    }
+
+    /// The segment containing `va`, if any.
+    #[must_use]
+    pub fn segment_containing(&self, va: VirtAddr) -> Option<&Segment> {
+        self.segments.values().find(|s| s.contains(va))
+    }
+
+    /// Translates a virtual address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::NotMapped`] for unmapped addresses (including
+    /// untouched pages of lazy segments).
+    pub fn translate(&self, va: VirtAddr) -> Result<Translation, VmemError> {
+        self.page_table.translate(va)
+    }
+
+    /// Performs a full page-table walk for `va`.
+    #[must_use]
+    pub fn walk(&self, va: VirtAddr) -> WalkPath {
+        self.page_table.walk(va)
+    }
+
+    /// True if the 4 KB page containing `va` is mapped.
+    #[must_use]
+    pub fn is_mapped(&self, va: VirtAddr) -> bool {
+        self.page_table.is_mapped(va)
+    }
+
+    /// Ensures the page containing `va` is mapped, faulting it in from the
+    /// segment's backing node if necessary (demand paging).
+    ///
+    /// # Errors
+    ///
+    /// * [`VmemError::NotMapped`] if `va` does not belong to any segment.
+    /// * Frame-allocation errors if the backing node is out of memory.
+    pub fn ensure_mapped(
+        &mut self,
+        va: VirtAddr,
+        memory: &mut PhysicalMemory,
+    ) -> Result<FaultOutcome, VmemError> {
+        if let Ok(t) = self.page_table.translate(va) {
+            return Ok(FaultOutcome::AlreadyMapped(t));
+        }
+        let segment = self
+            .segment_containing(va)
+            .cloned()
+            .ok_or(VmemError::NotMapped { va })?;
+        let offset = va.offset_from(segment.start());
+        self.populate_range(&segment, offset, 1, memory)?;
+        let translation = self.page_table.translate(va)?;
+        let page_size = segment.options.page_size;
+        self.stats.faults += 1;
+        self.stats.fault_bytes += page_size.bytes();
+        Ok(FaultOutcome::Populated { translation, page_size })
+    }
+
+    /// Migrates the page containing `va` to `dst_node`, allocating a new
+    /// backing page there and freeing the old one.
+    ///
+    /// Returns the translation that was in effect *before* the migration.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmemError::NotMapped`] if the page is not mapped.
+    /// * Frame-allocation errors if `dst_node` is out of memory.
+    pub fn migrate_page(
+        &mut self,
+        va: VirtAddr,
+        dst_node: MemNode,
+        memory: &mut PhysicalMemory,
+    ) -> Result<Translation, VmemError> {
+        let old = self.page_table.translate(va)?;
+        if old.node == dst_node {
+            return Ok(old);
+        }
+        let new_pfn = memory.alloc_page(dst_node, old.page_size)?;
+        memory.free_page(old.pfn, old.page_size)?;
+        self.page_table.remap(va.page_base(old.page_size), new_pfn, dst_node)?;
+        self.stats.migrations += 1;
+        self.stats.migration_bytes += old.page_size.bytes();
+        Ok(old)
+    }
+
+    /// Distinct 4 KB virtual pages covered by the byte range
+    /// `[start, start + len)`.
+    #[must_use]
+    pub fn pages_in_range(start: VirtAddr, len: u64) -> Vec<VirtPageNum> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let first = start.vpn().raw();
+        let last = start.add(len - 1).vpn().raw();
+        (first..=last).map(VirtPageNum::new).collect()
+    }
+
+    /// The underlying page table.
+    #[must_use]
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Demand-paging and migration statistics.
+    #[must_use]
+    pub fn stats(&self) -> SpaceStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memory() -> PhysicalMemory {
+        PhysicalMemory::with_npus(2, 1 << 30)
+    }
+
+    #[test]
+    fn eager_segment_is_fully_mapped() {
+        let mut mem = memory();
+        let mut space = AddressSpace::new("npu0");
+        let seg = space
+            .alloc_segment("ia", 3 * 4096 + 100, SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K), &mut mem)
+            .unwrap();
+        assert_eq!(seg.page_count(), 4);
+        for page in 0..4u64 {
+            assert!(space.is_mapped(seg.start().add(page * 4096)));
+        }
+        assert!(!space.is_mapped(seg.start().add(4 * 4096)));
+        assert_eq!(mem.used_bytes(MemNode::Npu(0)).unwrap(), 4 * 4096);
+    }
+
+    #[test]
+    fn lazy_segment_faults_on_touch() {
+        let mut mem = memory();
+        let mut space = AddressSpace::new("npu0");
+        let seg = space
+            .alloc_segment(
+                "emb",
+                1 << 20,
+                SegmentOptions::new(MemNode::Host, PageSize::Size4K).lazy(),
+                &mut mem,
+            )
+            .unwrap();
+        let va = seg.addr_at(8192 + 17);
+        assert!(!space.is_mapped(va));
+        let outcome = space.ensure_mapped(va, &mut mem).unwrap();
+        assert!(outcome.faulted());
+        assert_eq!(outcome.translation().node, MemNode::Host);
+        // The second touch does not fault.
+        let again = space.ensure_mapped(va, &mut mem).unwrap();
+        assert!(!again.faulted());
+        assert_eq!(space.stats().faults, 1);
+        assert_eq!(space.stats().fault_bytes, 4096);
+    }
+
+    #[test]
+    fn large_page_segments_fault_2mb_at_a_time() {
+        let mut mem = memory();
+        let mut space = AddressSpace::new("npu0");
+        let seg = space
+            .alloc_segment(
+                "emb2m",
+                8 << 20,
+                SegmentOptions::new(MemNode::Npu(1), PageSize::Size2M).lazy(),
+                &mut mem,
+            )
+            .unwrap();
+        let outcome = space.ensure_mapped(seg.addr_at(3 << 20), &mut mem).unwrap();
+        match outcome {
+            FaultOutcome::Populated { page_size, .. } => assert_eq!(page_size, PageSize::Size2M),
+            FaultOutcome::AlreadyMapped(_) => panic!("expected a fault"),
+        }
+        assert_eq!(mem.used_bytes(MemNode::Npu(1)).unwrap(), 2 << 20);
+        // Addresses within the same 2 MB page do not fault again.
+        assert!(!space.ensure_mapped(seg.addr_at((2 << 20) + 5), &mut mem).unwrap().faulted());
+    }
+
+    #[test]
+    fn segments_do_not_overlap_and_are_2mb_aligned() {
+        let mut mem = memory();
+        let mut space = AddressSpace::new("npu0");
+        let a = space
+            .alloc_segment("a", 5000, SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K), &mut mem)
+            .unwrap();
+        let b = space
+            .alloc_segment("b", 5000, SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K), &mut mem)
+            .unwrap();
+        assert!(a.start().is_aligned(PageSize::Size2M));
+        assert!(b.start().is_aligned(PageSize::Size2M));
+        assert!(b.start() >= a.end());
+        assert!(!a.contains(b.start()));
+        assert_eq!(space.segments().count(), 2);
+        assert_eq!(space.segment_containing(a.addr_at(100)).unwrap().name(), "a");
+    }
+
+    #[test]
+    fn duplicate_and_empty_segments_rejected() {
+        let mut mem = memory();
+        let mut space = AddressSpace::new("npu0");
+        space
+            .alloc_segment("w", 4096, SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K), &mut mem)
+            .unwrap();
+        assert!(matches!(
+            space.alloc_segment(
+                "w",
+                4096,
+                SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K),
+                &mut mem
+            ),
+            Err(VmemError::SegmentExists { .. })
+        ));
+        assert!(matches!(
+            space.alloc_segment(
+                "empty",
+                0,
+                SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K),
+                &mut mem
+            ),
+            Err(VmemError::EmptySegment { .. })
+        ));
+    }
+
+    #[test]
+    fn migration_moves_page_between_nodes() {
+        let mut mem = memory();
+        let mut space = AddressSpace::new("npu0");
+        let seg = space
+            .alloc_segment("emb", 16 * 4096, SegmentOptions::new(MemNode::Npu(1), PageSize::Size4K), &mut mem)
+            .unwrap();
+        let va = seg.addr_at(4096 * 3 + 7);
+        let before = space.translate(va).unwrap();
+        assert_eq!(before.node, MemNode::Npu(1));
+        let used_before = mem.used_bytes(MemNode::Npu(0)).unwrap();
+        space.migrate_page(va, MemNode::Npu(0), &mut mem).unwrap();
+        let after = space.translate(va).unwrap();
+        assert_eq!(after.node, MemNode::Npu(0));
+        assert_eq!(after.pa.frame_offset(), before.pa.frame_offset());
+        assert_eq!(mem.used_bytes(MemNode::Npu(0)).unwrap(), used_before + 4096);
+        assert_eq!(space.stats().migrations, 1);
+        // Migrating to the current node is a no-op.
+        space.migrate_page(va, MemNode::Npu(0), &mut mem).unwrap();
+        assert_eq!(space.stats().migrations, 1);
+    }
+
+    #[test]
+    fn fault_outside_any_segment_is_an_error() {
+        let mut mem = memory();
+        let mut space = AddressSpace::new("npu0");
+        let err = space.ensure_mapped(VirtAddr::new(0x10), &mut mem).unwrap_err();
+        assert!(matches!(err, VmemError::NotMapped { .. }));
+    }
+
+    #[test]
+    fn pages_in_range_enumerates_touched_pages() {
+        let pages = AddressSpace::pages_in_range(VirtAddr::new(0xfff), 2);
+        assert_eq!(pages.len(), 2);
+        assert_eq!(pages[0].raw(), 0);
+        assert_eq!(pages[1].raw(), 1);
+        assert!(AddressSpace::pages_in_range(VirtAddr::new(0x1000), 0).is_empty());
+        let one = AddressSpace::pages_in_range(VirtAddr::new(0x2000), 4096);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn addr_at_bounds_check() {
+        let mut mem = memory();
+        let mut space = AddressSpace::new("npu0");
+        let seg = space
+            .alloc_segment("s", 4096, SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K), &mut mem)
+            .unwrap();
+        assert_eq!(seg.addr_at(0), seg.start());
+        let result = std::panic::catch_unwind(|| seg.addr_at(4096));
+        assert!(result.is_err());
+    }
+}

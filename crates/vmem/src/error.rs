@@ -1,0 +1,126 @@
+//! Error types for the virtual-memory substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::addr::{PageSize, VirtAddr, VirtPageNum};
+use crate::numa::MemNode;
+
+/// Errors produced by the virtual-memory substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmemError {
+    /// A physical-memory node ran out of frames.
+    OutOfMemory {
+        /// Node on which the allocation was attempted.
+        node: MemNode,
+        /// Number of contiguous 4 KB frames requested.
+        frames_requested: u64,
+    },
+    /// The requested node does not exist in the [`PhysicalMemory`](crate::PhysicalMemory)
+    /// configuration.
+    UnknownNode {
+        /// The node that was requested.
+        node: MemNode,
+    },
+    /// A mapping already exists for the page.
+    AlreadyMapped {
+        /// Virtual page that was being mapped.
+        vpn: VirtPageNum,
+    },
+    /// A translation was requested for an unmapped address.
+    NotMapped {
+        /// The virtual address that missed.
+        va: VirtAddr,
+    },
+    /// A 2 MB mapping was requested at an address that is not 2 MB aligned,
+    /// or overlaps an existing 4 KB mapping region.
+    MisalignedMapping {
+        /// The virtual address of the attempted mapping.
+        va: VirtAddr,
+        /// The page size of the attempted mapping.
+        page_size: PageSize,
+    },
+    /// A named segment already exists in the address space.
+    SegmentExists {
+        /// Name of the conflicting segment.
+        name: String,
+    },
+    /// A named segment was not found in the address space.
+    SegmentNotFound {
+        /// Name of the missing segment.
+        name: String,
+    },
+    /// The requested segment size was zero.
+    EmptySegment {
+        /// Name of the offending segment.
+        name: String,
+    },
+}
+
+impl fmt::Display for VmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmemError::OutOfMemory { node, frames_requested } => write!(
+                f,
+                "out of physical memory on node {node} while allocating {frames_requested} frames"
+            ),
+            VmemError::UnknownNode { node } => {
+                write!(f, "memory node {node} is not configured")
+            }
+            VmemError::AlreadyMapped { vpn } => {
+                write!(f, "virtual page {vpn} is already mapped")
+            }
+            VmemError::NotMapped { va } => write!(f, "virtual address {va} is not mapped"),
+            VmemError::MisalignedMapping { va, page_size } => {
+                write!(f, "mapping at {va} is misaligned for page size {page_size}")
+            }
+            VmemError::SegmentExists { name } => {
+                write!(f, "segment `{name}` already exists in this address space")
+            }
+            VmemError::SegmentNotFound { name } => {
+                write!(f, "segment `{name}` was not found in this address space")
+            }
+            VmemError::EmptySegment { name } => {
+                write!(f, "segment `{name}` was requested with zero size")
+            }
+        }
+    }
+}
+
+impl Error for VmemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_are_lowercase_and_informative() {
+        let messages = [
+            VmemError::OutOfMemory { node: MemNode::Npu(1), frames_requested: 42 }.to_string(),
+            VmemError::UnknownNode { node: MemNode::Host }.to_string(),
+            VmemError::AlreadyMapped { vpn: VirtPageNum::new(7) }.to_string(),
+            VmemError::NotMapped { va: VirtAddr::new(0x1000) }.to_string(),
+            VmemError::MisalignedMapping {
+                va: VirtAddr::new(0x1000),
+                page_size: PageSize::Size2M,
+            }
+            .to_string(),
+            VmemError::SegmentExists { name: "weights".into() }.to_string(),
+            VmemError::SegmentNotFound { name: "acts".into() }.to_string(),
+            VmemError::EmptySegment { name: "empty".into() }.to_string(),
+        ];
+        for msg in messages {
+            assert!(!msg.is_empty());
+            let first = msg.chars().next().unwrap();
+            assert!(first.is_lowercase(), "error message should start lowercase: {msg}");
+            assert!(!msg.ends_with('.'), "error message should not end with a period: {msg}");
+        }
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<VmemError>();
+    }
+}

@@ -1,0 +1,358 @@
+//! NUMA-aware physical frame allocation.
+//!
+//! [`PhysicalMemory`] models the pool of physical frames available in the
+//! system. Each memory node (host memory, each NPU's HBM stack) owns a disjoint
+//! physical-address window and hands out 4 KB frames from it. The allocator is
+//! a simple bump-plus-free-list design: the simulator only needs frame
+//! *identities* and per-node occupancy accounting, not data contents.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{PageSize, PhysFrameNum, PAGE_SHIFT_4K};
+use crate::error::VmemError;
+use crate::numa::MemNode;
+
+/// Size of the physical-address window reserved per node (1 TiB), which keeps
+/// frame numbers from different nodes disjoint and easy to attribute.
+const NODE_WINDOW_BYTES: u64 = 1 << 40;
+
+/// Describes the capacity of one memory node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// The node being described.
+    pub node: MemNode,
+    /// Capacity of the node in bytes.
+    pub capacity_bytes: u64,
+}
+
+impl NodeSpec {
+    /// Creates a node specification.
+    #[must_use]
+    pub fn new(node: MemNode, capacity_bytes: u64) -> Self {
+        NodeSpec { node, capacity_bytes }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeState {
+    /// First frame number of this node's window.
+    base_frame: u64,
+    /// Total number of 4 KB frames.
+    capacity_frames: u64,
+    /// Next never-allocated frame (bump pointer, relative to `base_frame`).
+    bump: u64,
+    /// Frames that were freed and can be reused (single-frame granularity).
+    free_list: Vec<u64>,
+    /// Currently allocated frame count.
+    allocated: u64,
+    /// High-water mark of allocated frames.
+    peak_allocated: u64,
+}
+
+/// The system's physical memory: a set of NUMA nodes with frame allocators.
+#[derive(Debug, Clone)]
+pub struct PhysicalMemory {
+    nodes: HashMap<MemNode, NodeState>,
+    node_order: Vec<MemNode>,
+}
+
+impl PhysicalMemory {
+    /// Creates a physical memory with the given nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same node appears twice or a node capacity exceeds the
+    /// 1 TiB per-node window.
+    #[must_use]
+    pub fn new(specs: &[NodeSpec]) -> Self {
+        let mut nodes = HashMap::new();
+        let mut node_order = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            assert!(
+                spec.capacity_bytes <= NODE_WINDOW_BYTES,
+                "node {} capacity {} exceeds the per-node window",
+                spec.node,
+                spec.capacity_bytes
+            );
+            let base_frame = (i as u64 + 1) * (NODE_WINDOW_BYTES >> PAGE_SHIFT_4K);
+            let prev = nodes.insert(
+                spec.node,
+                NodeState {
+                    base_frame,
+                    capacity_frames: spec.capacity_bytes >> PAGE_SHIFT_4K,
+                    bump: 0,
+                    free_list: Vec::new(),
+                    allocated: 0,
+                    peak_allocated: 0,
+                },
+            );
+            assert!(prev.is_none(), "node {} specified twice", spec.node);
+            node_order.push(spec.node);
+        }
+        PhysicalMemory { nodes, node_order }
+    }
+
+    /// Creates a typical NeuMMU evaluation system: one host node plus
+    /// `num_npus` NPU nodes, with the given per-NPU capacity and a large
+    /// (256 GiB) host memory.
+    #[must_use]
+    pub fn with_npus(num_npus: u16, npu_capacity_bytes: u64) -> Self {
+        let mut specs = vec![NodeSpec::new(MemNode::Host, 256 << 30)];
+        for i in 0..num_npus {
+            specs.push(NodeSpec::new(MemNode::Npu(i), npu_capacity_bytes));
+        }
+        PhysicalMemory::new(&specs)
+    }
+
+    /// Nodes configured in this memory, in declaration order.
+    #[must_use]
+    pub fn nodes(&self) -> &[MemNode] {
+        &self.node_order
+    }
+
+    fn node_mut(&mut self, node: MemNode) -> Result<&mut NodeState, VmemError> {
+        self.nodes.get_mut(&node).ok_or(VmemError::UnknownNode { node })
+    }
+
+    fn node_ref(&self, node: MemNode) -> Result<&NodeState, VmemError> {
+        self.nodes.get(&node).ok_or(VmemError::UnknownNode { node })
+    }
+
+    /// Allocates a single 4 KB frame on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::OutOfMemory`] if the node is full and
+    /// [`VmemError::UnknownNode`] if the node is not configured.
+    pub fn alloc_frame(&mut self, node: MemNode) -> Result<PhysFrameNum, VmemError> {
+        let state = self.node_mut(node)?;
+        let frame = if let Some(f) = state.free_list.pop() {
+            f
+        } else if state.bump < state.capacity_frames {
+            let f = state.bump;
+            state.bump += 1;
+            f
+        } else {
+            return Err(VmemError::OutOfMemory { node, frames_requested: 1 });
+        };
+        state.allocated += 1;
+        state.peak_allocated = state.peak_allocated.max(state.allocated);
+        Ok(PhysFrameNum::new(state.base_frame + frame))
+    }
+
+    /// Allocates `count` physically contiguous 4 KB frames on `node` and
+    /// returns the first frame. Contiguity is required when backing a 2 MB
+    /// page (512 frames).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::OutOfMemory`] if the node does not have `count`
+    /// contiguous frames left in its bump region.
+    pub fn alloc_contiguous(
+        &mut self,
+        node: MemNode,
+        count: u64,
+    ) -> Result<PhysFrameNum, VmemError> {
+        if count == 1 {
+            return self.alloc_frame(node);
+        }
+        let state = self.node_mut(node)?;
+        if state.bump + count > state.capacity_frames {
+            return Err(VmemError::OutOfMemory { node, frames_requested: count });
+        }
+        let first = state.bump;
+        state.bump += count;
+        state.allocated += count;
+        state.peak_allocated = state.peak_allocated.max(state.allocated);
+        Ok(PhysFrameNum::new(state.base_frame + first))
+    }
+
+    /// Allocates the frames backing one page of the given size on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation failures from the underlying node.
+    pub fn alloc_page(
+        &mut self,
+        node: MemNode,
+        page_size: PageSize,
+    ) -> Result<PhysFrameNum, VmemError> {
+        let frames = page_size.bytes() >> PAGE_SHIFT_4K;
+        self.alloc_contiguous(node, frames)
+    }
+
+    /// Returns a frame to its owning node's free list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::UnknownNode`] if the frame does not belong to any
+    /// configured node.
+    pub fn free_frame(&mut self, frame: PhysFrameNum) -> Result<(), VmemError> {
+        let node = self.owner_of(frame)?;
+        let state = self.node_mut(node)?;
+        state.free_list.push(frame.raw() - state.base_frame);
+        state.allocated = state.allocated.saturating_sub(1);
+        Ok(())
+    }
+
+    /// Frees all frames of one page of the given size starting at `first`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::UnknownNode`] if a frame does not belong to any
+    /// configured node.
+    pub fn free_page(
+        &mut self,
+        first: PhysFrameNum,
+        page_size: PageSize,
+    ) -> Result<(), VmemError> {
+        let frames = page_size.bytes() >> PAGE_SHIFT_4K;
+        for i in 0..frames {
+            self.free_frame(PhysFrameNum::new(first.raw() + i))?;
+        }
+        Ok(())
+    }
+
+    /// Node that owns the given frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::UnknownNode`] if the frame lies outside every
+    /// configured node window.
+    pub fn owner_of(&self, frame: PhysFrameNum) -> Result<MemNode, VmemError> {
+        let frames_per_window = NODE_WINDOW_BYTES >> PAGE_SHIFT_4K;
+        for (node, state) in &self.nodes {
+            if frame.raw() >= state.base_frame && frame.raw() < state.base_frame + frames_per_window
+            {
+                return Ok(*node);
+            }
+        }
+        Err(VmemError::UnknownNode { node: MemNode::Host })
+    }
+
+    /// Number of bytes currently allocated on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::UnknownNode`] if the node is not configured.
+    pub fn used_bytes(&self, node: MemNode) -> Result<u64, VmemError> {
+        Ok(self.node_ref(node)?.allocated << PAGE_SHIFT_4K)
+    }
+
+    /// Peak number of bytes ever allocated on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::UnknownNode`] if the node is not configured.
+    pub fn peak_bytes(&self, node: MemNode) -> Result<u64, VmemError> {
+        Ok(self.node_ref(node)?.peak_allocated << PAGE_SHIFT_4K)
+    }
+
+    /// Capacity of `node` in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::UnknownNode`] if the node is not configured.
+    pub fn capacity_bytes(&self, node: MemNode) -> Result<u64, VmemError> {
+        Ok(self.node_ref(node)?.capacity_frames << PAGE_SHIFT_4K)
+    }
+
+    /// Remaining free bytes on `node`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::UnknownNode`] if the node is not configured.
+    pub fn free_bytes(&self, node: MemNode) -> Result<u64, VmemError> {
+        let state = self.node_ref(node)?;
+        let free_frames =
+            state.capacity_frames - state.bump + state.free_list.len() as u64;
+        Ok(free_frames << PAGE_SHIFT_4K)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_memory() -> PhysicalMemory {
+        PhysicalMemory::new(&[
+            NodeSpec::new(MemNode::Host, 1 << 20),
+            NodeSpec::new(MemNode::Npu(0), 1 << 20),
+        ])
+    }
+
+    #[test]
+    fn frames_from_different_nodes_do_not_collide() {
+        let mut mem = small_memory();
+        let host = mem.alloc_frame(MemNode::Host).unwrap();
+        let npu = mem.alloc_frame(MemNode::Npu(0)).unwrap();
+        assert_ne!(host, npu);
+        assert_eq!(mem.owner_of(host).unwrap(), MemNode::Host);
+        assert_eq!(mem.owner_of(npu).unwrap(), MemNode::Npu(0));
+    }
+
+    #[test]
+    fn allocation_exhausts_and_errors() {
+        let mut mem = PhysicalMemory::new(&[NodeSpec::new(MemNode::Npu(0), 3 * 4096)]);
+        for _ in 0..3 {
+            mem.alloc_frame(MemNode::Npu(0)).unwrap();
+        }
+        let err = mem.alloc_frame(MemNode::Npu(0)).unwrap_err();
+        assert!(matches!(err, VmemError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn freeing_allows_reuse() {
+        let mut mem = PhysicalMemory::new(&[NodeSpec::new(MemNode::Npu(0), 2 * 4096)]);
+        let a = mem.alloc_frame(MemNode::Npu(0)).unwrap();
+        let _b = mem.alloc_frame(MemNode::Npu(0)).unwrap();
+        assert!(mem.alloc_frame(MemNode::Npu(0)).is_err());
+        mem.free_frame(a).unwrap();
+        let c = mem.alloc_frame(MemNode::Npu(0)).unwrap();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn contiguous_allocation_for_huge_pages() {
+        let mut mem = PhysicalMemory::new(&[NodeSpec::new(MemNode::Host, 4 << 20)]);
+        let first = mem.alloc_page(MemNode::Host, PageSize::Size2M).unwrap();
+        let second = mem.alloc_page(MemNode::Host, PageSize::Size2M).unwrap();
+        assert_eq!(second.raw() - first.raw(), 512);
+        assert_eq!(mem.used_bytes(MemNode::Host).unwrap(), 4 << 20);
+        assert!(mem.alloc_page(MemNode::Host, PageSize::Size2M).is_err());
+    }
+
+    #[test]
+    fn accounting_tracks_usage_and_peak() {
+        let mut mem = small_memory();
+        assert_eq!(mem.used_bytes(MemNode::Host).unwrap(), 0);
+        let f = mem.alloc_frame(MemNode::Host).unwrap();
+        assert_eq!(mem.used_bytes(MemNode::Host).unwrap(), 4096);
+        assert_eq!(mem.peak_bytes(MemNode::Host).unwrap(), 4096);
+        mem.free_frame(f).unwrap();
+        assert_eq!(mem.used_bytes(MemNode::Host).unwrap(), 0);
+        assert_eq!(mem.peak_bytes(MemNode::Host).unwrap(), 4096);
+        assert_eq!(mem.capacity_bytes(MemNode::Host).unwrap(), 1 << 20);
+        assert_eq!(mem.free_bytes(MemNode::Host).unwrap(), 1 << 20);
+    }
+
+    #[test]
+    fn unknown_node_is_reported() {
+        let mut mem = small_memory();
+        assert!(matches!(
+            mem.alloc_frame(MemNode::Npu(9)),
+            Err(VmemError::UnknownNode { .. })
+        ));
+        assert!(mem.used_bytes(MemNode::Npu(9)).is_err());
+    }
+
+    #[test]
+    fn with_npus_convenience_constructor() {
+        let mem = PhysicalMemory::with_npus(4, 16 << 30);
+        assert_eq!(mem.nodes().len(), 5);
+        assert_eq!(mem.capacity_bytes(MemNode::Npu(3)).unwrap(), 16 << 30);
+        assert_eq!(mem.capacity_bytes(MemNode::Host).unwrap(), 256 << 30);
+    }
+}

@@ -1,0 +1,563 @@
+//! An x86-64 style 4-level radix page table.
+//!
+//! The table is a structural model: it stores real per-level nodes and reports,
+//! for every walk, exactly which entries were touched ([`WalkPath`]). The MMU
+//! crate uses the walk path to
+//!
+//! * charge one memory access per visited level (Section IV-C of the paper),
+//! * decide how many levels a TPreg / translation-path cache hit can skip, and
+//! * attribute per-level latency (100 cycles per level in Table I).
+//!
+//! Interior nodes are stored sparsely (only populated entries are kept), which
+//! keeps the model practical even for the multi-hundred-GB embedding tables of
+//! Section V while preserving the radix-tree structure exactly.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::{
+    PageSize, PathTag, PhysAddr, PhysFrameNum, VirtAddr, VirtPageNum, WalkIndexLevel,
+    PAGE_SHIFT_2M, PAGE_SHIFT_4K,
+};
+use crate::error::VmemError;
+use crate::numa::MemNode;
+
+/// Identifies one page-table node (interior table) within a [`PageTable`].
+///
+/// In real hardware this would be the physical address of the 4 KB table; the
+/// model uses a dense id and exposes a synthetic physical address so that
+/// physically tagged MMU caches (the UPTC of Section IV-C) can be modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TableId(u32);
+
+impl TableId {
+    /// Synthetic physical address of this table node.
+    #[must_use]
+    pub fn phys_addr(self) -> PhysAddr {
+        // Page-table nodes live in a reserved physical window far above any
+        // node window used by the frame allocator.
+        PhysAddr::new((0x7000_0000_0000u64) + (u64::from(self.0) << PAGE_SHIFT_4K))
+    }
+
+    /// Raw index of the table node.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// One entry of a page-table node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Entry {
+    /// Points to the next-lower-level table.
+    Table(TableId),
+    /// Leaf mapping.
+    Leaf {
+        /// First backing frame (4 KB units).
+        pfn: PhysFrameNum,
+        /// Memory node holding the data.
+        node: MemNode,
+        /// Leaf page size.
+        page_size: PageSize,
+    },
+}
+
+#[derive(Debug, Clone, Default)]
+struct TableNode {
+    entries: HashMap<u16, Entry>,
+}
+
+/// The result of a successful translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Translation {
+    /// Translated physical address.
+    pub pa: PhysAddr,
+    /// First frame of the containing page.
+    pub pfn: PhysFrameNum,
+    /// Page size of the mapping that was hit.
+    pub page_size: PageSize,
+    /// Memory node holding the page.
+    pub node: MemNode,
+}
+
+/// What a walk found at one level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WalkLevel {
+    /// The entry pointed at a next-level table.
+    NextTable {
+        /// The table the entry points to.
+        next: TableId,
+    },
+    /// The entry was a leaf mapping.
+    Leaf {
+        /// Page size of the leaf.
+        page_size: PageSize,
+    },
+    /// The entry was not present (translation fault).
+    NotPresent,
+}
+
+/// One step of a page-table walk: the access to a single page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkStep {
+    /// The level whose table was accessed (L4 is the root).
+    pub level: WalkIndexLevel,
+    /// The table node that was read.
+    pub table: TableId,
+    /// The 9-bit index used within that table.
+    pub index: u16,
+    /// What was found.
+    pub outcome: WalkLevel,
+}
+
+/// The full trace of one page-table walk.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkPath {
+    /// The virtual address that was walked.
+    pub va: VirtAddr,
+    /// Entry accesses in walk order (root first).
+    pub steps: Vec<WalkStep>,
+    /// The translation, if the walk succeeded.
+    pub translation: Option<Translation>,
+}
+
+impl WalkPath {
+    /// Number of page-table memory accesses this walk performed.
+    #[must_use]
+    pub fn memory_accesses(&self) -> u32 {
+        self.steps.len() as u32
+    }
+
+    /// True if the walk reached a leaf mapping.
+    #[must_use]
+    pub fn is_hit(&self) -> bool {
+        self.translation.is_some()
+    }
+
+    /// The L4/L3/L2 path tag of the walked address.
+    #[must_use]
+    pub fn path_tag(&self) -> PathTag {
+        PathTag::of(self.va)
+    }
+}
+
+/// Aggregate statistics about the page table's structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PageTableStats {
+    /// Number of interior table nodes allocated (including the root).
+    pub tables: u64,
+    /// Number of 4 KB leaf mappings.
+    pub leaf_4k: u64,
+    /// Number of 2 MB leaf mappings.
+    pub leaf_2m: u64,
+}
+
+impl PageTableStats {
+    /// Total bytes mapped by the table.
+    #[must_use]
+    pub fn mapped_bytes(&self) -> u64 {
+        self.leaf_4k * PageSize::Size4K.bytes() + self.leaf_2m * PageSize::Size2M.bytes()
+    }
+}
+
+/// A 4-level radix page table with 4 KB and 2 MB leaves.
+#[derive(Debug, Clone)]
+pub struct PageTable {
+    nodes: Vec<TableNode>,
+    stats: PageTableStats,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageTable {
+    /// Creates an empty page table (root node only).
+    #[must_use]
+    pub fn new() -> Self {
+        PageTable {
+            nodes: vec![TableNode::default()],
+            stats: PageTableStats { tables: 1, ..PageTableStats::default() },
+        }
+    }
+
+    const ROOT: TableId = TableId(0);
+
+    fn alloc_node(&mut self) -> TableId {
+        let id = TableId(self.nodes.len() as u32);
+        self.nodes.push(TableNode::default());
+        self.stats.tables += 1;
+        id
+    }
+
+    /// Maps one page of the given size starting at `va` to the frame(s)
+    /// beginning at `pfn` on `node`.
+    ///
+    /// # Errors
+    ///
+    /// * [`VmemError::MisalignedMapping`] if `va` is not aligned to `page_size`.
+    /// * [`VmemError::AlreadyMapped`] if any part of the range is mapped.
+    pub fn map(
+        &mut self,
+        va: VirtAddr,
+        page_size: PageSize,
+        pfn: PhysFrameNum,
+        node: MemNode,
+    ) -> Result<(), VmemError> {
+        if !va.is_aligned(page_size) {
+            return Err(VmemError::MisalignedMapping { va, page_size });
+        }
+        // Descend, allocating interior nodes, down to the level that holds the leaf.
+        let leaf_level = match page_size {
+            PageSize::Size4K => WalkIndexLevel::L1,
+            PageSize::Size2M => WalkIndexLevel::L2,
+        };
+        let mut current = Self::ROOT;
+        for level in WalkIndexLevel::WALK_ORDER {
+            let index = va.level_index(level);
+            if level == leaf_level {
+                let table = &mut self.nodes[current.0 as usize];
+                if table.entries.contains_key(&index) {
+                    return Err(VmemError::AlreadyMapped { vpn: va.vpn() });
+                }
+                table.entries.insert(index, Entry::Leaf { pfn, node, page_size });
+                match page_size {
+                    PageSize::Size4K => self.stats.leaf_4k += 1,
+                    PageSize::Size2M => self.stats.leaf_2m += 1,
+                }
+                return Ok(());
+            }
+            let existing = self.nodes[current.0 as usize].entries.get(&index).copied();
+            current = match existing {
+                Some(Entry::Table(next)) => next,
+                Some(Entry::Leaf { .. }) => {
+                    // A larger page already covers this range.
+                    return Err(VmemError::AlreadyMapped { vpn: va.vpn() });
+                }
+                None => {
+                    let next = self.alloc_node();
+                    self.nodes[current.0 as usize].entries.insert(index, Entry::Table(next));
+                    next
+                }
+            };
+        }
+        unreachable!("walk order always reaches the leaf level");
+    }
+
+    /// Removes the mapping covering `va` and returns its previous leaf.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::NotMapped`] if no mapping covers `va`.
+    pub fn unmap(&mut self, va: VirtAddr) -> Result<Translation, VmemError> {
+        let path = self.walk(va);
+        let translation = path.translation.ok_or(VmemError::NotMapped { va })?;
+        let leaf_step = *path.steps.last().expect("successful walk has at least one step");
+        let table = &mut self.nodes[leaf_step.table.0 as usize];
+        table.entries.remove(&leaf_step.index);
+        match translation.page_size {
+            PageSize::Size4K => self.stats.leaf_4k -= 1,
+            PageSize::Size2M => self.stats.leaf_2m -= 1,
+        }
+        Ok(translation)
+    }
+
+    /// Changes the backing frame/node of an existing mapping (page migration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::NotMapped`] if no mapping covers `va`.
+    pub fn remap(
+        &mut self,
+        va: VirtAddr,
+        new_pfn: PhysFrameNum,
+        new_node: MemNode,
+    ) -> Result<Translation, VmemError> {
+        let path = self.walk(va);
+        let old = path.translation.ok_or(VmemError::NotMapped { va })?;
+        let leaf_step = *path.steps.last().expect("successful walk has at least one step");
+        let table = &mut self.nodes[leaf_step.table.0 as usize];
+        table.entries.insert(
+            leaf_step.index,
+            Entry::Leaf { pfn: new_pfn, node: new_node, page_size: old.page_size },
+        );
+        Ok(old)
+    }
+
+    /// Walks the page table for `va`, reporting every entry access.
+    #[must_use]
+    pub fn walk(&self, va: VirtAddr) -> WalkPath {
+        let mut steps = Vec::with_capacity(4);
+        let mut current = Self::ROOT;
+        for level in WalkIndexLevel::WALK_ORDER {
+            let index = va.level_index(level);
+            let entry = self.nodes[current.0 as usize].entries.get(&index).copied();
+            match entry {
+                Some(Entry::Table(next)) => {
+                    steps.push(WalkStep {
+                        level,
+                        table: current,
+                        index,
+                        outcome: WalkLevel::NextTable { next },
+                    });
+                    current = next;
+                }
+                Some(Entry::Leaf { pfn, node, page_size }) => {
+                    steps.push(WalkStep {
+                        level,
+                        table: current,
+                        index,
+                        outcome: WalkLevel::Leaf { page_size },
+                    });
+                    let offset = va.page_offset(page_size);
+                    let pa = PhysAddr::new(pfn.base_addr().raw() + offset);
+                    return WalkPath {
+                        va,
+                        steps,
+                        translation: Some(Translation { pa, pfn, page_size, node }),
+                    };
+                }
+                None => {
+                    steps.push(WalkStep {
+                        level,
+                        table: current,
+                        index,
+                        outcome: WalkLevel::NotPresent,
+                    });
+                    return WalkPath { va, steps, translation: None };
+                }
+            }
+        }
+        WalkPath { va, steps, translation: None }
+    }
+
+    /// Walks the page table starting below the L2 level, as a PTW whose
+    /// TPreg/translation-path cache already holds the L4/L3/L2 entries would.
+    ///
+    /// Returns the walk steps actually performed (at most the L1 access for a
+    /// 4 KB mapping; an empty step list for a 2 MB mapping whose leaf lives at
+    /// L2 and is therefore covered by the cached path).
+    #[must_use]
+    pub fn walk_from_cached_path(&self, va: VirtAddr) -> WalkPath {
+        let full = self.walk(va);
+        let skipped: Vec<WalkStep> = full
+            .steps
+            .iter()
+            .copied()
+            .filter(|s| s.level == WalkIndexLevel::L1)
+            .collect();
+        WalkPath { va, steps: skipped, translation: full.translation }
+    }
+
+    /// Translates `va` without recording walk steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmemError::NotMapped`] if no mapping covers `va`.
+    pub fn translate(&self, va: VirtAddr) -> Result<Translation, VmemError> {
+        self.walk(va).translation.ok_or(VmemError::NotMapped { va })
+    }
+
+    /// True if `va` is covered by a mapping.
+    #[must_use]
+    pub fn is_mapped(&self, va: VirtAddr) -> bool {
+        self.walk(va).is_hit()
+    }
+
+    /// True if the 4 KB virtual page is covered by a mapping.
+    #[must_use]
+    pub fn is_vpn_mapped(&self, vpn: VirtPageNum) -> bool {
+        self.is_mapped(vpn.base_addr())
+    }
+
+    /// Structural statistics of the table.
+    #[must_use]
+    pub fn stats(&self) -> PageTableStats {
+        self.stats
+    }
+}
+
+/// Number of 4 KB pages needed to cover `bytes`.
+#[must_use]
+pub fn pages_4k(bytes: u64) -> u64 {
+    bytes.div_ceil(1 << PAGE_SHIFT_4K)
+}
+
+/// Number of 2 MB pages needed to cover `bytes`.
+#[must_use]
+pub fn pages_2m(bytes: u64) -> u64 {
+    bytes.div_ceil(1 << PAGE_SHIFT_2M)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_4k(pt: &mut PageTable, va: u64, pfn: u64) {
+        pt.map(VirtAddr::new(va), PageSize::Size4K, PhysFrameNum::new(pfn), MemNode::Npu(0))
+            .unwrap();
+    }
+
+    #[test]
+    fn map_and_translate_4k() {
+        let mut pt = PageTable::new();
+        map_4k(&mut pt, 0x40_0000, 0x99);
+        let t = pt.translate(VirtAddr::new(0x40_0123)).unwrap();
+        assert_eq!(t.pa.raw(), (0x99 << 12) | 0x123);
+        assert_eq!(t.page_size, PageSize::Size4K);
+        assert_eq!(t.node, MemNode::Npu(0));
+    }
+
+    #[test]
+    fn walk_of_4k_mapping_takes_four_accesses() {
+        let mut pt = PageTable::new();
+        map_4k(&mut pt, 0x40_0000, 0x99);
+        let path = pt.walk(VirtAddr::new(0x40_0000));
+        assert!(path.is_hit());
+        assert_eq!(path.memory_accesses(), 4);
+        assert_eq!(path.steps[0].level, WalkIndexLevel::L4);
+        assert_eq!(path.steps[3].level, WalkIndexLevel::L1);
+        assert!(matches!(path.steps[3].outcome, WalkLevel::Leaf { page_size: PageSize::Size4K }));
+    }
+
+    #[test]
+    fn walk_of_2m_mapping_takes_three_accesses() {
+        let mut pt = PageTable::new();
+        pt.map(
+            VirtAddr::new(0x20_0000),
+            PageSize::Size2M,
+            PhysFrameNum::new(0x1000),
+            MemNode::Host,
+        )
+        .unwrap();
+        let path = pt.walk(VirtAddr::new(0x20_0000 + 0x1234));
+        assert!(path.is_hit());
+        assert_eq!(path.memory_accesses(), 3);
+        let t = path.translation.unwrap();
+        assert_eq!(t.pa.raw(), (0x1000u64 << 12) + 0x1234);
+        assert_eq!(t.page_size, PageSize::Size2M);
+    }
+
+    #[test]
+    fn walk_miss_reports_partial_path() {
+        let pt = PageTable::new();
+        let path = pt.walk(VirtAddr::new(0x1234_5678));
+        assert!(!path.is_hit());
+        assert_eq!(path.memory_accesses(), 1);
+        assert!(matches!(path.steps[0].outcome, WalkLevel::NotPresent));
+    }
+
+    #[test]
+    fn misaligned_2m_mapping_rejected() {
+        let mut pt = PageTable::new();
+        let err = pt
+            .map(VirtAddr::new(0x1000), PageSize::Size2M, PhysFrameNum::new(1), MemNode::Host)
+            .unwrap_err();
+        assert!(matches!(err, VmemError::MisalignedMapping { .. }));
+    }
+
+    #[test]
+    fn double_mapping_rejected() {
+        let mut pt = PageTable::new();
+        map_4k(&mut pt, 0x1000, 1);
+        let err = pt
+            .map(VirtAddr::new(0x1000), PageSize::Size4K, PhysFrameNum::new(2), MemNode::Host)
+            .unwrap_err();
+        assert!(matches!(err, VmemError::AlreadyMapped { .. }));
+        // Mapping a 4 KB page under an existing 2 MB page is also rejected.
+        pt.map(VirtAddr::new(0x20_0000), PageSize::Size2M, PhysFrameNum::new(3), MemNode::Host)
+            .unwrap();
+        let err = pt
+            .map(VirtAddr::new(0x20_1000), PageSize::Size4K, PhysFrameNum::new(4), MemNode::Host)
+            .unwrap_err();
+        assert!(matches!(err, VmemError::AlreadyMapped { .. }));
+    }
+
+    #[test]
+    fn unmap_removes_mapping_and_updates_stats() {
+        let mut pt = PageTable::new();
+        map_4k(&mut pt, 0x5000, 42);
+        assert_eq!(pt.stats().leaf_4k, 1);
+        let old = pt.unmap(VirtAddr::new(0x5000)).unwrap();
+        assert_eq!(old.pfn.raw(), 42);
+        assert_eq!(pt.stats().leaf_4k, 0);
+        assert!(!pt.is_mapped(VirtAddr::new(0x5000)));
+        assert!(matches!(pt.unmap(VirtAddr::new(0x5000)), Err(VmemError::NotMapped { .. })));
+    }
+
+    #[test]
+    fn remap_changes_frame_and_node() {
+        let mut pt = PageTable::new();
+        map_4k(&mut pt, 0x5000, 42);
+        let old = pt
+            .remap(VirtAddr::new(0x5000), PhysFrameNum::new(100), MemNode::Npu(3))
+            .unwrap();
+        assert_eq!(old.pfn.raw(), 42);
+        let t = pt.translate(VirtAddr::new(0x5abc)).unwrap();
+        assert_eq!(t.pfn.raw(), 100);
+        assert_eq!(t.node, MemNode::Npu(3));
+        assert_eq!(t.pa.raw(), (100u64 << 12) | 0xabc);
+    }
+
+    #[test]
+    fn adjacent_pages_share_upper_tables() {
+        let mut pt = PageTable::new();
+        map_4k(&mut pt, 0x10_0000, 1);
+        let tables_after_first = pt.stats().tables;
+        map_4k(&mut pt, 0x10_1000, 2);
+        // The second page is in the same L1 table: no new interior nodes.
+        assert_eq!(pt.stats().tables, tables_after_first);
+        let a = pt.walk(VirtAddr::new(0x10_0000));
+        let b = pt.walk(VirtAddr::new(0x10_1000));
+        for i in 0..3 {
+            assert_eq!(a.steps[i].table, b.steps[i].table);
+        }
+    }
+
+    #[test]
+    fn walk_from_cached_path_skips_upper_levels() {
+        let mut pt = PageTable::new();
+        map_4k(&mut pt, 0x40_0000, 7);
+        let partial = pt.walk_from_cached_path(VirtAddr::new(0x40_0000));
+        assert!(partial.is_hit());
+        assert_eq!(partial.memory_accesses(), 1);
+        pt.map(
+            VirtAddr::new(0x8000_0000),
+            PageSize::Size2M,
+            PhysFrameNum::new(0x2000),
+            MemNode::Host,
+        )
+        .unwrap();
+        let partial2m = pt.walk_from_cached_path(VirtAddr::new(0x8000_0000));
+        assert!(partial2m.is_hit());
+        assert_eq!(partial2m.memory_accesses(), 0);
+    }
+
+    #[test]
+    fn stats_mapped_bytes() {
+        let mut pt = PageTable::new();
+        map_4k(&mut pt, 0x1000, 1);
+        pt.map(VirtAddr::new(0x20_0000), PageSize::Size2M, PhysFrameNum::new(512), MemNode::Host)
+            .unwrap();
+        assert_eq!(pt.stats().mapped_bytes(), 4096 + 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn page_count_helpers() {
+        assert_eq!(pages_4k(1), 1);
+        assert_eq!(pages_4k(4096), 1);
+        assert_eq!(pages_4k(4097), 2);
+        assert_eq!(pages_2m(2 * 1024 * 1024 + 1), 2);
+    }
+
+    #[test]
+    fn table_ids_have_distinct_synthetic_addresses() {
+        let a = TableId(0).phys_addr();
+        let b = TableId(1).phys_addr();
+        assert_ne!(a, b);
+        assert_eq!(b.raw() - a.raw(), 4096);
+    }
+}

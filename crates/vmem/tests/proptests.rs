@@ -1,0 +1,169 @@
+//! Property-based tests for the virtual-memory substrate.
+
+use proptest::prelude::*;
+
+use neummu_vmem::prelude::*;
+
+/// Strategy producing canonical virtual addresses.
+fn canonical_va() -> impl Strategy<Value = u64> {
+    0u64..(1u64 << 48)
+}
+
+proptest! {
+    /// Splitting an address into page base + offset and recombining is lossless.
+    #[test]
+    fn page_decomposition_roundtrip(raw in canonical_va()) {
+        let va = VirtAddr::new(raw);
+        for size in [PageSize::Size4K, PageSize::Size2M] {
+            let base = va.page_base(size);
+            let offset = va.page_offset(size);
+            prop_assert_eq!(base.raw() + offset, raw);
+            prop_assert!(offset < size.bytes());
+            prop_assert!(base.is_aligned(size));
+        }
+    }
+
+    /// The four 9-bit level indices plus the 12-bit offset reconstruct the address.
+    #[test]
+    fn level_indices_reconstruct_address(raw in canonical_va()) {
+        let va = VirtAddr::new(raw);
+        let l4 = u64::from(va.level_index(WalkIndexLevel::L4));
+        let l3 = u64::from(va.level_index(WalkIndexLevel::L3));
+        let l2 = u64::from(va.level_index(WalkIndexLevel::L2));
+        let l1 = u64::from(va.level_index(WalkIndexLevel::L1));
+        let offset = va.page_offset(PageSize::Size4K);
+        let rebuilt = (l4 << 39) | (l3 << 30) | (l2 << 21) | (l1 << 12) | offset;
+        prop_assert_eq!(rebuilt, raw);
+    }
+
+    /// Addresses sharing a 2 MB page always share their PathTag.
+    #[test]
+    fn path_tag_constant_within_2mb_page(base in canonical_va(), off_a in 0u64..(2<<20), off_b in 0u64..(2<<20)) {
+        let page = VirtAddr::new(base).page_base(PageSize::Size2M);
+        // Stay within the canonical range.
+        prop_assume!(page.raw() + (2 << 20) <= (1u64 << 48));
+        let a = page.add(off_a);
+        let b = page.add(off_b);
+        prop_assert_eq!(PathTag::of(a), PathTag::of(b));
+    }
+
+    /// Mapping then translating a set of distinct pages returns the frames
+    /// they were mapped to, and every walk visits exactly 4 levels.
+    #[test]
+    fn page_table_map_translate_roundtrip(pages in prop::collection::hash_set(0u64..(1u64 << 24), 1..50)) {
+        let mut pt = PageTable::new();
+        let pages: Vec<u64> = pages.into_iter().collect();
+        for (i, vpn) in pages.iter().enumerate() {
+            pt.map(
+                VirtPageNum::new(*vpn).base_addr(),
+                PageSize::Size4K,
+                PhysFrameNum::new(1_000_000 + i as u64),
+                MemNode::Npu(0),
+            )
+            .unwrap();
+        }
+        for (i, vpn) in pages.iter().enumerate() {
+            let va = VirtPageNum::new(*vpn).base_addr().add(123 % 4096);
+            let walk = pt.walk(va);
+            prop_assert!(walk.is_hit());
+            prop_assert_eq!(walk.memory_accesses(), 4);
+            let t = walk.translation.unwrap();
+            prop_assert_eq!(t.pfn.raw(), 1_000_000 + i as u64);
+        }
+        prop_assert_eq!(pt.stats().leaf_4k, pages.len() as u64);
+    }
+
+    /// Frame allocation never hands out the same frame twice while it is live,
+    /// and freed frames can be reused.
+    #[test]
+    fn frame_allocator_uniqueness(count in 1usize..200) {
+        let mut mem = PhysicalMemory::new(&[NodeSpec::new(MemNode::Npu(0), 1 << 20)]);
+        let budget = (1usize << 20) / 4096;
+        let n = count.min(budget);
+        let mut seen = std::collections::HashSet::new();
+        let mut frames = Vec::new();
+        for _ in 0..n {
+            let f = mem.alloc_frame(MemNode::Npu(0)).unwrap();
+            prop_assert!(seen.insert(f.raw()));
+            frames.push(f);
+        }
+        for f in &frames {
+            mem.free_frame(*f).unwrap();
+        }
+        prop_assert_eq!(mem.used_bytes(MemNode::Npu(0)).unwrap(), 0);
+        // All freed frames are reusable.
+        for _ in 0..n {
+            mem.alloc_frame(MemNode::Npu(0)).unwrap();
+        }
+    }
+
+    /// `pages_in_range` covers exactly the bytes in the range.
+    #[test]
+    fn pages_in_range_covers_range(start in 0u64..(1u64 << 40), len in 1u64..(1u64 << 20)) {
+        let pages = AddressSpace::pages_in_range(VirtAddr::new(start), len);
+        let expected = (start + len - 1) / 4096 - start / 4096 + 1;
+        prop_assert_eq!(pages.len() as u64, expected);
+        // Pages are consecutive and sorted.
+        for w in pages.windows(2) {
+            prop_assert_eq!(w[1].raw(), w[0].raw() + 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Demand paging maps exactly the touched pages of a lazy segment, and
+    /// repeated touches never fault twice.
+    #[test]
+    fn lazy_segment_faults_once_per_page(offsets in prop::collection::vec(0u64..(1u64 << 20), 1..64)) {
+        let mut mem = PhysicalMemory::with_npus(1, 1 << 30);
+        let mut space = AddressSpace::new("npu0");
+        let seg = space
+            .alloc_segment(
+                "emb",
+                1 << 20,
+                SegmentOptions::new(MemNode::Host, PageSize::Size4K).lazy(),
+                &mut mem,
+            )
+            .unwrap();
+        let mut distinct_pages = std::collections::HashSet::new();
+        let mut faults = 0u64;
+        for off in &offsets {
+            let va = seg.addr_at(*off);
+            let outcome = space.ensure_mapped(va, &mut mem).unwrap();
+            if outcome.faulted() {
+                faults += 1;
+            }
+            distinct_pages.insert(va.vpn());
+        }
+        prop_assert_eq!(faults, distinct_pages.len() as u64);
+        prop_assert_eq!(space.stats().faults, faults);
+        prop_assert_eq!(
+            mem.used_bytes(MemNode::Host).unwrap(),
+            distinct_pages.len() as u64 * 4096
+        );
+    }
+
+    /// Migration preserves the page offset of every translated address and
+    /// moves occupancy from the source to the destination node.
+    #[test]
+    fn migration_preserves_offsets(page_index in 0u64..256, probe_offset in 0u64..4096u64) {
+        let mut mem = PhysicalMemory::with_npus(2, 1 << 30);
+        let mut space = AddressSpace::new("sys");
+        let seg = space
+            .alloc_segment(
+                "table",
+                256 * 4096,
+                SegmentOptions::new(MemNode::Npu(1), PageSize::Size4K),
+                &mut mem,
+            )
+            .unwrap();
+        let va = seg.addr_at(page_index * 4096 + probe_offset);
+        let before = space.translate(va).unwrap();
+        space.migrate_page(va, MemNode::Npu(0), &mut mem).unwrap();
+        let after = space.translate(va).unwrap();
+        prop_assert_eq!(before.pa.frame_offset(), after.pa.frame_offset());
+        prop_assert_eq!(after.node, MemNode::Npu(0));
+    }
+}

@@ -1,0 +1,202 @@
+//! CNN workload definitions: AlexNet (CNN-1), GoogLeNet (CNN-2) and ResNet-50
+//! (CNN-3).
+//!
+//! The layer tables below use the published architecture dimensions of the
+//! respective networks. The paper picked these three CNNs because together
+//! they cover a wide range of filter and activation sizes (Section II-C).
+
+use neummu_npu::layer::Layer;
+
+/// AlexNet (CNN-1): five convolution layers followed by three fully-connected
+/// layers.
+#[must_use]
+pub fn alexnet(batch: u64) -> Vec<Layer> {
+    vec![
+        Layer::conv2d("conv1", batch, 3, 224, 224, 64, 11, 11, 4, 2),
+        Layer::conv2d("conv2", batch, 64, 27, 27, 192, 5, 5, 1, 2),
+        Layer::conv2d("conv3", batch, 192, 13, 13, 384, 3, 3, 1, 1),
+        Layer::conv2d("conv4", batch, 384, 13, 13, 256, 3, 3, 1, 1),
+        Layer::conv2d("conv5", batch, 256, 13, 13, 256, 3, 3, 1, 1),
+        Layer::fully_connected("fc6", batch, 256 * 6 * 6, 4096),
+        Layer::fully_connected("fc7", batch, 4096, 4096),
+        Layer::fully_connected("fc8", batch, 4096, 1000),
+    ]
+}
+
+/// One GoogLeNet inception module, lowered into its constituent convolutions.
+///
+/// `ch` is the number of input channels of the module; the `b*` parameters are
+/// the published branch widths (1×1, 3×3-reduce, 3×3, 5×5-reduce, 5×5, pool
+/// projection).
+#[allow(clippy::too_many_arguments)]
+fn inception(
+    name: &str,
+    batch: u64,
+    ch: u64,
+    hw: u64,
+    b1: u64,
+    b3r: u64,
+    b3: u64,
+    b5r: u64,
+    b5: u64,
+    pool_proj: u64,
+) -> Vec<Layer> {
+    vec![
+        Layer::conv2d(format!("{name}_1x1"), batch, ch, hw, hw, b1, 1, 1, 1, 0),
+        Layer::conv2d(format!("{name}_3x3r"), batch, ch, hw, hw, b3r, 1, 1, 1, 0),
+        Layer::conv2d(format!("{name}_3x3"), batch, b3r, hw, hw, b3, 3, 3, 1, 1),
+        Layer::conv2d(format!("{name}_5x5r"), batch, ch, hw, hw, b5r, 1, 1, 1, 0),
+        Layer::conv2d(format!("{name}_5x5"), batch, b5r, hw, hw, b5, 5, 5, 1, 2),
+        Layer::conv2d(format!("{name}_pool"), batch, ch, hw, hw, pool_proj, 1, 1, 1, 0),
+    ]
+}
+
+/// GoogLeNet (CNN-2): the stem convolutions, all nine inception modules and
+/// the classifier.
+#[must_use]
+pub fn googlenet(batch: u64) -> Vec<Layer> {
+    let mut layers = vec![
+        Layer::conv2d("conv1", batch, 3, 224, 224, 64, 7, 7, 2, 3),
+        Layer::conv2d("conv2_reduce", batch, 64, 56, 56, 64, 1, 1, 1, 0),
+        Layer::conv2d("conv2", batch, 64, 56, 56, 192, 3, 3, 1, 1),
+    ];
+    layers.extend(inception("inc3a", batch, 192, 28, 64, 96, 128, 16, 32, 32));
+    layers.extend(inception("inc3b", batch, 256, 28, 128, 128, 192, 32, 96, 64));
+    layers.extend(inception("inc4a", batch, 480, 14, 192, 96, 208, 16, 48, 64));
+    layers.extend(inception("inc4b", batch, 512, 14, 160, 112, 224, 24, 64, 64));
+    layers.extend(inception("inc4c", batch, 512, 14, 128, 128, 256, 24, 64, 64));
+    layers.extend(inception("inc4d", batch, 512, 14, 112, 144, 288, 32, 64, 64));
+    layers.extend(inception("inc4e", batch, 528, 14, 256, 160, 320, 32, 128, 128));
+    layers.extend(inception("inc5a", batch, 832, 7, 256, 160, 320, 32, 128, 128));
+    layers.extend(inception("inc5b", batch, 832, 7, 384, 192, 384, 48, 128, 128));
+    layers.push(Layer::fully_connected("fc", batch, 1024, 1000));
+    layers
+}
+
+/// One ResNet bottleneck block (1×1 reduce, 3×3, 1×1 expand), plus the
+/// projection shortcut when the block changes resolution or width.
+fn bottleneck(
+    name: &str,
+    batch: u64,
+    in_ch: u64,
+    hw: u64,
+    mid_ch: u64,
+    out_ch: u64,
+    stride: u64,
+    project: bool,
+) -> Vec<Layer> {
+    let out_hw = hw / stride;
+    let mut layers = vec![
+        Layer::conv2d(format!("{name}_a"), batch, in_ch, hw, hw, mid_ch, 1, 1, stride, 0),
+        Layer::conv2d(format!("{name}_b"), batch, mid_ch, out_hw, out_hw, mid_ch, 3, 3, 1, 1),
+        Layer::conv2d(format!("{name}_c"), batch, mid_ch, out_hw, out_hw, out_ch, 1, 1, 1, 0),
+    ];
+    if project {
+        layers.push(Layer::conv2d(
+            format!("{name}_proj"),
+            batch,
+            in_ch,
+            hw,
+            hw,
+            out_ch,
+            1,
+            1,
+            stride,
+            0,
+        ));
+    }
+    layers
+}
+
+/// ResNet-50 (CNN-3): the stem convolution, the four bottleneck stages
+/// (3/4/6/3 blocks) and the classifier.
+#[must_use]
+pub fn resnet50(batch: u64) -> Vec<Layer> {
+    let mut layers = vec![Layer::conv2d("conv1", batch, 3, 224, 224, 64, 7, 7, 2, 3)];
+    let stages: [(u64, u64, u64, u64, u64); 4] = [
+        // (blocks, input channels, spatial size, mid channels, output channels)
+        (3, 64, 56, 64, 256),
+        (4, 256, 56, 128, 512),
+        (6, 512, 28, 256, 1024),
+        (3, 1024, 14, 512, 2048),
+    ];
+    for (stage_idx, (blocks, in_ch, hw, mid, out)) in stages.into_iter().enumerate() {
+        let stage_stride = if stage_idx > 0 { 2 } else { 1 };
+        for block in 0..blocks {
+            let name = format!("res{}_{block}", stage_idx + 2);
+            let first = block == 0;
+            let stride = if first { stage_stride } else { 1 };
+            let block_in = if first { in_ch } else { out };
+            let block_hw = if first { hw } else { hw / stage_stride };
+            layers.extend(bottleneck(&name, batch, block_in, block_hw, mid, out, stride, first));
+        }
+    }
+    layers.push(Layer::fully_connected("fc", batch, 2048, 1000));
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_layer_count_and_validity() {
+        let layers = alexnet(4);
+        assert_eq!(layers.len(), 8);
+        for layer in &layers {
+            assert!(layer.validate().is_ok(), "{} invalid", layer.name());
+            assert_eq!(layer.batch(), 4);
+        }
+        // fc6 holds the largest weight matrix of AlexNet.
+        let fc6 = layers.iter().find(|l| l.name() == "fc6").unwrap();
+        assert_eq!(fc6.w_shape().bytes(), 256 * 6 * 6 * 4096 * 2);
+    }
+
+    #[test]
+    fn googlenet_has_nine_inception_modules() {
+        let layers = googlenet(1);
+        // 3 stem convs + 9 modules x 6 convs + 1 fc.
+        assert_eq!(layers.len(), 3 + 9 * 6 + 1);
+        for layer in &layers {
+            assert!(layer.validate().is_ok(), "{} invalid", layer.name());
+        }
+    }
+
+    #[test]
+    fn resnet50_has_53_convolutions_plus_fc() {
+        let layers = resnet50(1);
+        // Stem + 16 bottlenecks x 3 convs + 4 projection shortcuts + fc = 1+48+4+1.
+        assert_eq!(layers.len(), 54);
+        for layer in &layers {
+            assert!(layer.validate().is_ok(), "{} invalid", layer.name());
+        }
+    }
+
+    #[test]
+    fn batch_size_scales_activation_footprints_only() {
+        let b1 = alexnet(1);
+        let b8 = alexnet(8);
+        for (a, b) in b1.iter().zip(b8.iter()) {
+            assert_eq!(a.w_shape(), b.w_shape());
+            assert_eq!(b.ia_shape().bytes(), 8 * a.ia_shape().bytes());
+        }
+    }
+
+    #[test]
+    fn networks_cover_a_wide_range_of_filter_sizes() {
+        // The paper chose these CNNs to span small and large filters.
+        let all: Vec<_> = alexnet(1).into_iter().chain(googlenet(1)).chain(resnet50(1)).collect();
+        let ks: Vec<u64> = all
+            .iter()
+            .filter_map(|l| match l.op() {
+                neummu_npu::layer::LayerOp::Conv2d { kernel_h, .. } => Some(kernel_h),
+                _ => None,
+            })
+            .collect();
+        assert!(ks.contains(&1));
+        assert!(ks.contains(&3));
+        assert!(ks.contains(&5));
+        assert!(ks.contains(&7));
+        assert!(ks.contains(&11));
+    }
+}

@@ -1,0 +1,64 @@
+//! RNN workload definitions (DeepBench-style kernels).
+//!
+//! The paper uses three recurrent workloads from DeepBench (Section II-C):
+//! one plain GEMV-based RNN (RNN-1) and two LSTM-based networks (RNN-2 and
+//! RNN-3). DeepBench specifies these kernels by their hidden size, input size
+//! and number of time steps; the weight matrices are tens of MBs and are
+//! re-streamed from memory every step when they exceed the scratchpad, which
+//! is what makes small-batch RNN inference memory-bandwidth-bound.
+
+use neummu_npu::layer::Layer;
+
+/// RNN-1: a vanilla (GEMV) recurrent network, hidden size 2560, 50 steps.
+#[must_use]
+pub fn rnn1(batch: u64) -> Vec<Layer> {
+    vec![Layer::rnn_cell("rnn_h2560", batch, 2560, 2560, 50)]
+}
+
+/// RNN-2: an LSTM network, hidden size 1760, 50 steps.
+#[must_use]
+pub fn rnn2(batch: u64) -> Vec<Layer> {
+    vec![Layer::lstm_cell("lstm_h1760", batch, 1760, 1760, 50)]
+}
+
+/// RNN-3: a larger LSTM network, hidden size 2048, 25 steps.
+#[must_use]
+pub fn rnn3(batch: u64) -> Vec<Layer> {
+    vec![Layer::lstm_cell("lstm_h2048", batch, 2048, 2048, 25)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rnn_layers_are_valid() {
+        for layers in [rnn1(1), rnn2(4), rnn3(8)] {
+            for layer in layers {
+                assert!(layer.validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn lstm_weight_matrices_exceed_the_scratchpad() {
+        // The defining property of the RNN suite: weights far exceed the 10 MB
+        // weight scratchpad, so every time step re-streams them from memory.
+        let lstm = &rnn2(1)[0];
+        assert!(lstm.w_shape().bytes() > 10 * 1024 * 1024);
+        let rnn = &rnn1(1)[0];
+        assert!(rnn.w_shape().bytes() > 10 * 1024 * 1024);
+    }
+
+    #[test]
+    fn repeats_match_time_steps() {
+        assert_eq!(rnn1(1)[0].repeats(), 50);
+        assert_eq!(rnn2(1)[0].repeats(), 50);
+        assert_eq!(rnn3(1)[0].repeats(), 25);
+    }
+
+    #[test]
+    fn batch_does_not_change_weight_footprint() {
+        assert_eq!(rnn3(1)[0].w_shape(), rnn3(8)[0].w_shape());
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: simulate one convolution layer under three MMU design points.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The example builds the Table I NPU, lowers a single ResNet-style
+//! convolution onto it, and compares the oracular MMU, the baseline IOMMU and
+//! NeuMMU. It prints the normalized performance and the translation statistics
+//! that explain the difference.
+
+use neummu::mmu::MmuConfig;
+use neummu::npu::Layer;
+use neummu::sim::dense::{DenseSimConfig, DenseSimulator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mid-sized convolution: 64 -> 64 channels over a 56x56 feature map.
+    let layer = Layer::conv2d("res2a_b", 4, 64, 56, 56, 64, 3, 3, 1, 1);
+
+    let oracle = DenseSimulator::new(DenseSimConfig::with_mmu(MmuConfig::oracle()))
+        .simulate_layer(&layer)?;
+
+    println!("layer: {} ({} tiles, {} translation requests per step)", layer.name(),
+        oracle.layers[0].tile_count, oracle.layers[0].translation_requests);
+    println!("oracle MMU: {} cycles\n", oracle.total_cycles);
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>10} {:>10} {:>12} {:>10}",
+        "MMU", "cycles", "norm. perf", "TLB hits", "merged", "page walks", "walk reads"
+    );
+    for (name, config) in [
+        ("oracle", MmuConfig::oracle()),
+        ("IOMMU", MmuConfig::baseline_iommu()),
+        ("NeuMMU", MmuConfig::neummu()),
+    ] {
+        let run = DenseSimulator::new(DenseSimConfig::with_mmu(config)).simulate_layer(&layer)?;
+        println!(
+            "{:<14} {:>12} {:>12.3} {:>10} {:>10} {:>12} {:>10}",
+            name,
+            run.total_cycles,
+            run.normalized_to(&oracle),
+            run.translation.tlb_hits,
+            run.translation.merged,
+            run.translation.walks,
+            run.translation.walk_memory_accesses,
+        );
+    }
+
+    println!(
+        "\nThe baseline IOMMU is throttled by its 8 page-table walkers; NeuMMU's \
+         request merging (PRMB), 128 walkers and translation path registers \
+         recover nearly all of the oracle's performance."
+    );
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Facade crate for the NeuMMU reproduction.
+//!
+//! Re-exports the workspace crates under a single name so that examples and
+//! downstream users can depend on `neummu` alone.
+//!
+//! ```
+//! use neummu::mmu::MmuConfig;
+//! let cfg = MmuConfig::neummu();
+//! assert!(cfg.num_ptws >= 1);
+//! ```
+
+pub use neummu_energy as energy;
+pub use neummu_mem as mem;
+pub use neummu_mmu as mmu;
+pub use neummu_npu as npu;
+pub use neummu_sim as sim;
+pub use neummu_vmem as vmem;
+pub use neummu_workloads as workloads;
