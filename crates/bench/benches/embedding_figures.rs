@@ -18,7 +18,9 @@ fn bench_recommender_figures(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(3));
-    group.bench_function("table1_configuration", |b| b.iter(|| black_box(table1::run())));
+    group.bench_function("table1_configuration", |b| {
+        b.iter(|| black_box(table1::run()))
+    });
     group.bench_function("fig15_numa_breakdown", |b| {
         b.iter(|| recommender::fig15_numa_breakdown(black_box(SCALE)).unwrap())
     });
@@ -37,9 +39,24 @@ fn bench_gather_strategies(c: &mut Criterion) {
     let sim = EmbeddingSimulator::new(EmbeddingSimConfig::with_mmu(MmuConfig::neummu()));
     for (name, strategy) in [
         ("host_relayed_copy", GatherStrategy::HostRelayedCopy),
-        ("numa_slow", GatherStrategy::NumaDirect { link: TransferKind::Pcie }),
-        ("numa_fast", GatherStrategy::NumaDirect { link: TransferKind::NpuLink }),
-        ("demand_paging", GatherStrategy::DemandPaging { link: TransferKind::NpuLink }),
+        (
+            "numa_slow",
+            GatherStrategy::NumaDirect {
+                link: TransferKind::Pcie,
+            },
+        ),
+        (
+            "numa_fast",
+            GatherStrategy::NumaDirect {
+                link: TransferKind::NpuLink,
+            },
+        ),
+        (
+            "demand_paging",
+            GatherStrategy::DemandPaging {
+                link: TransferKind::NpuLink,
+            },
+        ),
     ] {
         group.bench_function(format!("dlrm_b8_{name}"), |b| {
             b.iter(|| sim.simulate(black_box(&model), 8, strategy).unwrap())

@@ -115,8 +115,9 @@ fn bench_mmu_caches(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(3));
     let pt = streaming_table(2048);
-    let walks: Vec<_> =
-        (0..2048u64).map(|i| pt.walk(VirtAddr::new(0x10_0000_0000 + i * 4096))).collect();
+    let walks: Vec<_> = (0..2048u64)
+        .map(|i| pt.walk(VirtAddr::new(0x10_0000_0000 + i * 4096)))
+        .collect();
     group.throughput(Throughput::Elements(walks.len() as u64));
     group.bench_function("uptc_16_entries", |b| {
         b.iter(|| {
@@ -155,7 +156,10 @@ fn bench_translation_engine_burst(c: &mut Criterion) {
     for (name, config) in [
         ("baseline_iommu", MmuConfig::baseline_iommu()),
         ("neummu", MmuConfig::neummu()),
-        ("neummu_1024ptw_no_prmb", MmuConfig::baseline_iommu().with_ptws(1024)),
+        (
+            "neummu_1024ptw_no_prmb",
+            MmuConfig::baseline_iommu().with_ptws(1024),
+        ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {

@@ -24,7 +24,10 @@ impl ExperimentArtifacts {
     pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(ExperimentArtifacts { root, written: Vec::new() })
+        Ok(ExperimentArtifacts {
+            root,
+            written: Vec::new(),
+        })
     }
 
     /// The artifact directory.

@@ -45,7 +45,9 @@ fn parse_args() -> Result<Options, String> {
                 out_dir = args.next().ok_or("--out requires a directory argument")?;
             }
             "--only" => {
-                let list = args.next().ok_or("--only requires a comma-separated list")?;
+                let list = args
+                    .next()
+                    .ok_or("--only requires a comma-separated list")?;
                 only = Some(list.split(',').map(|s| s.trim().to_string()).collect());
             }
             "--help" | "-h" => {
@@ -57,7 +59,11 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    Ok(Options { scale, out_dir, only })
+    Ok(Options {
+        scale,
+        out_dir,
+        only,
+    })
 }
 
 fn wants(options: &Options, id: &str) -> bool {
@@ -70,8 +76,8 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let started = Instant::now();
 
     let emit = |name: &str,
-                    table: neummu_sim::ResultTable,
-                    artifacts: &mut ExperimentArtifacts|
+                table: neummu_sim::ResultTable,
+                artifacts: &mut ExperimentArtifacts|
      -> Result<(), Box<dyn std::error::Error>> {
         println!("{}", table.to_markdown());
         artifacts.table(name, &table)?;
@@ -89,7 +95,10 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if wants(options, "fig07") {
-        for (workload, name) in [(WorkloadId::Cnn1, "fig07a_cnn1"), (WorkloadId::Rnn1, "fig07b_rnn1")] {
+        for (workload, name) in [
+            (WorkloadId::Cnn1, "fig07a_cnn1"),
+            (WorkloadId::Rnn1, "fig07b_rnn1"),
+        ] {
             let result = characterization::fig07_translation_bursts(workload, 1)?;
             artifacts.json(name, &result)?;
             println!(

@@ -65,7 +65,10 @@ impl MmuConfig {
     /// The oracular MMU.
     #[must_use]
     pub fn oracle() -> Self {
-        MmuConfig { kind: MmuKind::Oracle, ..Self::baseline_iommu() }
+        MmuConfig {
+            kind: MmuKind::Oracle,
+            ..Self::baseline_iommu()
+        }
     }
 
     /// The baseline IOMMU of Table I: 2048-entry TLB, 8 walkers, no merging,
@@ -162,8 +165,16 @@ impl MmuConfig {
     #[must_use]
     pub fn added_sram_bytes(&self) -> u64 {
         let prmb = 8 * self.prmb_slots_per_ptw as u64 * self.num_ptws as u64;
-        let tpreg = if self.tpreg_enabled { 16 * self.num_ptws as u64 } else { 0 };
-        let pts = if self.merging_enabled() { 6 * self.num_ptws as u64 } else { 0 };
+        let tpreg = if self.tpreg_enabled {
+            16 * self.num_ptws as u64
+        } else {
+            0
+        };
+        let pts = if self.merging_enabled() {
+            6 * self.num_ptws as u64
+        } else {
+            0
+        };
         prmb + tpreg + pts
     }
 }
@@ -204,7 +215,9 @@ mod tests {
         let cfg = MmuConfig::neummu().with_ptws(256);
         assert_eq!(cfg.num_ptws, 256);
         assert_eq!(cfg.kind, MmuKind::Custom);
-        let cfg = MmuConfig::baseline_iommu().with_prmb_slots(16).with_tlb_entries(128);
+        let cfg = MmuConfig::baseline_iommu()
+            .with_prmb_slots(16)
+            .with_tlb_entries(128);
         assert_eq!(cfg.prmb_slots_per_ptw, 16);
         assert_eq!(cfg.tlb_entries, 128);
     }

@@ -102,7 +102,11 @@ impl OracleTranslator {
     /// Creates an oracle translating at the given page size.
     #[must_use]
     pub fn new(page_size: PageSize) -> Self {
-        OracleTranslator { page_size, stats: TranslationStats::default(), energy: EnergyMeter::default() }
+        OracleTranslator {
+            page_size,
+            stats: TranslationStats::default(),
+            energy: EnergyMeter::default(),
+        }
     }
 }
 
@@ -215,11 +219,11 @@ impl TranslationEngine {
                 self.energy.record(EnergyEvent::TlbFill, 1);
             }
             if walk.merged_requests > 0 {
-                self.energy.record(EnergyEvent::PrmbRead, u64::from(walk.merged_requests));
+                self.energy
+                    .record(EnergyEvent::PrmbRead, u64::from(walk.merged_requests));
             }
         }
     }
-
 }
 
 impl AddressTranslator for TranslationEngine {
@@ -243,8 +247,7 @@ impl AddressTranslator for TranslationEngine {
             if self.tlb.lookup(page_number) {
                 self.stats.tlb_hits += 1;
                 let complete = now + self.config.tlb_hit_latency;
-                self.stats.last_completion_cycle =
-                    self.stats.last_completion_cycle.max(complete);
+                self.stats.last_completion_cycle = self.stats.last_completion_cycle.max(complete);
                 self.stats.stall_cycles += now - cycle;
                 return TranslationOutcome {
                     accept_cycle: now,
@@ -286,14 +289,16 @@ impl AddressTranslator for TranslationEngine {
             if self.config.tpreg_enabled {
                 self.energy.record(EnergyEvent::TpregAccess, 1);
             }
-            match self.walkers.start_walk(
-                now,
-                page_number,
-                PathTag::of(va),
-                full_levels,
-                mapped,
-            ) {
-                WalkAdmission::Started { completes_at, path_match, levels_read, .. } => {
+            match self
+                .walkers
+                .start_walk(now, page_number, PathTag::of(va), full_levels, mapped)
+            {
+                WalkAdmission::Started {
+                    completes_at,
+                    path_match,
+                    levels_read,
+                    ..
+                } => {
                     self.stats.tlb_misses += 1;
                     self.stats.walks += 1;
                     self.stats.walk_memory_accesses += u64::from(levels_read);
@@ -408,7 +413,10 @@ mod tests {
         let pt = mapped_table(0x100_0000, 1);
         let mut mmu = TranslationEngine::new(MmuConfig::baseline_iommu());
         let first = mmu.translate(&pt, VirtAddr::new(0x100_0000), 0);
-        assert!(matches!(first.source, TranslationSource::PageWalk { levels_read: 4 }));
+        assert!(matches!(
+            first.source,
+            TranslationSource::PageWalk { levels_read: 4 }
+        ));
         assert_eq!(first.complete_cycle, 400);
         // After the walk completes, the same page hits in the TLB.
         let second = mmu.translate(&pt, VirtAddr::new(0x100_0040), first.complete_cycle + 1);
@@ -457,7 +465,11 @@ mod tests {
         let first = mmu.translate(&pt, VirtAddr::new(0x300_0000), 0);
         let second = mmu.translate(&pt, VirtAddr::new(0x300_1000), 1);
         assert_eq!(first.complete_cycle, 400);
-        assert!(second.accept_cycle >= 400, "accept at {}", second.accept_cycle);
+        assert!(
+            second.accept_cycle >= 400,
+            "accept at {}",
+            second.accept_cycle
+        );
         assert_eq!(mmu.stats().structural_stalls, 1);
         assert!(mmu.stats().stall_cycles >= 399);
     }
@@ -496,9 +508,9 @@ mod tests {
         };
         let accesses_with = run(with_tpreg);
         let accesses_without = run(without_tpreg);
-        assert_eq!(accesses_without, pages as u64 * 4);
+        assert_eq!(accesses_without, pages * 4);
         // First walk reads 4 levels, the rest only the leaf.
-        assert_eq!(accesses_with, 4 + (pages as u64 - 1));
+        assert_eq!(accesses_with, 4 + (pages - 1));
         assert!(accesses_without > 2 * accesses_with);
     }
 
@@ -508,9 +520,7 @@ mod tests {
         // match after the first walk; L2 misses at every 2 MB boundary.
         let pages = 2048; // 8 MB of consecutive pages
         let pt = mapped_table(0x4000_0000, pages);
-        let mut mmu = TranslationEngine::new(
-            MmuConfig::neummu().with_ptws(1).with_tlb_entries(16),
-        );
+        let mut mmu = TranslationEngine::new(MmuConfig::neummu().with_ptws(1).with_tlb_entries(16));
         let mut cycle = 0;
         for i in 0..pages {
             let out = mmu.translate(&pt, VirtAddr::new(0x4000_0000 + i * 4096), cycle);
@@ -529,7 +539,10 @@ mod tests {
         let mut mmu = TranslationEngine::new(MmuConfig::neummu());
         let out = mmu.translate(&pt, VirtAddr::new(0x9999_0000), 0);
         assert!(out.fault);
-        assert!(matches!(out.source, TranslationSource::PageWalk { levels_read: 1 }));
+        assert!(matches!(
+            out.source,
+            TranslationSource::PageWalk { levels_read: 1 }
+        ));
         assert_eq!(mmu.stats().faults, 1);
         // A faulting walk never fills the TLB.
         let again = mmu.translate(&pt, VirtAddr::new(0x9999_0000), out.complete_cycle + 1);
@@ -549,7 +562,10 @@ mod tests {
         let mut mmu =
             TranslationEngine::new(MmuConfig::baseline_iommu().with_page_size(PageSize::Size2M));
         let first = mmu.translate(&pt, VirtAddr::new(0x4000_0000), 0);
-        assert!(matches!(first.source, TranslationSource::PageWalk { levels_read: 3 }));
+        assert!(matches!(
+            first.source,
+            TranslationSource::PageWalk { levels_read: 3 }
+        ));
         assert_eq!(first.complete_cycle, 300);
         // An address 1 MB away is still in the same 2 MB page: TLB hit.
         let second = mmu.translate(&pt, VirtAddr::new(0x4010_0000), 400);
@@ -599,7 +615,11 @@ mod tests {
             let out = mmu.translate(&pt, VirtAddr::new(0xd00_0000 + i * 4096), cycle);
             cycle = out.accept_cycle + 1;
         }
-        assert_eq!(mmu.energy().count(neummu_energy::EnergyEvent::PageWalkMemoryAccess), 16);
+        assert_eq!(
+            mmu.energy()
+                .count(neummu_energy::EnergyEvent::PageWalkMemoryAccess),
+            16
+        );
         assert!(mmu.energy().total_nj() > 0.0);
     }
 }

@@ -67,7 +67,11 @@ struct LruCore<K: std::hash::Hash + Eq + Clone> {
 
 impl<K: std::hash::Hash + Eq + Clone> LruCore<K> {
     fn new(capacity: usize) -> Self {
-        LruCore { entries: HashMap::new(), capacity, stamp: 0 }
+        LruCore {
+            entries: HashMap::new(),
+            capacity,
+            stamp: 0,
+        }
     }
 
     fn contains_and_touch(&mut self, key: &K) -> bool {
@@ -83,8 +87,11 @@ impl<K: std::hash::Hash + Eq + Clone> LruCore<K> {
     fn insert(&mut self, key: K) {
         self.stamp += 1;
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            if let Some(victim) =
-                self.entries.iter().min_by_key(|(_, stamp)| **stamp).map(|(k, _)| k.clone())
+            if let Some(victim) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, stamp)| **stamp)
+                .map(|(k, _)| k.clone())
             {
                 self.entries.remove(&victim);
             }
@@ -106,7 +113,12 @@ impl UnifiedPageTableCache {
     /// Creates a UPTC with the given entry count.
     #[must_use]
     pub fn new(entries: usize) -> Self {
-        UnifiedPageTableCache { lru: LruCore::new(entries.max(1)), lookups: 0, hits: 0, skipped: 0 }
+        UnifiedPageTableCache {
+            lru: LruCore::new(entries.max(1)),
+            lookups: 0,
+            hits: 0,
+            skipped: 0,
+        }
     }
 }
 
@@ -132,7 +144,10 @@ impl WalkCache for UnifiedPageTableCache {
             }
         }
         self.skipped += u64::from(skipped);
-        WalkCacheOutcome { skipped_levels: skipped, levels_read: read }
+        WalkCacheOutcome {
+            skipped_levels: skipped,
+            levels_read: read,
+        }
     }
 
     fn kind(&self) -> MmuCacheKind {
@@ -230,7 +245,10 @@ impl WalkCache for TranslationPathCache {
         let skipped = depth.min(skippable);
         self.skipped += u64::from(skipped);
         self.lru.insert((tag.l4, tag.l3, tag.l2));
-        WalkCacheOutcome { skipped_levels: skipped, levels_read: total_levels - skipped }
+        WalkCacheOutcome {
+            skipped_levels: skipped,
+            levels_read: total_levels - skipped,
+        }
     }
 
     fn kind(&self) -> MmuCacheKind {
@@ -288,7 +306,9 @@ mod tests {
     }
 
     fn streaming_addrs(pages: u64) -> Vec<VirtAddr> {
-        (0..pages).map(|i| VirtAddr::new(0x4000_0000 + i * 4096)).collect()
+        (0..pages)
+            .map(|i| VirtAddr::new(0x4000_0000 + i * 4096))
+            .collect()
     }
 
     #[test]
@@ -339,7 +359,13 @@ mod tests {
         for i in 0..64u64 {
             // Pages 1 GiB apart: different L3/L2 indices every time.
             let va = VirtAddr::new(i << 30);
-            pt.map(va, PageSize::Size4K, PhysFrameNum::new(i + 1), MemNode::Host).unwrap();
+            pt.map(
+                va,
+                PageSize::Size4K,
+                PhysFrameNum::new(i + 1),
+                MemNode::Host,
+            )
+            .unwrap();
             addrs.push(va);
         }
         let mut tpc = TranslationPathCache::new(1);

@@ -153,8 +153,18 @@ mod tests {
 
     #[test]
     fn merge_accumulates_counters() {
-        let mut a = TranslationStats { requests: 10, walks: 2, last_completion_cycle: 50, ..Default::default() };
-        let b = TranslationStats { requests: 5, walks: 1, last_completion_cycle: 40, ..Default::default() };
+        let mut a = TranslationStats {
+            requests: 10,
+            walks: 2,
+            last_completion_cycle: 50,
+            ..Default::default()
+        };
+        let b = TranslationStats {
+            requests: 5,
+            walks: 1,
+            last_completion_cycle: 40,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.requests, 15);
         assert_eq!(a.walks, 3);

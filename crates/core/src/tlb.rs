@@ -67,7 +67,10 @@ impl Tlb {
         self.stamp += 1;
         let stamp = self.stamp;
         let set = self.set_index(page_number);
-        if let Some(entry) = self.sets[set].iter_mut().find(|e| e.page_number == page_number) {
+        if let Some(entry) = self.sets[set]
+            .iter_mut()
+            .find(|e| e.page_number == page_number)
+        {
             entry.last_used = stamp;
             self.hits += 1;
             true
@@ -96,14 +99,20 @@ impl Tlb {
         }
         self.fills += 1;
         if set.len() < ways {
-            set.push(TlbEntry { page_number, last_used: stamp });
+            set.push(TlbEntry {
+                page_number,
+                last_used: stamp,
+            });
             return;
         }
         let victim = set
             .iter_mut()
             .min_by_key(|e| e.last_used)
             .expect("a full set always has a victim");
-        *victim = TlbEntry { page_number, last_used: stamp };
+        *victim = TlbEntry {
+            page_number,
+            last_used: stamp,
+        };
     }
 
     /// Invalidates a single translation (used when a page is migrated or

@@ -33,7 +33,11 @@ impl PathMatch {
     /// A miss on every level.
     #[must_use]
     pub fn miss() -> Self {
-        PathMatch { l4: false, l3: false, l2: false }
+        PathMatch {
+            l4: false,
+            l3: false,
+            l2: false,
+        }
     }
 }
 

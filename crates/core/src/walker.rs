@@ -196,7 +196,9 @@ impl WalkerPool {
             return None;
         }
         let slot = *self.pts.get(&page_number)?;
-        let walk = self.walks[slot].as_mut().expect("PTS entries reference live walks");
+        let walk = self.walks[slot]
+            .as_mut()
+            .expect("PTS entries reference live walks");
         if walk.merged_requests as usize >= self.prmb_slots {
             return None;
         }
@@ -242,7 +244,13 @@ impl WalkerPool {
             self.tpregs[walker].fill(tag);
         }
 
-        let walk = InFlightWalk { page_number, walker, completes_at, merged_requests: 0, mapped };
+        let walk = InFlightWalk {
+            page_number,
+            walker,
+            completes_at,
+            merged_requests: 0,
+            mapped,
+        };
         let slot = if let Some(slot) = self.free_slots.pop() {
             self.walks[slot] = Some(walk);
             slot
@@ -253,8 +261,16 @@ impl WalkerPool {
         if self.prmb_slots > 0 {
             self.pts.insert(page_number, slot);
         }
-        self.heap.push(HeapEntry { completes_at, walk_slot: slot });
-        WalkAdmission::Started { walker, completes_at, path_match, levels_read }
+        self.heap.push(HeapEntry {
+            completes_at,
+            walk_slot: slot,
+        });
+        WalkAdmission::Started {
+            walker,
+            completes_at,
+            path_match,
+            levels_read,
+        }
     }
 
     /// Invalidates every walker's TPreg (page-table update).
@@ -282,7 +298,11 @@ mod tests {
     fn walks_complete_after_per_level_latency() {
         let mut pool = WalkerPool::new(2, 0, 100, false);
         match start(&mut pool, 0, 7) {
-            WalkAdmission::Started { completes_at, levels_read, .. } => {
+            WalkAdmission::Started {
+                completes_at,
+                levels_read,
+                ..
+            } => {
                 assert_eq!(levels_read, 4);
                 assert_eq!(completes_at, 400);
             }
@@ -307,7 +327,10 @@ mod tests {
         }
         // After retiring, capacity is available again.
         pool.retire_completed(400);
-        assert!(matches!(start(&mut pool, 400, 3), WalkAdmission::Started { .. }));
+        assert!(matches!(
+            start(&mut pool, 400, 3),
+            WalkAdmission::Started { .. }
+        ));
     }
 
     #[test]
@@ -350,7 +373,12 @@ mod tests {
         pool.retire_completed(u64::MAX);
         // The next page in the same 2 MB region only reads the leaf level.
         match pool.start_walk(500, 0x1001, tag_of_page(0x1001), 4, true) {
-            WalkAdmission::Started { levels_read, path_match, completes_at, .. } => {
+            WalkAdmission::Started {
+                levels_read,
+                path_match,
+                completes_at,
+                ..
+            } => {
                 assert_eq!(levels_read, 1);
                 assert!(path_match.l2);
                 assert_eq!(completes_at, 600);

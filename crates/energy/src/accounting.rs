@@ -91,7 +91,10 @@ impl EnergyMeter {
     /// Creates a meter using the given energy table.
     #[must_use]
     pub fn new(table: EnergyTable) -> Self {
-        EnergyMeter { table, counts: [0; EnergyEvent::ALL.len()] }
+        EnergyMeter {
+            table,
+            counts: [0; EnergyEvent::ALL.len()],
+        }
     }
 
     fn index(event: EnergyEvent) -> usize {
@@ -141,7 +144,10 @@ impl EnergyMeter {
     pub fn breakdown(&self) -> EnergyBreakdown {
         let dram_nj = self.count(EnergyEvent::PageWalkMemoryAccess) as f64
             * self.unit_cost_nj(EnergyEvent::PageWalkMemoryAccess);
-        EnergyBreakdown { dram_nj, sram_nj: self.total_nj() - dram_nj }
+        EnergyBreakdown {
+            dram_nj,
+            sram_nj: self.total_nj() - dram_nj,
+        }
     }
 
     /// Merges another meter's counts into this one.

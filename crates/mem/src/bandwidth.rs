@@ -45,7 +45,12 @@ impl BandwidthServer {
             bytes_per_cycle > 0.0 && bytes_per_cycle.is_finite(),
             "bandwidth must be positive and finite, got {bytes_per_cycle}"
         );
-        BandwidthServer { bytes_per_cycle, busy_until: 0, total_bytes: 0, busy_cycles: 0 }
+        BandwidthServer {
+            bytes_per_cycle,
+            busy_until: 0,
+            total_bytes: 0,
+            busy_cycles: 0,
+        }
     }
 
     /// Sustained throughput in bytes per cycle.

@@ -51,7 +51,10 @@ impl DramModel {
     /// Creates a model from a configuration.
     #[must_use]
     pub fn new(config: DramConfig) -> Self {
-        DramModel { config, server: BandwidthServer::new(config.bandwidth_bytes_per_cycle) }
+        DramModel {
+            config,
+            server: BandwidthServer::new(config.bandwidth_bytes_per_cycle),
+        }
     }
 
     /// The Table I (TPU-like) memory system.

@@ -36,8 +36,7 @@ impl Link {
         if bytes == 0 {
             return 0;
         }
-        self.latency_cycles
-            + ((bytes as f64 / self.bandwidth_bytes_per_cycle).ceil() as u64).max(1)
+        self.latency_cycles + ((bytes as f64 / self.bandwidth_bytes_per_cycle).ceil() as u64).max(1)
     }
 }
 
@@ -67,8 +66,14 @@ impl InterconnectConfig {
     #[must_use]
     pub const fn table1() -> Self {
         InterconnectConfig {
-            pcie: Link { bandwidth_bytes_per_cycle: 16.0, latency_cycles: 500 },
-            npu_link: Link { bandwidth_bytes_per_cycle: 160.0, latency_cycles: 150 },
+            pcie: Link {
+                bandwidth_bytes_per_cycle: 16.0,
+                latency_cycles: 500,
+            },
+            npu_link: Link {
+                bandwidth_bytes_per_cycle: 160.0,
+                latency_cycles: 150,
+            },
             numa_hop_latency_cycles: 150,
             host_staging_overhead_cycles: 2_000,
             page_fault_overhead_cycles: 600,
@@ -169,12 +174,7 @@ impl CopyEngine {
 
     /// Models the migration of one page of `page_bytes` into local memory on a
     /// page fault (demand paging). Returns the completion cycle.
-    pub fn page_migration(
-        &mut self,
-        ready_cycle: u64,
-        page_bytes: u64,
-        kind: TransferKind,
-    ) -> u64 {
+    pub fn page_migration(&mut self, ready_cycle: u64, page_bytes: u64, kind: TransferKind) -> u64 {
         self.page_migrations += 1;
         let fault_done = ready_cycle + self.config.page_fault_overhead_cycles;
         let link = self.link(kind);
@@ -236,7 +236,10 @@ mod tests {
 
     #[test]
     fn isolated_link_transfer() {
-        let link = Link { bandwidth_bytes_per_cycle: 16.0, latency_cycles: 500 };
+        let link = Link {
+            bandwidth_bytes_per_cycle: 16.0,
+            latency_cycles: 500,
+        };
         assert_eq!(link.transfer_cycles(0), 0);
         assert_eq!(link.transfer_cycles(16), 501);
         assert_eq!(link.transfer_cycles(1600), 600);
@@ -253,8 +256,14 @@ mod tests {
         let numa_slow = engine2.numa_access(0, bytes, TransferKind::Pcie);
         let mut engine3 = CopyEngine::new(InterconnectConfig::table1());
         let numa_fast = engine3.numa_access(0, bytes, TransferKind::NpuLink);
-        assert!(staged > numa_slow, "staged {staged} vs numa_slow {numa_slow}");
-        assert!(numa_slow > numa_fast, "numa_slow {numa_slow} vs numa_fast {numa_fast}");
+        assert!(
+            staged > numa_slow,
+            "staged {staged} vs numa_slow {numa_slow}"
+        );
+        assert!(
+            numa_slow > numa_fast,
+            "numa_slow {numa_slow} vs numa_fast {numa_fast}"
+        );
     }
 
     #[test]
@@ -272,7 +281,10 @@ mod tests {
         let small = engine.page_migration(0, 4096, TransferKind::NpuLink);
         engine.reset();
         let large = engine.page_migration(0, 2 << 20, TransferKind::NpuLink);
-        assert!(large > 100 * small / 10, "2MB migration should dwarf 4KB: {large} vs {small}");
+        assert!(
+            large > 100 * small / 10,
+            "2MB migration should dwarf 4KB: {large} vs {small}"
+        );
         assert_eq!(engine.page_migrations(), 1);
     }
 

@@ -27,7 +27,10 @@ impl DmaConfig {
     /// Default DMA engine: 512-byte transactions, one translation per cycle.
     #[must_use]
     pub const fn default_config() -> Self {
-        DmaConfig { max_transaction_bytes: 512, translations_per_cycle: 1 }
+        DmaConfig {
+            max_transaction_bytes: 512,
+            translations_per_cycle: 1,
+        }
     }
 }
 
@@ -80,7 +83,10 @@ impl NpuConfig {
     /// SPM-centric memory hierarchy as the baseline.
     #[must_use]
     pub fn spatial_array() -> Self {
-        NpuConfig { compute: ComputeModel::spatial(16 * 16, 16), ..Self::tpu_like() }
+        NpuConfig {
+            compute: ComputeModel::spatial(16 * 16, 16),
+            ..Self::tpu_like()
+        }
     }
 
     /// Scratchpad bytes available to a *single* tile of activations
@@ -117,13 +123,19 @@ impl NpuConfig {
     /// Returns [`NpuError::InvalidConfig`] if any capacity or dimension is zero.
     pub fn validate(&self) -> Result<(), NpuError> {
         if self.act_spm_bytes == 0 || self.weight_spm_bytes == 0 {
-            return Err(NpuError::InvalidConfig { reason: "scratchpad capacity is zero".into() });
+            return Err(NpuError::InvalidConfig {
+                reason: "scratchpad capacity is zero".into(),
+            });
         }
         if self.peak_macs_per_cycle() == 0 {
-            return Err(NpuError::InvalidConfig { reason: "compute array has zero lanes".into() });
+            return Err(NpuError::InvalidConfig {
+                reason: "compute array has zero lanes".into(),
+            });
         }
         if self.frequency_ghz <= 0.0 {
-            return Err(NpuError::InvalidConfig { reason: "frequency must be positive".into() });
+            return Err(NpuError::InvalidConfig {
+                reason: "frequency must be positive".into(),
+            });
         }
         if self.dma.max_transaction_bytes == 0 || self.dma.translations_per_cycle == 0 {
             return Err(NpuError::InvalidConfig {
@@ -158,7 +170,10 @@ mod tests {
         let cfg = NpuConfig::tpu_like();
         assert_eq!(cfg.weight_tile_budget(), 5 * 1024 * 1024);
         assert_eq!(cfg.act_tile_budget(), 15 * 1024 * 1024 / 2);
-        let single = NpuConfig { double_buffered: false, ..cfg };
+        let single = NpuConfig {
+            double_buffered: false,
+            ..cfg
+        };
         assert_eq!(single.weight_tile_budget(), 10 * 1024 * 1024);
     }
 

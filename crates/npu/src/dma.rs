@@ -128,11 +128,18 @@ mod tests {
     use super::*;
 
     fn engine() -> DmaEngine {
-        DmaEngine::new(DmaConfig { max_transaction_bytes: 512, translations_per_cycle: 1 })
+        DmaEngine::new(DmaConfig {
+            max_transaction_bytes: 512,
+            translations_per_cycle: 1,
+        })
     }
 
     fn fetch(offset: u64, bytes: u64) -> TileFetch {
-        TileFetch { kind: TensorKind::Weight, offset, bytes }
+        TileFetch {
+            kind: TensorKind::Weight,
+            offset,
+            bytes,
+        }
     }
 
     #[test]
@@ -160,7 +167,13 @@ mod tests {
 
     #[test]
     fn transaction_count_matches_materialized_list() {
-        for (off, len) in [(0u64, 512u64), (1, 1), (511, 2), (1000, 100_000), (4096, 5 << 20)] {
+        for (off, len) in [
+            (0u64, 512u64),
+            (1, 1),
+            (511, 2),
+            (1000, 100_000),
+            (4096, 5 << 20),
+        ] {
             let f = fetch(off, len);
             assert_eq!(
                 engine().transaction_count(&f),
@@ -193,7 +206,14 @@ mod tests {
 
     #[test]
     fn transactions_preserve_tensor_kind() {
-        let f = TileFetch { kind: TensorKind::InputActivation, offset: 0, bytes: 2048 };
-        assert!(engine().transactions(&f).iter().all(|t| t.kind == TensorKind::InputActivation));
+        let f = TileFetch {
+            kind: TensorKind::InputActivation,
+            offset: 0,
+            bytes: 2048,
+        };
+        assert!(engine()
+            .transactions(&f)
+            .iter()
+            .all(|t| t.kind == TensorKind::InputActivation));
     }
 }

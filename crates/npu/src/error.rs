@@ -57,13 +57,18 @@ mod tests {
     #[test]
     fn display_messages() {
         let errs = [
-            NpuError::InvalidLayer { layer: "conv1".into(), reason: "zero channels".into() },
+            NpuError::InvalidLayer {
+                layer: "conv1".into(),
+                reason: "zero channels".into(),
+            },
             NpuError::TileTooLarge {
                 layer: "fc6".into(),
                 required_bytes: 1 << 30,
                 available_bytes: 1 << 20,
             },
-            NpuError::InvalidConfig { reason: "zero scratchpad".into() },
+            NpuError::InvalidConfig {
+                reason: "zero scratchpad".into(),
+            },
         ];
         for e in errs {
             assert!(!e.to_string().is_empty());

@@ -102,7 +102,11 @@ impl Layer {
     /// Creates a layer with an explicit data type.
     #[must_use]
     pub fn new(name: impl Into<String>, op: LayerOp, dtype: DataType) -> Self {
-        Layer { name: name.into(), op, dtype }
+        Layer {
+            name: name.into(),
+            op,
+            dtype,
+        }
     }
 
     /// Convenience constructor for a convolution layer (bf16 precision).
@@ -147,7 +151,11 @@ impl Layer {
     ) -> Self {
         Layer::new(
             name,
-            LayerOp::FullyConnected { batch, in_features, out_features },
+            LayerOp::FullyConnected {
+                batch,
+                in_features,
+                out_features,
+            },
             DataType::Bf16,
         )
     }
@@ -162,7 +170,16 @@ impl Layer {
         input: u64,
         time_steps: u64,
     ) -> Self {
-        Layer::new(name, LayerOp::RnnCell { batch, hidden, input, time_steps }, DataType::Bf16)
+        Layer::new(
+            name,
+            LayerOp::RnnCell {
+                batch,
+                hidden,
+                input,
+                time_steps,
+            },
+            DataType::Bf16,
+        )
     }
 
     /// Convenience constructor for an LSTM cell (bf16 precision).
@@ -174,7 +191,16 @@ impl Layer {
         input: u64,
         time_steps: u64,
     ) -> Self {
-        Layer::new(name, LayerOp::LstmCell { batch, hidden, input, time_steps }, DataType::Bf16)
+        Layer::new(
+            name,
+            LayerOp::LstmCell {
+                batch,
+                hidden,
+                input,
+                time_steps,
+            },
+            DataType::Bf16,
+        )
     }
 
     /// Layer name.
@@ -199,30 +225,64 @@ impl Layer {
     #[must_use]
     pub fn with_batch(&self, new_batch: u64) -> Layer {
         let op = match self.op {
-            LayerOp::Conv2d { in_channels, height, width, out_channels, kernel_h, kernel_w, stride, padding, .. } => {
-                LayerOp::Conv2d {
-                    batch: new_batch,
-                    in_channels,
-                    height,
-                    width,
-                    out_channels,
-                    kernel_h,
-                    kernel_w,
-                    stride,
-                    padding,
-                }
-            }
-            LayerOp::FullyConnected { in_features, out_features, .. } => {
-                LayerOp::FullyConnected { batch: new_batch, in_features, out_features }
-            }
-            LayerOp::RnnCell { hidden, input, time_steps, .. } => {
-                LayerOp::RnnCell { batch: new_batch, hidden, input, time_steps }
-            }
-            LayerOp::LstmCell { hidden, input, time_steps, .. } => {
-                LayerOp::LstmCell { batch: new_batch, hidden, input, time_steps }
-            }
+            LayerOp::Conv2d {
+                in_channels,
+                height,
+                width,
+                out_channels,
+                kernel_h,
+                kernel_w,
+                stride,
+                padding,
+                ..
+            } => LayerOp::Conv2d {
+                batch: new_batch,
+                in_channels,
+                height,
+                width,
+                out_channels,
+                kernel_h,
+                kernel_w,
+                stride,
+                padding,
+            },
+            LayerOp::FullyConnected {
+                in_features,
+                out_features,
+                ..
+            } => LayerOp::FullyConnected {
+                batch: new_batch,
+                in_features,
+                out_features,
+            },
+            LayerOp::RnnCell {
+                hidden,
+                input,
+                time_steps,
+                ..
+            } => LayerOp::RnnCell {
+                batch: new_batch,
+                hidden,
+                input,
+                time_steps,
+            },
+            LayerOp::LstmCell {
+                hidden,
+                input,
+                time_steps,
+                ..
+            } => LayerOp::LstmCell {
+                batch: new_batch,
+                hidden,
+                input,
+                time_steps,
+            },
         };
-        Layer { name: self.name.clone(), op, dtype: self.dtype }
+        Layer {
+            name: self.name.clone(),
+            op,
+            dtype: self.dtype,
+        }
     }
 
     /// Batch size of the layer.
@@ -238,7 +298,15 @@ impl Layer {
 
     /// Output spatial size of a convolution (height, width).
     fn conv_output_hw(&self) -> Option<(u64, u64)> {
-        if let LayerOp::Conv2d { height, width, kernel_h, kernel_w, stride, padding, .. } = self.op
+        if let LayerOp::Conv2d {
+            height,
+            width,
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+            ..
+        } = self.op
         {
             if stride == 0 {
                 return Some((0, 0));
@@ -264,7 +332,14 @@ impl Layer {
     #[must_use]
     pub fn gemm(&self) -> GemmDims {
         match self.op {
-            LayerOp::Conv2d { batch, in_channels, out_channels, kernel_h, kernel_w, .. } => {
+            LayerOp::Conv2d {
+                batch,
+                in_channels,
+                out_channels,
+                kernel_h,
+                kernel_w,
+                ..
+            } => {
                 let (oh, ow) = self.conv_output_hw().expect("conv layer has output dims");
                 GemmDims {
                     m: batch * oh * ow,
@@ -272,15 +347,35 @@ impl Layer {
                     n: out_channels,
                 }
             }
-            LayerOp::FullyConnected { batch, in_features, out_features } => {
-                GemmDims { m: batch, k: in_features, n: out_features }
-            }
-            LayerOp::RnnCell { batch, hidden, input, .. } => {
-                GemmDims { m: batch, k: hidden + input, n: hidden }
-            }
-            LayerOp::LstmCell { batch, hidden, input, .. } => {
-                GemmDims { m: batch, k: hidden + input, n: 4 * hidden }
-            }
+            LayerOp::FullyConnected {
+                batch,
+                in_features,
+                out_features,
+            } => GemmDims {
+                m: batch,
+                k: in_features,
+                n: out_features,
+            },
+            LayerOp::RnnCell {
+                batch,
+                hidden,
+                input,
+                ..
+            } => GemmDims {
+                m: batch,
+                k: hidden + input,
+                n: hidden,
+            },
+            LayerOp::LstmCell {
+                batch,
+                hidden,
+                input,
+                ..
+            } => GemmDims {
+                m: batch,
+                k: hidden + input,
+                n: 4 * hidden,
+            },
         }
     }
 
@@ -315,16 +410,28 @@ impl Layer {
     #[must_use]
     pub fn raw_input_shape(&self) -> TensorShape {
         match self.op {
-            LayerOp::Conv2d { batch, in_channels, height, width, .. } => {
-                TensorShape::new(&[batch, in_channels, height, width], self.dtype)
+            LayerOp::Conv2d {
+                batch,
+                in_channels,
+                height,
+                width,
+                ..
+            } => TensorShape::new(&[batch, in_channels, height, width], self.dtype),
+            LayerOp::FullyConnected {
+                batch, in_features, ..
+            } => TensorShape::new(&[batch, in_features], self.dtype),
+            LayerOp::RnnCell {
+                batch,
+                hidden,
+                input,
+                time_steps,
             }
-            LayerOp::FullyConnected { batch, in_features, .. } => {
-                TensorShape::new(&[batch, in_features], self.dtype)
-            }
-            LayerOp::RnnCell { batch, hidden, input, time_steps }
-            | LayerOp::LstmCell { batch, hidden, input, time_steps } => {
-                TensorShape::new(&[time_steps, batch, hidden + input], self.dtype)
-            }
+            | LayerOp::LstmCell {
+                batch,
+                hidden,
+                input,
+                time_steps,
+            } => TensorShape::new(&[time_steps, batch, hidden + input], self.dtype),
         }
     }
 
@@ -339,7 +446,11 @@ impl Layer {
     #[must_use]
     pub fn oa_shape(&self) -> TensorShape {
         match self.op {
-            LayerOp::Conv2d { batch, out_channels, .. } => {
+            LayerOp::Conv2d {
+                batch,
+                out_channels,
+                ..
+            } => {
                 let (oh, ow) = self.conv_output_hw().expect("conv layer has output dims");
                 TensorShape::new(&[batch, out_channels, oh, ow], self.dtype)
             }
@@ -358,13 +469,24 @@ impl Layer {
     /// convolution kernel does not fit in its padded input.
     pub fn validate(&self) -> Result<(), NpuError> {
         let fail = |reason: &str| {
-            Err(NpuError::InvalidLayer { layer: self.name.clone(), reason: reason.into() })
+            Err(NpuError::InvalidLayer {
+                layer: self.name.clone(),
+                reason: reason.into(),
+            })
         };
         let gemm = self.gemm();
         if gemm.m == 0 || gemm.k == 0 || gemm.n == 0 {
             return fail("lowered GEMM has a zero dimension");
         }
-        if let LayerOp::Conv2d { height, width, kernel_h, kernel_w, stride, padding, .. } = self.op
+        if let LayerOp::Conv2d {
+            height,
+            width,
+            kernel_h,
+            kernel_w,
+            stride,
+            padding,
+            ..
+        } = self.op
         {
             if stride == 0 {
                 return fail("stride must be positive");
@@ -401,7 +523,14 @@ mod tests {
     fn fully_connected_lowering() {
         let layer = Layer::fully_connected("fc6", 4, 9216, 4096);
         let gemm = layer.gemm();
-        assert_eq!(gemm, GemmDims { m: 4, k: 9216, n: 4096 });
+        assert_eq!(
+            gemm,
+            GemmDims {
+                m: 4,
+                k: 9216,
+                n: 4096
+            }
+        );
         assert_eq!(gemm.macs(), 4 * 9216 * 4096);
         assert_eq!(layer.w_shape().bytes(), 9216 * 4096 * 2);
     }
@@ -446,8 +575,10 @@ mod tests {
         assert!(bad_kernel.validate().is_err());
         let zero_stride = Layer::conv2d("bad2", 1, 3, 32, 32, 16, 3, 3, 0, 1);
         // Zero stride panics on division; construct via validate path instead.
-        assert!(std::panic::catch_unwind(|| zero_stride.validate()).is_err()
-            || zero_stride.validate().is_err());
+        assert!(
+            std::panic::catch_unwind(|| zero_stride.validate()).is_err()
+                || zero_stride.validate().is_err()
+        );
     }
 
     #[test]

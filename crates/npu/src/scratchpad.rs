@@ -25,7 +25,10 @@ struct Partition {
 
 impl Partition {
     fn new(capacity: u64) -> Self {
-        Partition { capacity, ..Partition::default() }
+        Partition {
+            capacity,
+            ..Partition::default()
+        }
     }
 
     fn stage(&mut self, bytes: u64) -> bool {
@@ -135,7 +138,12 @@ mod tests {
             let plan = TilingPlan::for_layer(&layer, &npu).unwrap();
             let mut spm = Scratchpad::new(&npu);
             for tile in plan.tiles() {
-                assert!(spm.stage_tile(tile), "tile {} does not fit for {}", tile.index, layer.name());
+                assert!(
+                    spm.stage_tile(tile),
+                    "tile {} does not fit for {}",
+                    tile.index,
+                    layer.name()
+                );
                 spm.swap_buffers();
             }
         }

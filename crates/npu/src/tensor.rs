@@ -77,8 +77,14 @@ impl TensorShape {
     #[must_use]
     pub fn new(dims: &[u64], dtype: DataType) -> Self {
         assert!(!dims.is_empty(), "a tensor needs at least one dimension");
-        assert!(dims.iter().all(|&d| d > 0), "tensor dimensions must be positive: {dims:?}");
-        TensorShape { dims: dims.to_vec(), dtype }
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "tensor dimensions must be positive: {dims:?}"
+        );
+        TensorShape {
+            dims: dims.to_vec(),
+            dtype,
+        }
     }
 
     /// Dimensions, outermost first.

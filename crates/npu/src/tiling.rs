@@ -164,9 +164,21 @@ impl TilingPlan {
                         None
                     };
 
-                    let m_cur = if mi == n_m - 1 { gemm.m - mi * m_tile } else { m_tile };
-                    let k_cur = if ki == n_k - 1 { gemm.k - ki * k_tile } else { k_tile };
-                    let n_cur = if ni == n_n - 1 { gemm.n - ni * n_tile } else { n_tile };
+                    let m_cur = if mi == n_m - 1 {
+                        gemm.m - mi * m_tile
+                    } else {
+                        m_tile
+                    };
+                    let k_cur = if ki == n_k - 1 {
+                        gemm.k - ki * k_tile
+                    } else {
+                        k_tile
+                    };
+                    let n_cur = if ni == n_n - 1 {
+                        gemm.n - ni * n_tile
+                    } else {
+                        n_tile
+                    };
                     let oa_writeback_bytes = if ki == n_k - 1 { oa_window } else { 0 };
 
                     tiles.push(TileWork {
@@ -174,7 +186,11 @@ impl TilingPlan {
                         ia_fetch,
                         w_fetch,
                         oa_writeback_bytes,
-                        compute: GemmDims { m: m_cur, k: k_cur, n: n_cur },
+                        compute: GemmDims {
+                            m: m_cur,
+                            k: k_cur,
+                            n: n_cur,
+                        },
                     });
                     index += 1;
                 }
@@ -262,7 +278,12 @@ impl TilingPlan {
     pub fn max_tile_fetch_bytes(&self) -> u64 {
         self.tiles
             .iter()
-            .flat_map(|t| [t.ia_fetch.map_or(0, |f| f.bytes), t.w_fetch.map_or(0, |f| f.bytes)])
+            .flat_map(|t| {
+                [
+                    t.ia_fetch.map_or(0, |f| f.bytes),
+                    t.w_fetch.map_or(0, |f| f.bytes),
+                ]
+            })
             .max()
             .unwrap_or(0)
     }
@@ -283,7 +304,11 @@ mod tests {
         let plan = TilingPlan::for_layer(&layer, &npu()).unwrap();
         for tile in plan.tiles() {
             if let Some(w) = tile.w_fetch {
-                assert!(w.bytes <= npu().weight_tile_budget(), "w fetch {} too big", w.bytes);
+                assert!(
+                    w.bytes <= npu().weight_tile_budget(),
+                    "w fetch {} too big",
+                    w.bytes
+                );
             }
             if let Some(ia) = tile.ia_fetch {
                 assert!(ia.bytes <= npu().act_tile_budget());
@@ -295,7 +320,12 @@ mod tests {
     fn weight_traffic_covers_the_weight_matrix_once() {
         let layer = Layer::fully_connected("fc", 4, 4096, 4096);
         let plan = TilingPlan::for_layer(&layer, &npu()).unwrap();
-        let w_total: u64 = plan.tiles().iter().filter_map(|t| t.w_fetch).map(|f| f.bytes).sum();
+        let w_total: u64 = plan
+            .tiles()
+            .iter()
+            .filter_map(|t| t.w_fetch)
+            .map(|f| f.bytes)
+            .sum();
         let expected = layer.w_shape().bytes();
         // Rounding of windows may add at most one window of slack.
         assert!(w_total >= expected, "w_total {w_total} < {expected}");
@@ -307,7 +337,12 @@ mod tests {
         // n = 4096 -> 8 n-blocks of 512; the IA matrix is re-streamed per block.
         let layer = Layer::fully_connected("fc", 8, 9216, 4096);
         let plan = TilingPlan::for_layer(&layer, &npu()).unwrap();
-        let ia_total: u64 = plan.tiles().iter().filter_map(|t| t.ia_fetch).map(|f| f.bytes).sum();
+        let ia_total: u64 = plan
+            .tiles()
+            .iter()
+            .filter_map(|t| t.ia_fetch)
+            .map(|f| f.bytes)
+            .sum();
         let per_sweep = layer.ia_shape().bytes();
         let n_blocks = 4096u64.div_ceil(512);
         assert!(ia_total >= per_sweep * n_blocks.saturating_sub(1));
@@ -350,7 +385,10 @@ mod tests {
         assert_eq!(plan.repeats(), 50);
         // LSTM weights (~49 MB at bf16) need around 10 weight blocks.
         let w_fetches = plan.tiles().iter().filter(|t| t.w_fetch.is_some()).count();
-        assert!(w_fetches >= 8, "expected >=8 weight blocks, got {w_fetches}");
+        assert!(
+            w_fetches >= 8,
+            "expected >=8 weight blocks, got {w_fetches}"
+        );
     }
 
     #[test]

@@ -7,7 +7,14 @@ use neummu_npu::prelude::*;
 /// Strategy producing valid convolution layer dimensions.
 fn conv_dims() -> impl Strategy<Value = (u64, u64, u64, u64, u64, u64)> {
     // (batch, in_channels, spatial, out_channels, kernel, stride)
-    (1u64..=8, 1u64..=256, 7u64..=64, 1u64..=256, 1u64..=5, 1u64..=2)
+    (
+        1u64..=8,
+        1u64..=256,
+        7u64..=64,
+        1u64..=256,
+        1u64..=5,
+        1u64..=2,
+    )
 }
 
 /// Strategy producing valid fully-connected layer dimensions.

@@ -154,7 +154,11 @@ impl WorkloadResult {
     /// Maximum per-tile page divergence across the whole workload (Figure 6).
     #[must_use]
     pub fn max_pages_per_tile(&self) -> u64 {
-        self.layers.iter().map(|l| l.max_pages_per_tile).max().unwrap_or(0)
+        self.layers
+            .iter()
+            .map(|l| l.max_pages_per_tile)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average per-tile page divergence across the whole workload (Figure 6).
@@ -164,8 +168,11 @@ impl WorkloadResult {
         if tiles == 0 {
             return 0.0;
         }
-        let weighted: f64 =
-            self.layers.iter().map(|l| l.avg_pages_per_tile * l.tile_count as f64).sum();
+        let weighted: f64 = self
+            .layers
+            .iter()
+            .map(|l| l.avg_pages_per_tile * l.tile_count as f64)
+            .sum();
         weighted / tiles as f64
     }
 }
@@ -363,7 +370,9 @@ mod tests {
     }
 
     fn run(layer: &Layer, mmu: MmuConfig) -> WorkloadResult {
-        DenseSimulator::new(DenseSimConfig::with_mmu(mmu)).simulate_layer(layer).unwrap()
+        DenseSimulator::new(DenseSimConfig::with_mmu(mmu))
+            .simulate_layer(layer)
+            .unwrap()
     }
 
     #[test]
@@ -372,7 +381,11 @@ mod tests {
             let oracle = run(&layer, MmuConfig::oracle());
             let iommu = run(&layer, MmuConfig::baseline_iommu());
             let neummu = run(&layer, MmuConfig::neummu());
-            assert!(oracle.total_cycles <= iommu.total_cycles, "{}", layer.name());
+            assert!(
+                oracle.total_cycles <= iommu.total_cycles,
+                "{}",
+                layer.name()
+            );
             assert!(oracle.total_cycles <= neummu.total_cycles);
             assert!(neummu.total_cycles <= iommu.total_cycles);
         }
@@ -387,7 +400,10 @@ mod tests {
         let neummu_norm = neummu.normalized_to(&oracle);
         let iommu_norm = iommu.normalized_to(&oracle);
         assert!(neummu_norm > 0.9, "NeuMMU normalized perf {neummu_norm}");
-        assert!(iommu_norm < 0.5, "baseline IOMMU normalized perf {iommu_norm}");
+        assert!(
+            iommu_norm < 0.5,
+            "baseline IOMMU normalized perf {iommu_norm}"
+        );
     }
 
     #[test]
@@ -421,7 +437,9 @@ mod tests {
     #[test]
     fn traces_capture_issue_bursts_and_va_windows() {
         let config = DenseSimConfig::with_mmu(MmuConfig::oracle()).with_traces();
-        let result = DenseSimulator::new(config).simulate_layer(&small_conv()).unwrap();
+        let result = DenseSimulator::new(config)
+            .simulate_layer(&small_conv())
+            .unwrap();
         let trace = result.trace.expect("traces requested");
         assert!(!trace.counts.is_empty());
         assert!(trace.peak() > 0);

@@ -57,10 +57,18 @@ impl GatherStrategy {
     pub fn label(&self) -> &'static str {
         match self {
             GatherStrategy::HostRelayedCopy => "Baseline",
-            GatherStrategy::NumaDirect { link: TransferKind::Pcie } => "NUMA(slow)",
-            GatherStrategy::NumaDirect { link: TransferKind::NpuLink } => "NUMA(fast)",
-            GatherStrategy::DemandPaging { link: TransferKind::Pcie } => "DemandPaging(PCIe)",
-            GatherStrategy::DemandPaging { link: TransferKind::NpuLink } => "DemandPaging",
+            GatherStrategy::NumaDirect {
+                link: TransferKind::Pcie,
+            } => "NUMA(slow)",
+            GatherStrategy::NumaDirect {
+                link: TransferKind::NpuLink,
+            } => "NUMA(fast)",
+            GatherStrategy::DemandPaging {
+                link: TransferKind::Pcie,
+            } => "DemandPaging(PCIe)",
+            GatherStrategy::DemandPaging {
+                link: TransferKind::NpuLink,
+            } => "DemandPaging",
         }
     }
 
@@ -183,10 +191,14 @@ impl EmbeddingSimulator {
         strategy: GatherStrategy,
     ) -> Result<EmbeddingPhaseBreakdown, SimError> {
         if self.config.num_npus == 0 {
-            return Err(SimError::InvalidConfig { reason: "at least one NPU is required".into() });
+            return Err(SimError::InvalidConfig {
+                reason: "at least one NPU is required".into(),
+            });
         }
         if batch == 0 {
-            return Err(SimError::InvalidConfig { reason: "batch size must be positive".into() });
+            return Err(SimError::InvalidConfig {
+                reason: "batch size must be positive".into(),
+            });
         }
         let cfg = &self.config;
         let local_node = MemNode::Npu(0);
@@ -197,7 +209,11 @@ impl EmbeddingSimulator {
         //    well (the Figure 16 normalization depends on this); the MMU-less
         //    baseline accesses its physically addressed local memory directly,
         //    which the oracle models.
-        let mlp_mmu = if strategy.needs_mmu() { cfg.mmu } else { MmuConfig::oracle() };
+        let mlp_mmu = if strategy.needs_mmu() {
+            cfg.mmu
+        } else {
+            MmuConfig::oracle()
+        };
         let mlp_layers = model.mlp_layers(batch_share);
         let dense_sim = DenseSimulator::new(DenseSimConfig {
             npu: cfg.npu,
@@ -272,8 +288,7 @@ impl EmbeddingSimulator {
                         }
                     }
                     GatherStrategy::NumaDirect { link } => {
-                        let outcome =
-                            translator.translate(space.page_table(), va, issue_cycle);
+                        let outcome = translator.translate(space.page_table(), va, issue_cycle);
                         issue_cycle = outcome.accept_cycle + 1;
                         let ready = outcome.complete_cycle;
                         let done = if is_remote {
@@ -285,8 +300,7 @@ impl EmbeddingSimulator {
                         gather_end = gather_end.max(done);
                     }
                     GatherStrategy::DemandPaging { link } => {
-                        let outcome =
-                            translator.translate(space.page_table(), va, issue_cycle);
+                        let outcome = translator.translate(space.page_table(), va, issue_cycle);
                         issue_cycle = outcome.accept_cycle + 1;
                         let mut ready = outcome.complete_cycle;
                         let translation = space.translate(va)?;
@@ -316,8 +330,11 @@ impl EmbeddingSimulator {
             }
         }
 
-        let translation_requests =
-            if strategy.needs_mmu() { translator.stats().requests } else { 0 };
+        let translation_requests = if strategy.needs_mmu() {
+            translator.stats().requests
+        } else {
+            0
+        };
 
         Ok(EmbeddingPhaseBreakdown {
             gemm_cycles,
@@ -353,13 +370,26 @@ mod tests {
         let sim = EmbeddingSimulator::new(config(MmuConfig::neummu()));
         let model = small_model();
         for batch in [1u64, 8] {
-            let baseline =
-                sim.simulate(&model, batch, GatherStrategy::HostRelayedCopy).unwrap();
+            let baseline = sim
+                .simulate(&model, batch, GatherStrategy::HostRelayedCopy)
+                .unwrap();
             let numa_slow = sim
-                .simulate(&model, batch, GatherStrategy::NumaDirect { link: TransferKind::Pcie })
+                .simulate(
+                    &model,
+                    batch,
+                    GatherStrategy::NumaDirect {
+                        link: TransferKind::Pcie,
+                    },
+                )
                 .unwrap();
             let numa_fast = sim
-                .simulate(&model, batch, GatherStrategy::NumaDirect { link: TransferKind::NpuLink })
+                .simulate(
+                    &model,
+                    batch,
+                    GatherStrategy::NumaDirect {
+                        link: TransferKind::NpuLink,
+                    },
+                )
                 .unwrap();
             assert!(
                 baseline.embedding_gather_cycles > numa_slow.embedding_gather_cycles,
@@ -378,20 +408,35 @@ mod tests {
         let baseline = sim
             .simulate(&small_model(), 8, GatherStrategy::HostRelayedCopy)
             .unwrap();
-        assert!(baseline.gather_fraction() > 0.3, "fraction {}", baseline.gather_fraction());
+        assert!(
+            baseline.gather_fraction() > 0.3,
+            "fraction {}",
+            baseline.gather_fraction()
+        );
     }
 
     #[test]
     fn demand_paging_with_large_pages_overfetches() {
         let model = small_model();
         let small_pages = EmbeddingSimulator::new(config(MmuConfig::neummu()))
-            .simulate(&model, 4, GatherStrategy::DemandPaging { link: TransferKind::NpuLink })
+            .simulate(
+                &model,
+                4,
+                GatherStrategy::DemandPaging {
+                    link: TransferKind::NpuLink,
+                },
+            )
             .unwrap();
-        let large_pages = EmbeddingSimulator::new(config(
-            MmuConfig::neummu().with_page_size(PageSize::Size2M),
-        ))
-        .simulate(&model, 4, GatherStrategy::DemandPaging { link: TransferKind::NpuLink })
-        .unwrap();
+        let large_pages =
+            EmbeddingSimulator::new(config(MmuConfig::neummu().with_page_size(PageSize::Size2M)))
+                .simulate(
+                    &model,
+                    4,
+                    GatherStrategy::DemandPaging {
+                        link: TransferKind::NpuLink,
+                    },
+                )
+                .unwrap();
         assert!(large_pages.interconnect_bytes > 50 * small_pages.interconnect_bytes);
         assert!(large_pages.embedding_gather_cycles > small_pages.embedding_gather_cycles);
         assert_eq!(small_pages.pages_migrated, small_pages.remote_vectors);
@@ -400,7 +445,9 @@ mod tests {
     #[test]
     fn oracle_translation_is_no_slower_than_iommu_for_numa_gathers() {
         let model = small_model();
-        let strategy = GatherStrategy::NumaDirect { link: TransferKind::NpuLink };
+        let strategy = GatherStrategy::NumaDirect {
+            link: TransferKind::NpuLink,
+        };
         let oracle = EmbeddingSimulator::new(config(MmuConfig::oracle()))
             .simulate(&model, 64, strategy)
             .unwrap();
@@ -417,11 +464,18 @@ mod tests {
     #[test]
     fn mmu_less_baseline_issues_no_translations() {
         let sim = EmbeddingSimulator::new(config(MmuConfig::neummu()));
-        let baseline =
-            sim.simulate(&small_model(), 2, GatherStrategy::HostRelayedCopy).unwrap();
+        let baseline = sim
+            .simulate(&small_model(), 2, GatherStrategy::HostRelayedCopy)
+            .unwrap();
         assert_eq!(baseline.translation_requests, 0);
         let numa = sim
-            .simulate(&small_model(), 2, GatherStrategy::NumaDirect { link: TransferKind::Pcie })
+            .simulate(
+                &small_model(),
+                2,
+                GatherStrategy::NumaDirect {
+                    link: TransferKind::Pcie,
+                },
+            )
             .unwrap();
         assert!(numa.translation_requests > 0);
         assert_eq!(numa.translation_requests, numa.vectors_gathered);
@@ -435,21 +489,32 @@ mod tests {
             .simulate(&small_model(), 1, GatherStrategy::HostRelayedCopy)
             .is_err());
         let sim = EmbeddingSimulator::new(config(MmuConfig::neummu()));
-        assert!(sim.simulate(&small_model(), 0, GatherStrategy::HostRelayedCopy).is_err());
+        assert!(sim
+            .simulate(&small_model(), 0, GatherStrategy::HostRelayedCopy)
+            .is_err());
     }
 
     #[test]
     fn strategy_labels() {
         assert_eq!(GatherStrategy::HostRelayedCopy.label(), "Baseline");
         assert_eq!(
-            GatherStrategy::NumaDirect { link: TransferKind::Pcie }.label(),
+            GatherStrategy::NumaDirect {
+                link: TransferKind::Pcie
+            }
+            .label(),
             "NUMA(slow)"
         );
         assert_eq!(
-            GatherStrategy::NumaDirect { link: TransferKind::NpuLink }.label(),
+            GatherStrategy::NumaDirect {
+                link: TransferKind::NpuLink
+            }
+            .label(),
             "NUMA(fast)"
         );
         assert!(!GatherStrategy::HostRelayedCopy.needs_mmu());
-        assert!(GatherStrategy::DemandPaging { link: TransferKind::Pcie }.needs_mmu());
+        assert!(GatherStrategy::DemandPaging {
+            link: TransferKind::Pcie
+        }
+        .needs_mmu());
     }
 }

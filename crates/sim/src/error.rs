@@ -64,11 +64,15 @@ mod tests {
     fn conversions_and_messages() {
         let npu_err: SimError = NpuError::InvalidConfig { reason: "x".into() }.into();
         assert!(npu_err.to_string().contains("npu model error"));
-        let vmem_err: SimError =
-            VmemError::SegmentNotFound { name: "weights".into() }.into();
+        let vmem_err: SimError = VmemError::SegmentNotFound {
+            name: "weights".into(),
+        }
+        .into();
         assert!(vmem_err.to_string().contains("virtual memory error"));
         assert!(Error::source(&vmem_err).is_some());
-        let cfg = SimError::InvalidConfig { reason: "zero npus".into() };
+        let cfg = SimError::InvalidConfig {
+            reason: "zero npus".into(),
+        };
         assert!(Error::source(&cfg).is_none());
     }
 }

@@ -119,7 +119,10 @@ impl Fig07Result {
             &["Window start (cycles)", "Translations"],
         );
         for (i, count) in self.counts.iter().enumerate() {
-            table.push_row(&[(i as u64 * self.window_cycles).to_string(), count.to_string()]);
+            table.push_row(&[
+                (i as u64 * self.window_cycles).to_string(),
+                count.to_string(),
+            ]);
         }
         table
     }
@@ -164,7 +167,10 @@ impl Fig14Result {
     #[must_use]
     pub fn to_table(&self) -> ResultTable {
         let mut table = ResultTable::new(
-            format!("Figure 14: virtual addresses of consecutive tiles ({})", self.workload.label()),
+            format!(
+                "Figure 14: virtual addresses of consecutive tiles ({})",
+                self.workload.label()
+            ),
             &["Tile", "Operand", "VA start", "VA end"],
         );
         for (tile, kind, start, end) in &self.windows {
@@ -217,7 +223,11 @@ pub fn fig14_va_trace(workload_id: WorkloadId, batch: u64) -> Result<Fig14Result
     let workload = DenseWorkload::new(workload_id);
     let result = sim.simulate_workload(&workload.layers(batch))?;
     let trace = result.trace.expect("traces were requested");
-    Ok(Fig14Result { workload: workload_id, batch, windows: trace.tile_va_windows })
+    Ok(Fig14Result {
+        workload: workload_id,
+        batch,
+        windows: trace.tile_va_windows,
+    })
 }
 
 #[cfg(test)]
@@ -228,7 +238,11 @@ mod tests {
     fn fig06_reports_kilo_page_tiles_for_rnns() {
         let result = fig06_page_divergence(ExperimentScale::Smoke).unwrap();
         assert_eq!(result.rows.len(), 2);
-        let rnn = result.rows.iter().find(|r| r.workload == WorkloadId::Rnn2).unwrap();
+        let rnn = result
+            .rows
+            .iter()
+            .find(|r| r.workload == WorkloadId::Rnn2)
+            .unwrap();
         // A ~5 MB weight tile covers on the order of 1.2K distinct pages.
         assert!(rnn.max_pages > 1000, "max pages {}", rnn.max_pages);
         assert!(rnn.avg_pages > 100.0);

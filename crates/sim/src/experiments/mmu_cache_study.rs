@@ -60,7 +60,16 @@ impl MmuCacheStudyResult {
     pub fn to_table(&self) -> ResultTable {
         let mut table = ResultTable::new(
             "Section IV-C: UPTC vs TPC translation caching",
-            &["Workload", "Batch", "UPTC hit rate", "TPC L4", "TPC L3", "TPC L2", "UPTC walk reads", "TPC walk reads"],
+            &[
+                "Workload",
+                "Batch",
+                "UPTC hit rate",
+                "TPC L4",
+                "TPC L3",
+                "TPC L2",
+                "UPTC walk reads",
+                "TPC walk reads",
+            ],
         );
         for row in &self.rows {
             table.push_row(&[
@@ -109,8 +118,7 @@ pub fn run(scale: ExperimentScale) -> Result<MmuCacheStudyResult, SimError> {
 
             for (layer_index, layer) in workload.layers(batch).iter().enumerate() {
                 let plan = TilingPlan::for_layer(layer, &npu)?;
-                let opts =
-                    SegmentOptions::new(neummu_vmem::MemNode::Npu(0), mmu.page_size);
+                let opts = SegmentOptions::new(neummu_vmem::MemNode::Npu(0), mmu.page_size);
                 let ia = space.alloc_segment(
                     format!("l{layer_index}_ia"),
                     plan.ia_segment_bytes().max(1),
@@ -124,12 +132,9 @@ pub fn run(scale: ExperimentScale) -> Result<MmuCacheStudyResult, SimError> {
                     &mut memory,
                 )?;
                 for tile in plan.tiles() {
-                    for (fetch, base) in [
-                        (tile.ia_fetch, ia.start()),
-                        (tile.w_fetch, w.start()),
-                    ]
-                    .into_iter()
-                    .filter_map(|(f, b)| f.map(|f| (f, b)))
+                    for (fetch, base) in [(tile.ia_fetch, ia.start()), (tile.w_fetch, w.start())]
+                        .into_iter()
+                        .filter_map(|(f, b)| f.map(|f| (f, b)))
                     {
                         // Walk once per distinct page of the fetch window.
                         let first_page = fetch.offset >> 12;

@@ -34,7 +34,12 @@ fn normalized_point(
     mmu: MmuConfig,
     npu: NpuConfig,
 ) -> Result<f64, SimError> {
-    let oracle = run_point(workload_id, batch, MmuConfig::oracle().with_page_size(mmu.page_size), npu)?;
+    let oracle = run_point(
+        workload_id,
+        batch,
+        MmuConfig::oracle().with_page_size(mmu.page_size),
+        npu,
+    )?;
     let candidate = run_point(workload_id, batch, mmu, npu)?;
     Ok(candidate.normalized_to(&oracle))
 }
@@ -104,7 +109,11 @@ fn sweep(
         for workload_id in scale.workloads() {
             for &batch in &scale.batches() {
                 let normalized = normalized_point(workload_id, batch, *mmu, npu)?;
-                config_points.push(DensePoint { workload: workload_id, batch, normalized_perf: normalized });
+                config_points.push(DensePoint {
+                    workload: workload_id,
+                    batch,
+                    normalized_perf: normalized,
+                });
             }
         }
         points.push(config_points);
@@ -140,7 +149,10 @@ pub fn fig10_prmb_sweep(scale: ExperimentScale) -> Result<NormalizedSweep, SimEr
     let configs: Vec<(String, MmuConfig)> = [1usize, 2, 4, 8, 16, 32]
         .iter()
         .map(|&slots| {
-            (format!("PRMB({slots})"), MmuConfig::baseline_iommu().with_prmb_slots(slots))
+            (
+                format!("PRMB({slots})"),
+                MmuConfig::baseline_iommu().with_prmb_slots(slots),
+            )
         })
         .collect();
     sweep("PRMB slots", &configs, scale, NpuConfig::tpu_like())
@@ -161,7 +173,9 @@ pub fn fig11_ptw_sweep(scale: ExperimentScale) -> Result<NormalizedSweep, SimErr
         .map(|&ptws| {
             (
                 format!("PTW({ptws})"),
-                MmuConfig::baseline_iommu().with_prmb_slots(32).with_ptws(ptws),
+                MmuConfig::baseline_iommu()
+                    .with_prmb_slots(32)
+                    .with_ptws(ptws),
             )
         })
         .collect();
@@ -180,7 +194,12 @@ pub fn fig12a_ptw_no_prmb(scale: ExperimentScale) -> Result<NormalizedSweep, Sim
     };
     let configs: Vec<(String, MmuConfig)> = counts
         .iter()
-        .map(|&ptws| (format!("PTW({ptws})"), MmuConfig::baseline_iommu().with_ptws(ptws)))
+        .map(|&ptws| {
+            (
+                format!("PTW({ptws})"),
+                MmuConfig::baseline_iommu().with_ptws(ptws),
+            )
+        })
         .collect();
     sweep("PTWs without PRMB", &configs, scale, NpuConfig::tpu_like())
 }
@@ -268,12 +287,14 @@ pub fn fig12b_energy_perf(scale: ExperimentScale) -> Result<Fig12bResult, SimErr
         .max(1e-9);
     let points = measured
         .into_iter()
-        .map(|(prmb_slots, num_ptws, normalized_perf, energy)| EnergyPerfPoint {
-            prmb_slots,
-            num_ptws,
-            normalized_perf,
-            normalized_energy: energy / reference_energy,
-        })
+        .map(
+            |(prmb_slots, num_ptws, normalized_perf, energy)| EnergyPerfPoint {
+                prmb_slots,
+                num_ptws,
+                normalized_perf,
+                normalized_energy: energy / reference_energy,
+            },
+        )
         .collect();
     Ok(Fig12bResult { points })
 }
@@ -366,9 +387,18 @@ impl SummaryResult {
             "Section IV-D summary: NeuMMU vs baseline IOMMU",
             &["Metric", "Value"],
         );
-        table.push_row(&["Baseline IOMMU avg performance overhead", &pct(self.iommu_avg_overhead)]);
-        table.push_row(&["NeuMMU avg performance overhead", &pct(self.neummu_avg_overhead)]);
-        table.push_row(&["Translation energy reduction (IOMMU / NeuMMU)", &format!("{:.1}x", self.energy_reduction)]);
+        table.push_row(&[
+            "Baseline IOMMU avg performance overhead",
+            &pct(self.iommu_avg_overhead),
+        ]);
+        table.push_row(&[
+            "NeuMMU avg performance overhead",
+            &pct(self.neummu_avg_overhead),
+        ]);
+        table.push_row(&[
+            "Translation energy reduction (IOMMU / NeuMMU)",
+            &format!("{:.1}x", self.energy_reduction),
+        ]);
         table.push_row(&[
             "Page-walk memory-access reduction (IOMMU / NeuMMU)",
             &format!("{:.1}x", self.walk_access_reduction),
@@ -419,8 +449,14 @@ pub fn summary_neummu(scale: ExperimentScale) -> Result<SummaryResult, SimError>
 /// Propagates simulator errors.
 pub fn largepage_dense(scale: ExperimentScale) -> Result<NormalizedSweep, SimError> {
     let configs = vec![
-        ("IOMMU-2MB".to_string(), MmuConfig::baseline_iommu().with_page_size(PageSize::Size2M)),
-        ("NeuMMU-2MB".to_string(), MmuConfig::neummu().with_page_size(PageSize::Size2M)),
+        (
+            "IOMMU-2MB".to_string(),
+            MmuConfig::baseline_iommu().with_page_size(PageSize::Size2M),
+        ),
+        (
+            "NeuMMU-2MB".to_string(),
+            MmuConfig::neummu().with_page_size(PageSize::Size2M),
+        ),
     ];
     sweep("Large pages", &configs, scale, NpuConfig::tpu_like())
 }
@@ -435,7 +471,12 @@ pub fn spatial_npu(scale: ExperimentScale) -> Result<NormalizedSweep, SimError> 
         ("IOMMU".to_string(), MmuConfig::baseline_iommu()),
         ("NeuMMU".to_string(), MmuConfig::neummu()),
     ];
-    sweep("Spatial-array NPU", &configs, scale, NpuConfig::spatial_array())
+    sweep(
+        "Spatial-array NPU",
+        &configs,
+        scale,
+        NpuConfig::spatial_array(),
+    )
 }
 
 /// One sensitivity point of Section VI-C.
@@ -462,7 +503,13 @@ impl SensitivityResult {
     /// Average normalized performance over every architecture point.
     #[must_use]
     pub fn overall_average(&self) -> f64 {
-        mean(&self.architecture_points.iter().map(|p| p.avg_normalized_perf).collect::<Vec<_>>())
+        mean(
+            &self
+                .architecture_points
+                .iter()
+                .map(|p| p.avg_normalized_perf)
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Worst normalized performance over every architecture point.
@@ -479,14 +526,25 @@ impl SensitivityResult {
     pub fn to_table(&self) -> ResultTable {
         let mut table = ResultTable::new(
             "Section VI-C: NeuMMU sensitivity",
-            &["Configuration", "Avg normalized perf", "Min normalized perf"],
+            &[
+                "Configuration",
+                "Avg normalized perf",
+                "Min normalized perf",
+            ],
         );
         for p in &self.architecture_points {
-            table.push_row(&[p.label.clone(), norm(p.avg_normalized_perf), norm(p.min_normalized_perf)]);
+            table.push_row(&[
+                p.label.clone(),
+                norm(p.avg_normalized_perf),
+                norm(p.min_normalized_perf),
+            ]);
         }
         for (workload, batch, iommu, neummu) in &self.large_batch_points {
             table.push_row(&[
-                format!("{} common layer b{batch} (IOMMU vs NeuMMU)", workload.label()),
+                format!(
+                    "{} common layer b{batch} (IOMMU vs NeuMMU)",
+                    workload.label()
+                ),
                 norm(*iommu),
                 norm(*neummu),
             ]);
@@ -505,10 +563,19 @@ pub fn sensitivity(scale: ExperimentScale) -> Result<SensitivityResult, SimError
     let npu = NpuConfig::tpu_like();
     let arch_configs: Vec<(String, MmuConfig)> = match scale {
         ExperimentScale::Full => vec![
-            ("PRMB(1) PTW(128)".into(), MmuConfig::neummu().with_prmb_slots(1)),
-            ("PRMB(8) PTW(128)".into(), MmuConfig::neummu().with_prmb_slots(8)),
+            (
+                "PRMB(1) PTW(128)".into(),
+                MmuConfig::neummu().with_prmb_slots(1),
+            ),
+            (
+                "PRMB(8) PTW(128)".into(),
+                MmuConfig::neummu().with_prmb_slots(8),
+            ),
             ("PRMB(32) PTW(64)".into(), MmuConfig::neummu().with_ptws(64)),
-            ("PRMB(32) PTW(256)".into(), MmuConfig::neummu().with_ptws(256)),
+            (
+                "PRMB(32) PTW(256)".into(),
+                MmuConfig::neummu().with_ptws(256),
+            ),
             ("TLB(128)".into(), MmuConfig::neummu().with_tlb_entries(128)),
             ("TLB(512)".into(), MmuConfig::neummu().with_tlb_entries(512)),
             ("No TPreg".into(), MmuConfig::neummu().with_tpreg(false)),
@@ -556,7 +623,10 @@ pub fn sensitivity(scale: ExperimentScale) -> Result<SensitivityResult, SimError
         }
     }
 
-    Ok(SensitivityResult { architecture_points, large_batch_points })
+    Ok(SensitivityResult {
+        architecture_points,
+        large_batch_points,
+    })
 }
 
 /// Geometric-mean helper re-exported for the experiments binary.
@@ -584,12 +654,23 @@ mod tests {
     fn fig10_more_prmb_slots_help() {
         // Smoke-scale variant with two slot counts to bound runtime.
         let configs = vec![
-            ("PRMB(1)".to_string(), MmuConfig::baseline_iommu().with_prmb_slots(1)),
-            ("PRMB(32)".to_string(), MmuConfig::baseline_iommu().with_prmb_slots(32)),
+            (
+                "PRMB(1)".to_string(),
+                MmuConfig::baseline_iommu().with_prmb_slots(1),
+            ),
+            (
+                "PRMB(32)".to_string(),
+                MmuConfig::baseline_iommu().with_prmb_slots(32),
+            ),
         ];
         let sweep = super::sweep("PRMB slots", &configs, SMOKE, NpuConfig::tpu_like()).unwrap();
         let avgs = sweep.averages();
-        assert!(avgs[1] >= avgs[0], "PRMB(32) {} should beat PRMB(1) {}", avgs[1], avgs[0]);
+        assert!(
+            avgs[1] >= avgs[0],
+            "PRMB(32) {} should beat PRMB(1) {}",
+            avgs[1],
+            avgs[0]
+        );
     }
 
     #[test]
@@ -598,7 +679,11 @@ mod tests {
         let avgs = sweep.averages();
         // 8 vs 128 walkers with PRMB(32).
         assert!(avgs[1] > avgs[0]);
-        assert!(avgs[1] > 0.9, "128 PTWs with PRMB should be near oracle, got {}", avgs[1]);
+        assert!(
+            avgs[1] > 0.9,
+            "128 PTWs with PRMB should be near oracle, got {}",
+            avgs[1]
+        );
     }
 
     #[test]
@@ -629,8 +714,16 @@ mod tests {
     #[test]
     fn summary_shows_neummu_closing_the_gap() {
         let summary = summary_neummu(SMOKE).unwrap();
-        assert!(summary.iommu_avg_overhead > 0.4, "iommu overhead {}", summary.iommu_avg_overhead);
-        assert!(summary.neummu_avg_overhead < 0.1, "neummu overhead {}", summary.neummu_avg_overhead);
+        assert!(
+            summary.iommu_avg_overhead > 0.4,
+            "iommu overhead {}",
+            summary.iommu_avg_overhead
+        );
+        assert!(
+            summary.neummu_avg_overhead < 0.1,
+            "neummu overhead {}",
+            summary.neummu_avg_overhead
+        );
         assert!(summary.energy_reduction > 2.0);
         assert!(summary.walk_access_reduction > 2.0);
         assert!(summary.to_table().rows().len() == 4);
@@ -650,7 +743,10 @@ mod tests {
     fn spatial_array_npu_benefits_similarly() {
         let result = spatial_npu(SMOKE).unwrap();
         let avgs = result.averages();
-        assert!(avgs[1] > avgs[0], "NeuMMU should beat IOMMU on the spatial NPU");
+        assert!(
+            avgs[1] > avgs[0],
+            "NeuMMU should beat IOMMU on the spatial NPU"
+        );
         assert!(avgs[1] > 0.85);
     }
 }

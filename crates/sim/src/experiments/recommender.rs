@@ -7,7 +7,9 @@ use neummu_mmu::{MmuConfig, MmuKind};
 use neummu_vmem::PageSize;
 use neummu_workloads::{sparse_suite, EmbeddingModel};
 
-use crate::embedding::{EmbeddingPhaseBreakdown, EmbeddingSimConfig, EmbeddingSimulator, GatherStrategy};
+use crate::embedding::{
+    EmbeddingPhaseBreakdown, EmbeddingSimConfig, EmbeddingSimulator, GatherStrategy,
+};
 use crate::error::SimError;
 use crate::experiments::ExperimentScale;
 use crate::report::{norm, ResultTable};
@@ -106,8 +108,12 @@ pub fn fig15_numa_breakdown(scale: ExperimentScale) -> Result<Fig15Result, SimEr
     let sim = EmbeddingSimulator::new(EmbeddingSimConfig::with_mmu(MmuConfig::neummu()));
     let strategies = [
         GatherStrategy::HostRelayedCopy,
-        GatherStrategy::NumaDirect { link: TransferKind::Pcie },
-        GatherStrategy::NumaDirect { link: TransferKind::NpuLink },
+        GatherStrategy::NumaDirect {
+            link: TransferKind::Pcie,
+        },
+        GatherStrategy::NumaDirect {
+            link: TransferKind::NpuLink,
+        },
     ];
     let mut rows = Vec::new();
     for model in sparse_models(scale) {
@@ -180,7 +186,14 @@ impl Fig16Result {
     pub fn to_table(&self) -> ResultTable {
         let mut table = ResultTable::new(
             "Figure 16: demand paging of sparse embeddings (normalized to the 4KB oracle)",
-            &["Model", "Batch", "Page size", "MMU", "Normalized perf", "Migrated MB"],
+            &[
+                "Model",
+                "Batch",
+                "Page size",
+                "MMU",
+                "Normalized perf",
+                "Migrated MB",
+            ],
         );
         for row in &self.rows {
             table.push_row(&[
@@ -220,7 +233,11 @@ pub fn fig16_demand_paging(scale: ExperimentScale) -> Result<Fig16Result, SimErr
                         model: model.name().to_string(),
                         batch,
                         page_size,
-                        mmu: if mmu.prmb_slots_per_ptw > 0 { MmuKind::NeuMmu } else { MmuKind::BaselineIommu },
+                        mmu: if mmu.prmb_slots_per_ptw > 0 {
+                            MmuKind::NeuMmu
+                        } else {
+                            MmuKind::BaselineIommu
+                        },
                         normalized_perf: oracle_cycles / run.total_cycles().max(1) as f64,
                         migrated_bytes: run.interconnect_bytes,
                     });
@@ -248,7 +265,10 @@ mod tests {
         let slow = result.average_latency_reduction("NUMA(slow)");
         let fast = result.average_latency_reduction("NUMA(fast)");
         assert!(slow > 0.0, "NUMA(slow) should reduce latency, got {slow}");
-        assert!(fast >= slow, "NUMA(fast) {fast} should be at least NUMA(slow) {slow}");
+        assert!(
+            fast >= slow,
+            "NUMA(fast) {fast} should be at least NUMA(slow) {slow}"
+        );
         assert!(result.to_table().rows().len() >= 3);
     }
 
@@ -259,8 +279,14 @@ mod tests {
         let neummu_2m = result.average(PageSize::Size2M, MmuKind::NeuMmu);
         let iommu_4k = result.average(PageSize::Size4K, MmuKind::BaselineIommu);
         assert!(neummu_4k > 0.7, "NeuMMU 4K normalized perf {neummu_4k}");
-        assert!(neummu_4k > neummu_2m, "4K {neummu_4k} should beat 2M {neummu_2m}");
-        assert!(neummu_4k >= iommu_4k, "NeuMMU {neummu_4k} should be >= IOMMU {iommu_4k}");
+        assert!(
+            neummu_4k > neummu_2m,
+            "4K {neummu_4k} should beat 2M {neummu_2m}"
+        );
+        assert!(
+            neummu_4k >= iommu_4k,
+            "NeuMMU {neummu_4k} should be >= IOMMU {iommu_4k}"
+        );
         assert!(result.to_table().rows().len() >= 4);
     }
 }

@@ -15,15 +15,30 @@ pub fn run() -> ResultTable {
     let mmu = MmuConfig::baseline_iommu();
     let ic = InterconnectConfig::table1();
 
-    let mut table = ResultTable::new("Table I: baseline configuration", &["Group", "Parameter", "Value"]);
+    let mut table = ResultTable::new(
+        "Table I: baseline configuration",
+        &["Group", "Parameter", "Value"],
+    );
     table.push_row(&["Processor", "Systolic-array dimension", "128 x 128"]);
-    table.push_row(&["Processor", "Operating frequency", &format!("{} GHz", npu.frequency_ghz)]);
+    table.push_row(&[
+        "Processor",
+        "Operating frequency",
+        &format!("{} GHz", npu.frequency_ghz),
+    ]);
     table.push_row(&[
         "Processor",
         "Scratchpad size (activations/weights)",
-        &format!("{}/{} MB", npu.act_spm_bytes >> 20, npu.weight_spm_bytes >> 20),
+        &format!(
+            "{}/{} MB",
+            npu.act_spm_bytes >> 20,
+            npu.weight_spm_bytes >> 20
+        ),
     ]);
-    table.push_row(&["Memory", "Number of memory channels", &dram.num_channels.to_string()]);
+    table.push_row(&[
+        "Memory",
+        "Number of memory channels",
+        &dram.num_channels.to_string(),
+    ]);
     table.push_row(&[
         "Memory",
         "Memory bandwidth",
@@ -34,9 +49,21 @@ pub fn run() -> ResultTable {
         "Memory access latency",
         &format!("{} cycles", dram.access_latency_cycles),
     ]);
-    table.push_row(&["IOMMU", "Number of TLB entries", &mmu.tlb_entries.to_string()]);
-    table.push_row(&["IOMMU", "TLB hit latency", &format!("{} cycles", mmu.tlb_hit_latency)]);
-    table.push_row(&["IOMMU", "Number of page-table walkers", &mmu.num_ptws.to_string()]);
+    table.push_row(&[
+        "IOMMU",
+        "Number of TLB entries",
+        &mmu.tlb_entries.to_string(),
+    ]);
+    table.push_row(&[
+        "IOMMU",
+        "TLB hit latency",
+        &format!("{} cycles", mmu.tlb_hit_latency),
+    ]);
+    table.push_row(&[
+        "IOMMU",
+        "Number of page-table walkers",
+        &mmu.num_ptws.to_string(),
+    ]);
     table.push_row(&[
         "IOMMU",
         "Latency to walk page-tables",

@@ -59,7 +59,8 @@ impl ResultTable {
             self.title,
             self.headers.len()
         );
-        self.rows.push(row.iter().map(ToString::to_string).collect());
+        self.rows
+            .push(row.iter().map(ToString::to_string).collect());
     }
 
     /// Renders the table as GitHub-flavoured Markdown.
@@ -85,7 +86,14 @@ impl ResultTable {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));

@@ -161,6 +161,9 @@ impl VirtAddr {
     }
 
     /// Returns the address advanced by `bytes`.
+    // Named `add` for call-site readability; the byte-offset semantics differ
+    // from `ops::Add` (no `VirtAddr + VirtAddr`), so the trait is not implemented.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn add(self, bytes: u64) -> VirtAddr {
         VirtAddr::new(self.0 + bytes)

@@ -49,7 +49,11 @@ impl SegmentOptions {
     /// Eagerly populated segment on `node` with the given page size.
     #[must_use]
     pub fn new(node: MemNode, page_size: PageSize) -> Self {
-        SegmentOptions { node, page_size, population: Population::Eager }
+        SegmentOptions {
+            node,
+            page_size,
+            population: Population::Eager,
+        }
     }
 
     /// Switches the segment to lazy (demand-paged) population.
@@ -113,7 +117,11 @@ impl Segment {
     /// Panics if `offset` is out of bounds.
     #[must_use]
     pub fn addr_at(&self, offset: u64) -> VirtAddr {
-        assert!(offset < self.size, "offset {offset} out of bounds for segment `{}`", self.name);
+        assert!(
+            offset < self.size,
+            "offset {offset} out of bounds for segment `{}`",
+            self.name
+        );
         self.start.add(offset)
     }
 
@@ -226,7 +234,12 @@ impl AddressSpace {
             return Err(VmemError::SegmentExists { name });
         }
         let start = self.next_va.align_up(PageSize::Size2M);
-        let segment = Segment { name: name.clone(), start, size, options };
+        let segment = Segment {
+            name: name.clone(),
+            start,
+            size,
+            options,
+        };
         // Reserve the VA range (rounded up to the segment page size).
         let reserved = size.div_ceil(options.page_size.bytes()) * options.page_size.bytes();
         self.next_va = start.add(reserved);
@@ -255,7 +268,8 @@ impl AddressSpace {
                 continue;
             }
             let pfn = memory.alloc_page(segment.options.node, segment.options.page_size)?;
-            self.page_table.map(va, segment.options.page_size, pfn, segment.options.node)?;
+            self.page_table
+                .map(va, segment.options.page_size, pfn, segment.options.node)?;
         }
         Ok(())
     }
@@ -324,7 +338,10 @@ impl AddressSpace {
         let page_size = segment.options.page_size;
         self.stats.faults += 1;
         self.stats.fault_bytes += page_size.bytes();
-        Ok(FaultOutcome::Populated { translation, page_size })
+        Ok(FaultOutcome::Populated {
+            translation,
+            page_size,
+        })
     }
 
     /// Migrates the page containing `va` to `dst_node`, allocating a new
@@ -348,7 +365,8 @@ impl AddressSpace {
         }
         let new_pfn = memory.alloc_page(dst_node, old.page_size)?;
         memory.free_page(old.pfn, old.page_size)?;
-        self.page_table.remap(va.page_base(old.page_size), new_pfn, dst_node)?;
+        self.page_table
+            .remap(va.page_base(old.page_size), new_pfn, dst_node)?;
         self.stats.migrations += 1;
         self.stats.migration_bytes += old.page_size.bytes();
         Ok(old)
@@ -392,7 +410,12 @@ mod tests {
         let mut mem = memory();
         let mut space = AddressSpace::new("npu0");
         let seg = space
-            .alloc_segment("ia", 3 * 4096 + 100, SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K), &mut mem)
+            .alloc_segment(
+                "ia",
+                3 * 4096 + 100,
+                SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K),
+                &mut mem,
+            )
             .unwrap();
         assert_eq!(seg.page_count(), 4);
         for page in 0..4u64 {
@@ -445,7 +468,10 @@ mod tests {
         }
         assert_eq!(mem.used_bytes(MemNode::Npu(1)).unwrap(), 2 << 20);
         // Addresses within the same 2 MB page do not fault again.
-        assert!(!space.ensure_mapped(seg.addr_at((2 << 20) + 5), &mut mem).unwrap().faulted());
+        assert!(!space
+            .ensure_mapped(seg.addr_at((2 << 20) + 5), &mut mem)
+            .unwrap()
+            .faulted());
     }
 
     #[test]
@@ -453,17 +479,30 @@ mod tests {
         let mut mem = memory();
         let mut space = AddressSpace::new("npu0");
         let a = space
-            .alloc_segment("a", 5000, SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K), &mut mem)
+            .alloc_segment(
+                "a",
+                5000,
+                SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K),
+                &mut mem,
+            )
             .unwrap();
         let b = space
-            .alloc_segment("b", 5000, SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K), &mut mem)
+            .alloc_segment(
+                "b",
+                5000,
+                SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K),
+                &mut mem,
+            )
             .unwrap();
         assert!(a.start().is_aligned(PageSize::Size2M));
         assert!(b.start().is_aligned(PageSize::Size2M));
         assert!(b.start() >= a.end());
         assert!(!a.contains(b.start()));
         assert_eq!(space.segments().count(), 2);
-        assert_eq!(space.segment_containing(a.addr_at(100)).unwrap().name(), "a");
+        assert_eq!(
+            space.segment_containing(a.addr_at(100)).unwrap().name(),
+            "a"
+        );
     }
 
     #[test]
@@ -471,7 +510,12 @@ mod tests {
         let mut mem = memory();
         let mut space = AddressSpace::new("npu0");
         space
-            .alloc_segment("w", 4096, SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K), &mut mem)
+            .alloc_segment(
+                "w",
+                4096,
+                SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K),
+                &mut mem,
+            )
             .unwrap();
         assert!(matches!(
             space.alloc_segment(
@@ -498,7 +542,12 @@ mod tests {
         let mut mem = memory();
         let mut space = AddressSpace::new("npu0");
         let seg = space
-            .alloc_segment("emb", 16 * 4096, SegmentOptions::new(MemNode::Npu(1), PageSize::Size4K), &mut mem)
+            .alloc_segment(
+                "emb",
+                16 * 4096,
+                SegmentOptions::new(MemNode::Npu(1), PageSize::Size4K),
+                &mut mem,
+            )
             .unwrap();
         let va = seg.addr_at(4096 * 3 + 7);
         let before = space.translate(va).unwrap();
@@ -519,7 +568,9 @@ mod tests {
     fn fault_outside_any_segment_is_an_error() {
         let mut mem = memory();
         let mut space = AddressSpace::new("npu0");
-        let err = space.ensure_mapped(VirtAddr::new(0x10), &mut mem).unwrap_err();
+        let err = space
+            .ensure_mapped(VirtAddr::new(0x10), &mut mem)
+            .unwrap_err();
         assert!(matches!(err, VmemError::NotMapped { .. }));
     }
 
@@ -539,7 +590,12 @@ mod tests {
         let mut mem = memory();
         let mut space = AddressSpace::new("npu0");
         let seg = space
-            .alloc_segment("s", 4096, SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K), &mut mem)
+            .alloc_segment(
+                "s",
+                4096,
+                SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K),
+                &mut mem,
+            )
             .unwrap();
         assert_eq!(seg.addr_at(0), seg.start());
         let result = std::panic::catch_unwind(|| seg.addr_at(4096));

@@ -61,7 +61,10 @@ pub enum VmemError {
 impl fmt::Display for VmemError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VmemError::OutOfMemory { node, frames_requested } => write!(
+            VmemError::OutOfMemory {
+                node,
+                frames_requested,
+            } => write!(
                 f,
                 "out of physical memory on node {node} while allocating {frames_requested} frames"
             ),
@@ -97,24 +100,52 @@ mod tests {
     #[test]
     fn error_messages_are_lowercase_and_informative() {
         let messages = [
-            VmemError::OutOfMemory { node: MemNode::Npu(1), frames_requested: 42 }.to_string(),
-            VmemError::UnknownNode { node: MemNode::Host }.to_string(),
-            VmemError::AlreadyMapped { vpn: VirtPageNum::new(7) }.to_string(),
-            VmemError::NotMapped { va: VirtAddr::new(0x1000) }.to_string(),
+            VmemError::OutOfMemory {
+                node: MemNode::Npu(1),
+                frames_requested: 42,
+            }
+            .to_string(),
+            VmemError::UnknownNode {
+                node: MemNode::Host,
+            }
+            .to_string(),
+            VmemError::AlreadyMapped {
+                vpn: VirtPageNum::new(7),
+            }
+            .to_string(),
+            VmemError::NotMapped {
+                va: VirtAddr::new(0x1000),
+            }
+            .to_string(),
             VmemError::MisalignedMapping {
                 va: VirtAddr::new(0x1000),
                 page_size: PageSize::Size2M,
             }
             .to_string(),
-            VmemError::SegmentExists { name: "weights".into() }.to_string(),
-            VmemError::SegmentNotFound { name: "acts".into() }.to_string(),
-            VmemError::EmptySegment { name: "empty".into() }.to_string(),
+            VmemError::SegmentExists {
+                name: "weights".into(),
+            }
+            .to_string(),
+            VmemError::SegmentNotFound {
+                name: "acts".into(),
+            }
+            .to_string(),
+            VmemError::EmptySegment {
+                name: "empty".into(),
+            }
+            .to_string(),
         ];
         for msg in messages {
             assert!(!msg.is_empty());
             let first = msg.chars().next().unwrap();
-            assert!(first.is_lowercase(), "error message should start lowercase: {msg}");
-            assert!(!msg.ends_with('.'), "error message should not end with a period: {msg}");
+            assert!(
+                first.is_lowercase(),
+                "error message should start lowercase: {msg}"
+            );
+            assert!(
+                !msg.ends_with('.'),
+                "error message should not end with a period: {msg}"
+            );
         }
     }
 

@@ -31,7 +31,10 @@ impl NodeSpec {
     /// Creates a node specification.
     #[must_use]
     pub fn new(node: MemNode, capacity_bytes: u64) -> Self {
-        NodeSpec { node, capacity_bytes }
+        NodeSpec {
+            node,
+            capacity_bytes,
+        }
     }
 }
 
@@ -113,7 +116,9 @@ impl PhysicalMemory {
     }
 
     fn node_mut(&mut self, node: MemNode) -> Result<&mut NodeState, VmemError> {
-        self.nodes.get_mut(&node).ok_or(VmemError::UnknownNode { node })
+        self.nodes
+            .get_mut(&node)
+            .ok_or(VmemError::UnknownNode { node })
     }
 
     fn node_ref(&self, node: MemNode) -> Result<&NodeState, VmemError> {
@@ -135,7 +140,10 @@ impl PhysicalMemory {
             state.bump += 1;
             f
         } else {
-            return Err(VmemError::OutOfMemory { node, frames_requested: 1 });
+            return Err(VmemError::OutOfMemory {
+                node,
+                frames_requested: 1,
+            });
         };
         state.allocated += 1;
         state.peak_allocated = state.peak_allocated.max(state.allocated);
@@ -160,7 +168,10 @@ impl PhysicalMemory {
         }
         let state = self.node_mut(node)?;
         if state.bump + count > state.capacity_frames {
-            return Err(VmemError::OutOfMemory { node, frames_requested: count });
+            return Err(VmemError::OutOfMemory {
+                node,
+                frames_requested: count,
+            });
         }
         let first = state.bump;
         state.bump += count;
@@ -203,11 +214,7 @@ impl PhysicalMemory {
     ///
     /// Returns [`VmemError::UnknownNode`] if a frame does not belong to any
     /// configured node.
-    pub fn free_page(
-        &mut self,
-        first: PhysFrameNum,
-        page_size: PageSize,
-    ) -> Result<(), VmemError> {
+    pub fn free_page(&mut self, first: PhysFrameNum, page_size: PageSize) -> Result<(), VmemError> {
         let frames = page_size.bytes() >> PAGE_SHIFT_4K;
         for i in 0..frames {
             self.free_frame(PhysFrameNum::new(first.raw() + i))?;
@@ -229,7 +236,9 @@ impl PhysicalMemory {
                 return Ok(*node);
             }
         }
-        Err(VmemError::UnknownNode { node: MemNode::Host })
+        Err(VmemError::UnknownNode {
+            node: MemNode::Host,
+        })
     }
 
     /// Number of bytes currently allocated on `node`.
@@ -266,8 +275,7 @@ impl PhysicalMemory {
     /// Returns [`VmemError::UnknownNode`] if the node is not configured.
     pub fn free_bytes(&self, node: MemNode) -> Result<u64, VmemError> {
         let state = self.node_ref(node)?;
-        let free_frames =
-            state.capacity_frames - state.bump + state.free_list.len() as u64;
+        let free_frames = state.capacity_frames - state.bump + state.free_list.len() as u64;
         Ok(free_frames << PAGE_SHIFT_4K)
     }
 }

@@ -72,7 +72,10 @@ impl PlacementPolicy {
         match self {
             PlacementPolicy::HostOnly => MemNode::Host,
             PlacementPolicy::RoundRobinNpus { num_npus } => {
-                assert!(num_npus > 0, "round-robin placement requires at least one NPU");
+                assert!(
+                    num_npus > 0,
+                    "round-robin placement requires at least one NPU"
+                );
                 MemNode::Npu((shard_index % num_npus as usize) as u16)
             }
         }

@@ -180,7 +180,10 @@ impl PageTable {
     pub fn new() -> Self {
         PageTable {
             nodes: vec![TableNode::default()],
-            stats: PageTableStats { tables: 1, ..PageTableStats::default() },
+            stats: PageTableStats {
+                tables: 1,
+                ..PageTableStats::default()
+            },
         }
     }
 
@@ -223,7 +226,14 @@ impl PageTable {
                 if table.entries.contains_key(&index) {
                     return Err(VmemError::AlreadyMapped { vpn: va.vpn() });
                 }
-                table.entries.insert(index, Entry::Leaf { pfn, node, page_size });
+                table.entries.insert(
+                    index,
+                    Entry::Leaf {
+                        pfn,
+                        node,
+                        page_size,
+                    },
+                );
                 match page_size {
                     PageSize::Size4K => self.stats.leaf_4k += 1,
                     PageSize::Size2M => self.stats.leaf_2m += 1,
@@ -239,7 +249,9 @@ impl PageTable {
                 }
                 None => {
                     let next = self.alloc_node();
-                    self.nodes[current.0 as usize].entries.insert(index, Entry::Table(next));
+                    self.nodes[current.0 as usize]
+                        .entries
+                        .insert(index, Entry::Table(next));
                     next
                 }
             };
@@ -255,7 +267,10 @@ impl PageTable {
     pub fn unmap(&mut self, va: VirtAddr) -> Result<Translation, VmemError> {
         let path = self.walk(va);
         let translation = path.translation.ok_or(VmemError::NotMapped { va })?;
-        let leaf_step = *path.steps.last().expect("successful walk has at least one step");
+        let leaf_step = *path
+            .steps
+            .last()
+            .expect("successful walk has at least one step");
         let table = &mut self.nodes[leaf_step.table.0 as usize];
         table.entries.remove(&leaf_step.index);
         match translation.page_size {
@@ -278,11 +293,18 @@ impl PageTable {
     ) -> Result<Translation, VmemError> {
         let path = self.walk(va);
         let old = path.translation.ok_or(VmemError::NotMapped { va })?;
-        let leaf_step = *path.steps.last().expect("successful walk has at least one step");
+        let leaf_step = *path
+            .steps
+            .last()
+            .expect("successful walk has at least one step");
         let table = &mut self.nodes[leaf_step.table.0 as usize];
         table.entries.insert(
             leaf_step.index,
-            Entry::Leaf { pfn: new_pfn, node: new_node, page_size: old.page_size },
+            Entry::Leaf {
+                pfn: new_pfn,
+                node: new_node,
+                page_size: old.page_size,
+            },
         );
         Ok(old)
     }
@@ -305,7 +327,11 @@ impl PageTable {
                     });
                     current = next;
                 }
-                Some(Entry::Leaf { pfn, node, page_size }) => {
+                Some(Entry::Leaf {
+                    pfn,
+                    node,
+                    page_size,
+                }) => {
                     steps.push(WalkStep {
                         level,
                         table: current,
@@ -317,7 +343,12 @@ impl PageTable {
                     return WalkPath {
                         va,
                         steps,
-                        translation: Some(Translation { pa, pfn, page_size, node }),
+                        translation: Some(Translation {
+                            pa,
+                            pfn,
+                            page_size,
+                            node,
+                        }),
                     };
                 }
                 None => {
@@ -327,11 +358,19 @@ impl PageTable {
                         index,
                         outcome: WalkLevel::NotPresent,
                     });
-                    return WalkPath { va, steps, translation: None };
+                    return WalkPath {
+                        va,
+                        steps,
+                        translation: None,
+                    };
                 }
             }
         }
-        WalkPath { va, steps, translation: None }
+        WalkPath {
+            va,
+            steps,
+            translation: None,
+        }
     }
 
     /// Walks the page table starting below the L2 level, as a PTW whose
@@ -349,7 +388,11 @@ impl PageTable {
             .copied()
             .filter(|s| s.level == WalkIndexLevel::L1)
             .collect();
-        WalkPath { va, steps: skipped, translation: full.translation }
+        WalkPath {
+            va,
+            steps: skipped,
+            translation: full.translation,
+        }
     }
 
     /// Translates `va` without recording walk steps.
@@ -397,8 +440,13 @@ mod tests {
     use super::*;
 
     fn map_4k(pt: &mut PageTable, va: u64, pfn: u64) {
-        pt.map(VirtAddr::new(va), PageSize::Size4K, PhysFrameNum::new(pfn), MemNode::Npu(0))
-            .unwrap();
+        pt.map(
+            VirtAddr::new(va),
+            PageSize::Size4K,
+            PhysFrameNum::new(pfn),
+            MemNode::Npu(0),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -420,7 +468,12 @@ mod tests {
         assert_eq!(path.memory_accesses(), 4);
         assert_eq!(path.steps[0].level, WalkIndexLevel::L4);
         assert_eq!(path.steps[3].level, WalkIndexLevel::L1);
-        assert!(matches!(path.steps[3].outcome, WalkLevel::Leaf { page_size: PageSize::Size4K }));
+        assert!(matches!(
+            path.steps[3].outcome,
+            WalkLevel::Leaf {
+                page_size: PageSize::Size4K
+            }
+        ));
     }
 
     #[test]
@@ -454,7 +507,12 @@ mod tests {
     fn misaligned_2m_mapping_rejected() {
         let mut pt = PageTable::new();
         let err = pt
-            .map(VirtAddr::new(0x1000), PageSize::Size2M, PhysFrameNum::new(1), MemNode::Host)
+            .map(
+                VirtAddr::new(0x1000),
+                PageSize::Size2M,
+                PhysFrameNum::new(1),
+                MemNode::Host,
+            )
             .unwrap_err();
         assert!(matches!(err, VmemError::MisalignedMapping { .. }));
     }
@@ -464,14 +522,29 @@ mod tests {
         let mut pt = PageTable::new();
         map_4k(&mut pt, 0x1000, 1);
         let err = pt
-            .map(VirtAddr::new(0x1000), PageSize::Size4K, PhysFrameNum::new(2), MemNode::Host)
+            .map(
+                VirtAddr::new(0x1000),
+                PageSize::Size4K,
+                PhysFrameNum::new(2),
+                MemNode::Host,
+            )
             .unwrap_err();
         assert!(matches!(err, VmemError::AlreadyMapped { .. }));
         // Mapping a 4 KB page under an existing 2 MB page is also rejected.
-        pt.map(VirtAddr::new(0x20_0000), PageSize::Size2M, PhysFrameNum::new(3), MemNode::Host)
-            .unwrap();
+        pt.map(
+            VirtAddr::new(0x20_0000),
+            PageSize::Size2M,
+            PhysFrameNum::new(3),
+            MemNode::Host,
+        )
+        .unwrap();
         let err = pt
-            .map(VirtAddr::new(0x20_1000), PageSize::Size4K, PhysFrameNum::new(4), MemNode::Host)
+            .map(
+                VirtAddr::new(0x20_1000),
+                PageSize::Size4K,
+                PhysFrameNum::new(4),
+                MemNode::Host,
+            )
             .unwrap_err();
         assert!(matches!(err, VmemError::AlreadyMapped { .. }));
     }
@@ -485,7 +558,10 @@ mod tests {
         assert_eq!(old.pfn.raw(), 42);
         assert_eq!(pt.stats().leaf_4k, 0);
         assert!(!pt.is_mapped(VirtAddr::new(0x5000)));
-        assert!(matches!(pt.unmap(VirtAddr::new(0x5000)), Err(VmemError::NotMapped { .. })));
+        assert!(matches!(
+            pt.unmap(VirtAddr::new(0x5000)),
+            Err(VmemError::NotMapped { .. })
+        ));
     }
 
     #[test]
@@ -493,7 +569,11 @@ mod tests {
         let mut pt = PageTable::new();
         map_4k(&mut pt, 0x5000, 42);
         let old = pt
-            .remap(VirtAddr::new(0x5000), PhysFrameNum::new(100), MemNode::Npu(3))
+            .remap(
+                VirtAddr::new(0x5000),
+                PhysFrameNum::new(100),
+                MemNode::Npu(3),
+            )
             .unwrap();
         assert_eq!(old.pfn.raw(), 42);
         let t = pt.translate(VirtAddr::new(0x5abc)).unwrap();
@@ -540,8 +620,13 @@ mod tests {
     fn stats_mapped_bytes() {
         let mut pt = PageTable::new();
         map_4k(&mut pt, 0x1000, 1);
-        pt.map(VirtAddr::new(0x20_0000), PageSize::Size2M, PhysFrameNum::new(512), MemNode::Host)
-            .unwrap();
+        pt.map(
+            VirtAddr::new(0x20_0000),
+            PageSize::Size2M,
+            PhysFrameNum::new(512),
+            MemNode::Host,
+        )
+        .unwrap();
         assert_eq!(pt.stats().mapped_bytes(), 4096 + 2 * 1024 * 1024);
     }
 

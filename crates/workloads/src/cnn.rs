@@ -47,7 +47,18 @@ fn inception(
         Layer::conv2d(format!("{name}_3x3"), batch, b3r, hw, hw, b3, 3, 3, 1, 1),
         Layer::conv2d(format!("{name}_5x5r"), batch, ch, hw, hw, b5r, 1, 1, 1, 0),
         Layer::conv2d(format!("{name}_5x5"), batch, b5r, hw, hw, b5, 5, 5, 1, 2),
-        Layer::conv2d(format!("{name}_pool"), batch, ch, hw, hw, pool_proj, 1, 1, 1, 0),
+        Layer::conv2d(
+            format!("{name}_pool"),
+            batch,
+            ch,
+            hw,
+            hw,
+            pool_proj,
+            1,
+            1,
+            1,
+            0,
+        ),
     ]
 }
 
@@ -61,20 +72,35 @@ pub fn googlenet(batch: u64) -> Vec<Layer> {
         Layer::conv2d("conv2", batch, 64, 56, 56, 192, 3, 3, 1, 1),
     ];
     layers.extend(inception("inc3a", batch, 192, 28, 64, 96, 128, 16, 32, 32));
-    layers.extend(inception("inc3b", batch, 256, 28, 128, 128, 192, 32, 96, 64));
+    layers.extend(inception(
+        "inc3b", batch, 256, 28, 128, 128, 192, 32, 96, 64,
+    ));
     layers.extend(inception("inc4a", batch, 480, 14, 192, 96, 208, 16, 48, 64));
-    layers.extend(inception("inc4b", batch, 512, 14, 160, 112, 224, 24, 64, 64));
-    layers.extend(inception("inc4c", batch, 512, 14, 128, 128, 256, 24, 64, 64));
-    layers.extend(inception("inc4d", batch, 512, 14, 112, 144, 288, 32, 64, 64));
-    layers.extend(inception("inc4e", batch, 528, 14, 256, 160, 320, 32, 128, 128));
-    layers.extend(inception("inc5a", batch, 832, 7, 256, 160, 320, 32, 128, 128));
-    layers.extend(inception("inc5b", batch, 832, 7, 384, 192, 384, 48, 128, 128));
+    layers.extend(inception(
+        "inc4b", batch, 512, 14, 160, 112, 224, 24, 64, 64,
+    ));
+    layers.extend(inception(
+        "inc4c", batch, 512, 14, 128, 128, 256, 24, 64, 64,
+    ));
+    layers.extend(inception(
+        "inc4d", batch, 512, 14, 112, 144, 288, 32, 64, 64,
+    ));
+    layers.extend(inception(
+        "inc4e", batch, 528, 14, 256, 160, 320, 32, 128, 128,
+    ));
+    layers.extend(inception(
+        "inc5a", batch, 832, 7, 256, 160, 320, 32, 128, 128,
+    ));
+    layers.extend(inception(
+        "inc5b", batch, 832, 7, 384, 192, 384, 48, 128, 128,
+    ));
     layers.push(Layer::fully_connected("fc", batch, 1024, 1000));
     layers
 }
 
 /// One ResNet bottleneck block (1×1 reduce, 3×3, 1×1 expand), plus the
 /// projection shortcut when the block changes resolution or width.
+#[allow(clippy::too_many_arguments)]
 fn bottleneck(
     name: &str,
     batch: u64,
@@ -87,9 +113,42 @@ fn bottleneck(
 ) -> Vec<Layer> {
     let out_hw = hw / stride;
     let mut layers = vec![
-        Layer::conv2d(format!("{name}_a"), batch, in_ch, hw, hw, mid_ch, 1, 1, stride, 0),
-        Layer::conv2d(format!("{name}_b"), batch, mid_ch, out_hw, out_hw, mid_ch, 3, 3, 1, 1),
-        Layer::conv2d(format!("{name}_c"), batch, mid_ch, out_hw, out_hw, out_ch, 1, 1, 1, 0),
+        Layer::conv2d(
+            format!("{name}_a"),
+            batch,
+            in_ch,
+            hw,
+            hw,
+            mid_ch,
+            1,
+            1,
+            stride,
+            0,
+        ),
+        Layer::conv2d(
+            format!("{name}_b"),
+            batch,
+            mid_ch,
+            out_hw,
+            out_hw,
+            mid_ch,
+            3,
+            3,
+            1,
+            1,
+        ),
+        Layer::conv2d(
+            format!("{name}_c"),
+            batch,
+            mid_ch,
+            out_hw,
+            out_hw,
+            out_ch,
+            1,
+            1,
+            1,
+            0,
+        ),
     ];
     if project {
         layers.push(Layer::conv2d(
@@ -128,7 +187,9 @@ pub fn resnet50(batch: u64) -> Vec<Layer> {
             let stride = if first { stage_stride } else { 1 };
             let block_in = if first { in_ch } else { out };
             let block_hw = if first { hw } else { hw / stage_stride };
-            layers.extend(bottleneck(&name, batch, block_in, block_hw, mid, out, stride, first));
+            layers.extend(bottleneck(
+                &name, batch, block_in, block_hw, mid, out, stride, first,
+            ));
         }
     }
     layers.push(Layer::fully_connected("fc", batch, 2048, 1000));
@@ -185,7 +246,11 @@ mod tests {
     #[test]
     fn networks_cover_a_wide_range_of_filter_sizes() {
         // The paper chose these CNNs to span small and large filters.
-        let all: Vec<_> = alexnet(1).into_iter().chain(googlenet(1)).chain(resnet50(1)).collect();
+        let all: Vec<_> = alexnet(1)
+            .into_iter()
+            .chain(googlenet(1))
+            .chain(resnet50(1))
+            .collect();
         let ks: Vec<u64> = all
             .iter()
             .filter_map(|l| match l.op() {

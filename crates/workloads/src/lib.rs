@@ -33,7 +33,6 @@ pub mod prelude {
     };
     pub use crate::rnn;
     pub use crate::suite::{
-        dense_suite, sparse_suite, DenseWorkload, WorkloadId, DENSE_BATCH_SIZES,
-        SPARSE_BATCH_SIZES,
+        dense_suite, sparse_suite, DenseWorkload, WorkloadId, DENSE_BATCH_SIZES, SPARSE_BATCH_SIZES,
     };
 }

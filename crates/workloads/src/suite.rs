@@ -129,7 +129,11 @@ impl DenseWorkload {
 /// The full dense suite (CNN-1..3, RNN-1..3).
 #[must_use]
 pub fn dense_suite() -> Vec<DenseWorkload> {
-    WorkloadId::ALL.iter().copied().map(DenseWorkload::new).collect()
+    WorkloadId::ALL
+        .iter()
+        .copied()
+        .map(DenseWorkload::new)
+        .collect()
 }
 
 /// The sparse (embedding) suite: NCF and DLRM.
@@ -147,7 +151,10 @@ mod tests {
         let suite = dense_suite();
         assert_eq!(suite.len(), 6);
         let labels: Vec<_> = suite.iter().map(|w| w.id.label()).collect();
-        assert_eq!(labels, ["CNN-1", "CNN-2", "CNN-3", "RNN-1", "RNN-2", "RNN-3"]);
+        assert_eq!(
+            labels,
+            ["CNN-1", "CNN-2", "CNN-3", "RNN-1", "RNN-2", "RNN-3"]
+        );
     }
 
     #[test]
@@ -157,7 +164,12 @@ mod tests {
                 let layers = workload.layers(batch);
                 assert!(!layers.is_empty());
                 for layer in &layers {
-                    assert!(layer.validate().is_ok(), "{}: {}", workload.network_name(), layer.name());
+                    assert!(
+                        layer.validate().is_ok(),
+                        "{}: {}",
+                        workload.network_name(),
+                        layer.name()
+                    );
                 }
             }
         }

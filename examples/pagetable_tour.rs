@@ -39,10 +39,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let walk = space.walk(va);
     println!("walking {va}:");
     for step in &walk.steps {
-        println!("  {:?} index {} -> {:?}", step.level, step.index, step.outcome);
+        println!(
+            "  {:?} index {} -> {:?}",
+            step.level, step.index, step.outcome
+        );
     }
     let translation = walk.translation.expect("weights are eagerly mapped");
-    println!("  => {} on {} ({} memory accesses)\n", translation.pa, translation.node, walk.memory_accesses());
+    println!(
+        "  => {} on {} ({} memory accesses)\n",
+        translation.pa,
+        translation.node,
+        walk.memory_accesses()
+    );
 
     // 2. A translation burst through NeuMMU: the first transaction of a page
     //    walks, later transactions to the same page merge, and the TPreg lets
@@ -55,8 +63,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cycle = outcome.accept_cycle + 1;
         sources.push(outcome.source);
     }
-    let walks = sources.iter().filter(|s| matches!(s, TranslationSource::PageWalk { .. })).count();
-    let merged = sources.iter().filter(|s| matches!(s, TranslationSource::Merged)).count();
+    let walks = sources
+        .iter()
+        .filter(|s| matches!(s, TranslationSource::PageWalk { .. }))
+        .count();
+    let merged = sources
+        .iter()
+        .filter(|s| matches!(s, TranslationSource::Merged))
+        .count();
     println!(
         "burst of 16 x 512-byte transactions: {walks} page walks, {merged} merged, {} TLB hits",
         mmu.stats().tlb_hits

@@ -22,8 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let oracle = DenseSimulator::new(DenseSimConfig::with_mmu(MmuConfig::oracle()))
         .simulate_layer(&layer)?;
 
-    println!("layer: {} ({} tiles, {} translation requests per step)", layer.name(),
-        oracle.layers[0].tile_count, oracle.layers[0].translation_requests);
+    println!(
+        "layer: {} ({} tiles, {} translation requests per step)",
+        layer.name(),
+        oracle.layers[0].tile_count,
+        oracle.layers[0].translation_requests
+    );
     println!("oracle MMU: {} cycles\n", oracle.total_cycles);
 
     println!(

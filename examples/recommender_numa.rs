@@ -19,7 +19,10 @@ use neummu::sim::embedding::{EmbeddingSimConfig, EmbeddingSimulator, GatherStrat
 use neummu::workloads::EmbeddingModel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let batch: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(8);
+    let batch: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(8);
     let model = EmbeddingModel::dlrm();
     println!(
         "DLRM: {} embedding tables, {:.1} GB of embeddings, {} lookups per sample, batch {batch}\n",
@@ -31,9 +34,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = EmbeddingSimulator::new(EmbeddingSimConfig::with_mmu(MmuConfig::neummu()));
     let strategies = [
         GatherStrategy::HostRelayedCopy,
-        GatherStrategy::NumaDirect { link: TransferKind::Pcie },
-        GatherStrategy::NumaDirect { link: TransferKind::NpuLink },
-        GatherStrategy::DemandPaging { link: TransferKind::NpuLink },
+        GatherStrategy::NumaDirect {
+            link: TransferKind::Pcie,
+        },
+        GatherStrategy::NumaDirect {
+            link: TransferKind::NpuLink,
+        },
+        GatherStrategy::DemandPaging {
+            link: TransferKind::NpuLink,
+        },
     ];
 
     let baseline = sim.simulate(&model, batch, GatherStrategy::HostRelayedCopy)?;

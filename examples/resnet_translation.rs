@@ -22,16 +22,26 @@ fn run(layers: &[neummu::npu::Layer], mmu: MmuConfig) -> WorkloadResult {
 }
 
 fn main() {
-    let batch: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1);
+    let batch: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1);
     let workload = DenseWorkload::new(WorkloadId::Cnn3);
     let layers = workload.layers(batch);
-    println!("{} at batch {batch}: {} layers\n", workload.network_name(), layers.len());
+    println!(
+        "{} at batch {batch}: {} layers\n",
+        workload.network_name(),
+        layers.len()
+    );
 
     let oracle = run(&layers, MmuConfig::oracle());
     let iommu = run(&layers, MmuConfig::baseline_iommu());
     let neummu = run(&layers, MmuConfig::neummu());
 
-    println!("{:<10} {:>14} {:>12} {:>14} {:>16}", "MMU", "total cycles", "norm. perf", "page walks", "walk DRAM reads");
+    println!(
+        "{:<10} {:>14} {:>12} {:>14} {:>16}",
+        "MMU", "total cycles", "norm. perf", "page walks", "walk DRAM reads"
+    );
     for (name, result) in [("oracle", &oracle), ("IOMMU", &iommu), ("NeuMMU", &neummu)] {
         println!(
             "{:<10} {:>14} {:>12.3} {:>14} {:>16}",
@@ -48,7 +58,12 @@ fn main() {
         .layers
         .iter()
         .zip(oracle.layers.iter())
-        .map(|(i, o)| (i.layer_name.clone(), i.total_cycles as f64 / o.total_cycles.max(1) as f64))
+        .map(|(i, o)| {
+            (
+                i.layer_name.clone(),
+                i.total_cycles as f64 / o.total_cycles.max(1) as f64,
+            )
+        })
         .collect();
     slowdowns.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
 

@@ -14,7 +14,9 @@ fn probe_layer() -> Layer {
 }
 
 fn simulate(layer: &Layer, mmu: MmuConfig) -> WorkloadResult {
-    DenseSimulator::new(DenseSimConfig::with_mmu(mmu)).simulate_layer(layer).unwrap()
+    DenseSimulator::new(DenseSimConfig::with_mmu(mmu))
+        .simulate_layer(layer)
+        .unwrap()
 }
 
 #[test]
@@ -24,7 +26,12 @@ fn facade_reexports_are_usable_together() {
     let mut memory = PhysicalMemory::with_npus(1, 1 << 30);
     let mut space = AddressSpace::new("integration");
     let seg = space
-        .alloc_segment("data", 64 * 4096, SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K), &mut memory)
+        .alloc_segment(
+            "data",
+            64 * 4096,
+            SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K),
+            &mut memory,
+        )
         .unwrap();
     let mut mmu = TranslationEngine::new(MmuConfig::neummu());
     let outcome = mmu.translate(space.page_table(), seg.start(), 0);
@@ -77,15 +84,21 @@ fn dense_and_spatial_npus_both_benefit_from_neummu() {
     for npu in [NpuConfig::tpu_like(), NpuConfig::spatial_array()] {
         let mut base_cfg = DenseSimConfig::with_mmu(MmuConfig::oracle());
         base_cfg.npu = npu;
-        let oracle = DenseSimulator::new(base_cfg).simulate_layer(&layer).unwrap();
+        let oracle = DenseSimulator::new(base_cfg)
+            .simulate_layer(&layer)
+            .unwrap();
 
         let mut iommu_cfg = DenseSimConfig::with_mmu(MmuConfig::baseline_iommu());
         iommu_cfg.npu = npu;
-        let iommu = DenseSimulator::new(iommu_cfg).simulate_layer(&layer).unwrap();
+        let iommu = DenseSimulator::new(iommu_cfg)
+            .simulate_layer(&layer)
+            .unwrap();
 
         let mut neummu_cfg = DenseSimConfig::with_mmu(MmuConfig::neummu());
         neummu_cfg.npu = npu;
-        let neummu = DenseSimulator::new(neummu_cfg).simulate_layer(&layer).unwrap();
+        let neummu = DenseSimulator::new(neummu_cfg)
+            .simulate_layer(&layer)
+            .unwrap();
 
         assert!(neummu.normalized_to(&oracle) > iommu.normalized_to(&oracle));
     }
@@ -96,7 +109,12 @@ fn page_migration_is_visible_to_the_translation_engine() {
     let mut memory = PhysicalMemory::with_npus(2, 1 << 30);
     let mut space = AddressSpace::new("migration");
     let seg = space
-        .alloc_segment("emb", 32 * 4096, SegmentOptions::new(MemNode::Npu(1), PageSize::Size4K), &mut memory)
+        .alloc_segment(
+            "emb",
+            32 * 4096,
+            SegmentOptions::new(MemNode::Npu(1), PageSize::Size4K),
+            &mut memory,
+        )
         .unwrap();
     let va = seg.addr_at(3 * 4096);
     let mut mmu = TranslationEngine::new(MmuConfig::neummu());
@@ -109,7 +127,9 @@ fn page_migration_is_visible_to_the_translation_engine() {
 
     // Migrate and invalidate; the next translation must walk again and see
     // the new node.
-    space.migrate_page(va, MemNode::Npu(0), &mut memory).unwrap();
+    space
+        .migrate_page(va, MemNode::Npu(0), &mut memory)
+        .unwrap();
     mmu.invalidate_page(va);
     let after = mmu.translate(space.page_table(), va, warm.complete_cycle + 1);
     assert!(matches!(after.source, TranslationSource::PageWalk { .. }));
@@ -123,7 +143,10 @@ fn larger_batches_increase_work_monotonically() {
     for batch in [1u64, 4, 8] {
         let layer = Layer::conv2d("conv", batch, 64, 56, 56, 64, 3, 3, 1, 1);
         let result = sim.simulate_layer(&layer).unwrap();
-        assert!(result.total_cycles > previous, "batch {batch} should take longer");
+        assert!(
+            result.total_cycles > previous,
+            "batch {batch} should take longer"
+        );
         previous = result.total_cycles;
     }
 }

@@ -26,7 +26,9 @@ fn conv_probe() -> Layer {
 }
 
 fn simulate(layer: &Layer, mmu: MmuConfig) -> WorkloadResult {
-    DenseSimulator::new(DenseSimConfig::with_mmu(mmu)).simulate_layer(layer).unwrap()
+    DenseSimulator::new(DenseSimConfig::with_mmu(mmu))
+        .simulate_layer(layer)
+        .unwrap()
 }
 
 /// Section III-C / Figure 6: a tile that fills the scratchpad touches on the
@@ -44,7 +46,11 @@ fn claim_tile_fetches_cause_kilo_page_translation_bursts() {
         .max_by_key(|f| f.bytes)
         .expect("the LSTM has weight fetches");
     let demand = dma.translation_demand(&biggest);
-    assert!(demand.distinct_pages_4k > 1000, "pages per tile: {}", demand.distinct_pages_4k);
+    assert!(
+        demand.distinct_pages_4k > 1000,
+        "pages per tile: {}",
+        demand.distinct_pages_4k
+    );
     assert!(
         demand.transactions >= 4 * demand.distinct_pages_4k,
         "transactions {} vs pages {}",
@@ -64,8 +70,16 @@ fn claim_baseline_iommu_is_slow_and_neummu_closes_the_gap() {
         let neummu = simulate(&layer, MmuConfig::neummu());
         let iommu_norm = iommu.normalized_to(&oracle);
         let neummu_norm = neummu.normalized_to(&oracle);
-        assert!(iommu_norm < 0.6, "{}: IOMMU normalized perf {iommu_norm}", layer.name());
-        assert!(neummu_norm > 0.95, "{}: NeuMMU normalized perf {neummu_norm}", layer.name());
+        assert!(
+            iommu_norm < 0.6,
+            "{}: IOMMU normalized perf {iommu_norm}",
+            layer.name()
+        );
+        assert!(
+            neummu_norm > 0.95,
+            "{}: NeuMMU normalized perf {neummu_norm}",
+            layer.name()
+        );
     }
 }
 
@@ -76,10 +90,16 @@ fn claim_bigger_tlbs_alone_do_not_help() {
     let layer = lstm_probe();
     let oracle = simulate(&layer, MmuConfig::oracle());
     let small_tlb = simulate(&layer, MmuConfig::baseline_iommu());
-    let huge_tlb = simulate(&layer, MmuConfig::baseline_iommu().with_tlb_entries(128 * 1024));
+    let huge_tlb = simulate(
+        &layer,
+        MmuConfig::baseline_iommu().with_tlb_entries(128 * 1024),
+    );
     let small_norm = small_tlb.normalized_to(&oracle);
     let huge_norm = huge_tlb.normalized_to(&oracle);
-    assert!(huge_norm < small_norm + 0.05, "128K-entry TLB should barely help: {small_norm} -> {huge_norm}");
+    assert!(
+        huge_norm < small_norm + 0.05,
+        "128K-entry TLB should barely help: {small_norm} -> {huge_norm}"
+    );
     assert!(huge_norm < 0.6);
 }
 
@@ -94,10 +114,15 @@ fn claim_prmb_then_ptws_progressively_recover_performance() {
         simulate(&layer, MmuConfig::baseline_iommu().with_prmb_slots(32)).normalized_to(&oracle);
     let with_prmb_and_ptws = simulate(
         &layer,
-        MmuConfig::baseline_iommu().with_prmb_slots(32).with_ptws(128),
+        MmuConfig::baseline_iommu()
+            .with_prmb_slots(32)
+            .with_ptws(128),
     )
     .normalized_to(&oracle);
-    assert!(with_prmb > baseline, "PRMB should help: {baseline} -> {with_prmb}");
+    assert!(
+        with_prmb > baseline,
+        "PRMB should help: {baseline} -> {with_prmb}"
+    );
     assert!(
         with_prmb_and_ptws > with_prmb,
         "extra walkers should help further: {with_prmb} -> {with_prmb_and_ptws}"
@@ -131,7 +156,11 @@ fn claim_many_ptws_without_prmb_waste_energy() {
 fn claim_tpreg_hit_rates_follow_the_l4_l3_l2_shape() {
     let result = simulate(&lstm_probe(), MmuConfig::neummu());
     let stats = result.translation;
-    assert!(stats.tpreg_l4_rate() > 0.95, "L4 rate {}", stats.tpreg_l4_rate());
+    assert!(
+        stats.tpreg_l4_rate() > 0.95,
+        "L4 rate {}",
+        stats.tpreg_l4_rate()
+    );
     assert!(stats.tpreg_l3_rate() > 0.95);
     assert!(stats.tpreg_l2_rate() <= stats.tpreg_l3_rate());
     assert!(stats.tpreg_skipped_levels > 0);
@@ -142,15 +171,19 @@ fn claim_tpreg_hit_rates_follow_the_l4_l3_l2_shape() {
 #[test]
 fn claim_large_pages_help_dense_workloads() {
     let layer = lstm_probe();
-    let oracle_2m =
-        simulate(&layer, MmuConfig::oracle().with_page_size(PageSize::Size2M));
-    let iommu_2m =
-        simulate(&layer, MmuConfig::baseline_iommu().with_page_size(PageSize::Size2M));
+    let oracle_2m = simulate(&layer, MmuConfig::oracle().with_page_size(PageSize::Size2M));
+    let iommu_2m = simulate(
+        &layer,
+        MmuConfig::baseline_iommu().with_page_size(PageSize::Size2M),
+    );
     let oracle_4k = simulate(&layer, MmuConfig::oracle());
     let iommu_4k = simulate(&layer, MmuConfig::baseline_iommu());
     let norm_2m = iommu_2m.normalized_to(&oracle_2m);
     let norm_4k = iommu_4k.normalized_to(&oracle_4k);
-    assert!(norm_2m > norm_4k + 0.2, "2MB pages should help a lot: {norm_4k} -> {norm_2m}");
+    assert!(
+        norm_2m > norm_4k + 0.2,
+        "2MB pages should help a lot: {norm_4k} -> {norm_2m}"
+    );
     assert!(norm_2m > 0.8);
 }
 
@@ -160,12 +193,26 @@ fn claim_large_pages_help_dense_workloads() {
 fn claim_numa_gathers_beat_cpu_relayed_copies() {
     let model = EmbeddingModel::dlrm();
     let sim = EmbeddingSimulator::new(EmbeddingSimConfig::with_mmu(MmuConfig::neummu()));
-    let baseline = sim.simulate(&model, 8, GatherStrategy::HostRelayedCopy).unwrap();
+    let baseline = sim
+        .simulate(&model, 8, GatherStrategy::HostRelayedCopy)
+        .unwrap();
     let slow = sim
-        .simulate(&model, 8, GatherStrategy::NumaDirect { link: TransferKind::Pcie })
+        .simulate(
+            &model,
+            8,
+            GatherStrategy::NumaDirect {
+                link: TransferKind::Pcie,
+            },
+        )
         .unwrap();
     let fast = sim
-        .simulate(&model, 8, GatherStrategy::NumaDirect { link: TransferKind::NpuLink })
+        .simulate(
+            &model,
+            8,
+            GatherStrategy::NumaDirect {
+                link: TransferKind::NpuLink,
+            },
+        )
         .unwrap();
     assert!(baseline.total_cycles() > slow.total_cycles());
     assert!(slow.total_cycles() >= fast.total_cycles());
@@ -179,7 +226,9 @@ fn claim_numa_gathers_beat_cpu_relayed_copies() {
 #[test]
 fn claim_large_page_demand_paging_overfetches_sparse_embeddings() {
     let model = EmbeddingModel::ncf();
-    let strategy = GatherStrategy::DemandPaging { link: TransferKind::NpuLink };
+    let strategy = GatherStrategy::DemandPaging {
+        link: TransferKind::NpuLink,
+    };
     let small = EmbeddingSimulator::new(EmbeddingSimConfig::with_mmu(MmuConfig::neummu()))
         .simulate(&model, 4, strategy)
         .unwrap();

@@ -1,0 +1,383 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! [`Strategy`] for integer ranges / tuples / `any::<T>()`, the
+//! `collection::{vec, hash_set}` strategies, and `prop_assert!` /
+//! `prop_assert_eq!`. Cases are generated from a per-test deterministic
+//! ChaCha8 stream; there is no shrinking — on failure the harness prints the
+//! generated inputs and re-raises the panic.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::{Rng, SeedableRng};
+
+/// The RNG driving case generation.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<T: rand::SampleUniform + Clone> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_range_inclusive {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                if end < <$t>::MAX {
+                    rng.gen_range(start..end + 1)
+                } else if start > <$t>::MIN {
+                    // Avoid overflowing `end + 1` on full-width ranges.
+                    rng.gen_range(start - 1..end) + 1
+                } else {
+                    rand::RngCore::next_u64(rng) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_strategy_range_inclusive!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A: 0);
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy for "any value of `T`" — see [`any`].
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// Generates arbitrary values of `T` (supported for `bool` and the integer
+/// primitives).
+#[must_use]
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies (`prop::collection::*`).
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a target size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates hash sets whose size is drawn uniformly from `size`.
+    ///
+    /// If the element strategy cannot produce enough distinct values the set
+    /// may be smaller than drawn, mirroring proptest's behaviour of treating
+    /// the size as a target rather than a guarantee.
+    pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.gen_range(self.size.clone());
+            let mut out = HashSet::with_capacity(target);
+            // Bounded attempts so narrow domains cannot loop forever.
+            let mut attempts = 0usize;
+            while out.len() < target && attempts < target.saturating_mul(20) + 100 {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Namespace mirror of `proptest::prop` (`prop::collection::vec`, ...).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        Any, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Derives the per-test RNG seed from the property name (FNV-1a), keeping
+/// runs deterministic while decorrelating sibling properties.
+#[must_use]
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Builds the [`TestRng`] for one property.
+#[must_use]
+pub fn rng_for(test_name: &str) -> TestRng {
+    TestRng::seed_from_u64(seed_for(test_name))
+}
+
+/// Skips the current case when the assumption does not hold.
+///
+/// The property body runs inside a closure returning `bool` (`true` = case
+/// executed); this early-returns `false`, and the harness regenerates the
+/// case instead of counting it, mirroring real proptest's reject-and-retry
+/// semantics (with a bounded global reject budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            return false;
+        }
+    };
+}
+
+/// Asserts a condition inside a property (alias of `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (alias of `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (alias of `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines property tests.
+///
+/// Supports the standard form: an optional `#![proptest_config(expr)]` inner
+/// attribute followed by `#[test]` functions whose arguments are
+/// `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            let mut __case = 0u32;
+            let mut __rejects = 0u32;
+            // `prop_assume!` rejections regenerate the case rather than
+            // consuming it; the budget bounds pathological assumptions.
+            let __reject_budget = __config.cases.saturating_mul(10) + 100;
+            while __case < __config.cases {
+                let mut __inputs = ::std::string::String::new();
+                $(let $arg = {
+                    let __value = $crate::Strategy::generate(&($strat), &mut __rng);
+                    __inputs.push_str(concat!(stringify!($arg), " = "));
+                    __inputs.push_str(&::std::format!("{:?}; ", __value));
+                    __value
+                };)*
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| -> bool {
+                        $body
+                        #[allow(unreachable_code)]
+                        true
+                    }),
+                );
+                match __outcome {
+                    ::std::result::Result::Ok(true) => __case += 1,
+                    ::std::result::Result::Ok(false) => {
+                        __rejects += 1;
+                        assert!(
+                            __rejects <= __reject_budget,
+                            "proptest: {} rejected {} cases via prop_assume! \
+                             (budget {}); loosen the strategy or the assumption",
+                            stringify!($name),
+                            __rejects,
+                            __reject_budget,
+                        );
+                    }
+                    ::std::result::Result::Err(__panic) => {
+                        ::std::eprintln!(
+                            "proptest: {} failed at case {}/{} with inputs: {}",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                            __inputs,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static EXECUTED: AtomicU32 = AtomicU32::new(0);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Rejected cases must be regenerated, not consumed: even though
+        /// roughly half of the generated values fail the assumption, all 32
+        /// cases must execute past it.
+        #[test]
+        fn assume_regenerates_rejected_cases(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+            EXECUTED.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn assume_executed_full_case_count() {
+        assume_regenerates_rejected_cases();
+        assert!(EXECUTED.load(Ordering::Relaxed) >= 32);
+    }
+}

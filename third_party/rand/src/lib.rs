@@ -1,0 +1,155 @@
+//! Offline stand-in for the `rand` crate (0.8-style API surface).
+//!
+//! Provides the subset this workspace uses: [`RngCore`], [`Rng::gen_range`]
+//! over integer ranges, [`SeedableRng::seed_from_u64`], and
+//! `distributions::{Distribution, Open01, Uniform-like sampling}`. Generators
+//! live in companion crates (see the `rand_chacha` stub).
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Low-level random number generation.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end - range.start) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is negligible
+                // for the span sizes used in simulation workloads.
+                let x = rng.next_u64();
+                let bounded = ((u128::from(x) * u128::from(span)) >> 64) as u64;
+                range.start + bounded as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = range.end.wrapping_sub(range.start) as $u as u64;
+                let x = rng.next_u64();
+                let bounded = ((u128::from(x) * u128::from(span)) >> 64) as u64;
+                range.start.wrapping_add(bounded as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// High-level random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the half-open range `[low, high)`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Samples a uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        distributions::Distribution::sample(&distributions::Open01, self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it over the full
+    /// internal state with SplitMix64 (the conventional `seed_from_u64`
+    /// construction).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Distributions over random values.
+pub mod distributions {
+    use super::RngCore;
+
+    /// Types that sample values of `T` from an RNG.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over the open interval `(0, 1)`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Open01;
+
+    impl Distribution<f64> for Open01 {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 52 random mantissa bits plus a half-ulp offset keeps the result
+            // strictly inside (0, 1).
+            let bits = rng.next_u64() >> 12;
+            (bits as f64 + 0.5) / (1u64 << 52) as f64
+        }
+    }
+
+    /// Standard uniform distribution over the half-open unit interval `[0, 1)`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+/// SplitMix64 state expansion, shared with the generator crates.
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

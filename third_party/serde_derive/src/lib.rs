@@ -1,0 +1,377 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this workspace actually uses — non-generic structs (named, tuple,
+//! unit) and enums (unit, tuple and struct variants) — without depending on
+//! `syn`/`quote`, which are unavailable in the offline build environment.
+//! The generated `Serialize` impl builds the `serde::Value` tree using
+//! serde's externally-tagged enum representation; `Deserialize` expands to a
+//! marker impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    NamedStruct { fields: Vec<String> },
+    TupleStruct { arity: usize },
+    UnitStruct,
+    Enum { variants: Vec<Variant> },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple { arity: usize },
+    Struct { fields: Vec<String> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+struct Parsed {
+    name: String,
+    /// Raw generics declaration including bounds, e.g. `K: Hash + Eq`.
+    generics_decl: String,
+    /// Bare generic parameter names, e.g. `K`.
+    generic_names: Vec<String>,
+    shape: Shape,
+}
+
+impl Parsed {
+    /// `impl<decl> Trait for Name<names>` header pieces, plus extra
+    /// `Serialize` bounds on every type parameter when requested.
+    fn impl_header(&self, trait_path: &str, bound_serialize: bool) -> String {
+        if self.generic_names.is_empty() {
+            return format!("impl {trait_path} for {}", self.name);
+        }
+        let where_clause = if bound_serialize {
+            let bounds: Vec<String> = self
+                .generic_names
+                .iter()
+                .map(|p| format!("{p}: ::serde::Serialize"))
+                .collect();
+            format!(" where {}", bounds.join(", "))
+        } else {
+            String::new()
+        };
+        format!(
+            "impl<{}> {trait_path} for {}<{}>{}",
+            self.generics_decl,
+            self.name,
+            self.generic_names.join(", "),
+            where_clause
+        )
+    }
+}
+
+/// Extracts the generics declaration: returns (decl tokens as text, bare
+/// parameter names, rest-after-`>`).
+fn parse_generics(tokens: &[TokenTree]) -> (String, Vec<String>, &[TokenTree]) {
+    if !matches!(tokens.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return (String::new(), Vec::new(), tokens);
+    }
+    let mut depth = 0usize;
+    let mut end = 0usize;
+    for (i, tt) in tokens.iter().enumerate() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !completes_arrow(&tokens[..i]) => {
+                depth -= 1;
+                if depth == 0 {
+                    end = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let inner = &tokens[1..end];
+    // Render through TokenStream's Display, which preserves token jointness
+    // (`::` must not become `: :`).
+    let decl = TokenStream::from_iter(inner.iter().cloned()).to_string();
+    let names = split_top_level_commas(inner)
+        .iter()
+        .filter_map(|param| {
+            let param = strip_attrs_and_vis(param);
+            match param.first() {
+                // Lifetimes (`'a`) need no Serialize bound and are kept only
+                // in the decl; const params start with the `const` keyword.
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => None,
+                Some(TokenTree::Ident(id)) if id.to_string() == "const" => None,
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect();
+    (decl, names, &tokens[end + 1..])
+}
+
+/// Splits the tokens of a brace/paren group at top-level commas, treating
+/// angle brackets as nesting (they are plain puncts in a `TokenStream`, so
+/// `HashMap<K, V>` must not split at its inner comma).
+fn split_top_level_commas(group: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for tt in group {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                cur.push(tt.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' && !completes_arrow(&cur) => {
+                angle_depth = angle_depth.saturating_sub(1);
+                cur.push(tt.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            other => cur.push(other.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// True when the next `>` completes a `->` arrow (`-` with joint spacing
+/// precedes it) rather than closing an angle bracket, e.g. in
+/// `HashMap<fn(u8) -> u8, u64>`.
+fn completes_arrow(before: &[TokenTree]) -> bool {
+    matches!(
+        before.last(),
+        Some(TokenTree::Punct(p))
+            if p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint
+    )
+}
+
+/// Strips leading attributes (`#` + bracket group) and visibility (`pub`,
+/// optionally followed by a paren group) from an item or field token list.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // attribute: `#` then `[...]`
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &tokens[i..],
+        }
+    }
+}
+
+/// Field name of one named-field declaration (`name: Type`).
+fn field_name(field: &[TokenTree]) -> String {
+    let field = strip_attrs_and_vis(field);
+    match field.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected field name, found {other:?}"),
+    }
+}
+
+fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(group)
+        .iter()
+        .map(|f| field_name(f))
+        .collect()
+}
+
+fn parse_variant(tokens: &[TokenTree]) -> Variant {
+    let tokens = strip_attrs_and_vis(tokens);
+    let name = match tokens.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected variant name, found {other:?}"),
+    };
+    let kind = match tokens.get(1) {
+        None => VariantKind::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            VariantKind::Tuple {
+                arity: split_top_level_commas(&inner).len(),
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            VariantKind::Struct {
+                fields: parse_named_fields(&inner),
+            }
+        }
+        // `Variant = discriminant`
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit,
+        other => panic!("serde_derive stub: unsupported variant shape {other:?}"),
+    };
+    Variant { name, kind }
+}
+
+fn parse_input(input: TokenStream) -> Parsed {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = strip_attrs_and_vis(&tokens);
+    let (kw, rest) = match tokens.first() {
+        Some(TokenTree::Ident(id)) => (id.to_string(), &tokens[1..]),
+        other => panic!("serde_derive stub: expected struct/enum, found {other:?}"),
+    };
+    let name = match rest.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, found {other:?}"),
+    };
+    let (generics_decl, generic_names, after_name) = parse_generics(&rest[1..]);
+    // A `where` clause, if present, sits before the body group; fold it into
+    // the generics declaration is unnecessary for this workspace — reject it
+    // loudly instead of generating wrong code.
+    if matches!(after_name.first(), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        panic!("serde_derive stub: `where` clauses are not supported (type `{name}`)");
+    }
+    let parsed = |shape| Parsed {
+        name: name.clone(),
+        generics_decl: generics_decl.clone(),
+        generic_names: generic_names.clone(),
+        shape,
+    };
+    match kw.as_str() {
+        "struct" => match after_name.first() {
+            None => parsed(Shape::UnitStruct),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => parsed(Shape::UnitStruct),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                parsed(Shape::NamedStruct {
+                    fields: parse_named_fields(&inner),
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                parsed(Shape::TupleStruct {
+                    arity: split_top_level_commas(&inner).len(),
+                })
+            }
+            other => panic!("serde_derive stub: unsupported struct body {other:?}"),
+        },
+        "enum" => match after_name.first() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                let variants = split_top_level_commas(&inner)
+                    .iter()
+                    .map(|v| parse_variant(v))
+                    .collect();
+                parsed(Shape::Enum { variants })
+            }
+            other => panic!("serde_derive stub: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    }
+}
+
+/// `#[derive(Serialize)]` — structural serialization into `serde::Value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_owned(),
+        Shape::NamedStruct { fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            if *arity == 1 {
+                // Newtype structs serialize transparently, as in real serde.
+                items[0].clone()
+            } else {
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+        }
+        Shape::Enum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple { arity } => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            let payload = if *arity == 1 {
+                                items[0].clone()
+                            } else {
+                                format!(
+                                    "::serde::Value::Array(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                        VariantKind::Struct { fields } => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Object(::std::vec![{}]))]),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] {header} {{ \
+             fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}",
+        header = parsed.impl_header("::serde::Serialize", true),
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl failed to parse")
+}
+
+/// `#[derive(Deserialize)]` — marker impl only.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    format!(
+        "#[automatically_derived] {} {{}}",
+        parsed.impl_header("::serde::Deserialize", false)
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl failed to parse")
+}

@@ -1,0 +1,175 @@
+//! Offline stand-in for `serde_json`: renders the stub `serde::Value` tree as
+//! JSON text. Only serialization is provided; the workspace never parses JSON.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+use serde::{Serialize, Value};
+
+/// Serialization error.
+///
+/// The stub's value model is always representable, so errors only arise from
+/// non-finite floats, which JSON cannot encode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Returns an error if the value contains a non-finite float.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0)?;
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON (two-space indent).
+///
+/// # Errors
+///
+/// Returns an error if the value contains a non-finite float.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0)?;
+    Ok(out)
+}
+
+fn write_value(
+    out: &mut String,
+    value: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if !x.is_finite() {
+                return Err(Error {
+                    message: format!("non-finite float {x}"),
+                });
+            }
+            // Ensure the output re-reads as a float, matching serde_json.
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                out.push_str(&format!("{x:.1}"));
+            } else {
+                out.push_str(&x.to_string());
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            write_seq(
+                out,
+                items.len(),
+                indent,
+                depth,
+                '[',
+                ']',
+                |out, i, ind, d| write_value(out, &items[i], ind, d),
+            )?;
+        }
+        Value::Object(entries) => {
+            write_seq(
+                out,
+                entries.len(),
+                indent,
+                depth,
+                '{',
+                '}',
+                |out, i, ind, d| {
+                    let (k, v) = &entries[i];
+                    write_json_string(out, k);
+                    out.push(':');
+                    if ind.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(out, v, ind, d)
+                },
+            )?;
+        }
+    }
+    Ok(())
+}
+
+fn write_seq(
+    out: &mut String,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    mut item: impl FnMut(&mut String, usize, Option<usize>, usize) -> Result<(), Error>,
+) -> Result<(), Error> {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return Ok(());
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i, indent, depth + 1)?;
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+    Ok(())
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_arrays_and_objects() {
+        assert_eq!(to_string(&vec![1u64, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        let pretty = to_string_pretty(&vec![1u64]).unwrap();
+        assert_eq!(pretty, "[\n  1\n]");
+    }
+
+    #[test]
+    fn non_finite_floats_error() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string(&f64::INFINITY).is_err());
+    }
+}
