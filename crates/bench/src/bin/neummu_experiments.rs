@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! neummu-experiments [--quick] [--out <dir>] [--only <exp>[,<exp>...]]
+//!                    [--threads <n>]
 //! ```
 //!
 //! * `--quick` runs the reduced (smoke) suite instead of the full benchmark
@@ -13,9 +14,17 @@
 //!   (`table1`, `fig06`, `fig07`, `fig08`, `fig10`, `fig11`, `fig12a`,
 //!   `fig12b`, `fig13`, `fig14`, `mmu_cache`, `summary`, `largepage`,
 //!   `spatial`, `sensitivity`, `fig15`, `fig16`).
+//! * `--threads` sets the worker-thread count of the experiment runner
+//!   (default: the machine's available parallelism; `1` forces the serial
+//!   reference schedule). Artifacts are byte-identical for every thread
+//!   count — parallelism only changes wall-clock time.
 //!
 //! Every experiment writes a Markdown table, a CSV file and a JSON dump into
-//! the artifact directory and prints the Markdown to stdout.
+//! the artifact directory and prints the Markdown to stdout. After the run a
+//! self-profiling report shows where simulation time went, along with the
+//! oracle-memoization statistics (each oracle baseline simulates exactly once
+//! per `(workload, batch, page size, NPU)` key and is shared across
+//! experiments).
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
@@ -25,18 +34,21 @@ use neummu_bench::ExperimentArtifacts;
 use neummu_sim::experiments::{
     characterization, mmu_cache_study, performance, recommender, table1, ExperimentScale,
 };
+use neummu_sim::ExperimentRunner;
 use neummu_workloads::WorkloadId;
 
 struct Options {
     scale: ExperimentScale,
     out_dir: String,
     only: Option<BTreeSet<String>>,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut scale = ExperimentScale::Full;
     let mut out_dir = "results".to_string();
     let mut only = None;
+    let mut threads = 0usize; // 0 = available parallelism
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -50,9 +62,18 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or("--only requires a comma-separated list")?;
                 only = Some(list.split(',').map(|s| s.trim().to_string()).collect());
             }
+            "--threads" => {
+                let value = args.next().ok_or("--threads requires a count argument")?;
+                threads = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid thread count `{value}`"))?;
+                if threads == 0 {
+                    return Err("--threads requires a count of at least 1".to_string());
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: neummu-experiments [--quick] [--out <dir>] [--only <exp>[,<exp>...]]"
+                    "usage: neummu-experiments [--quick] [--out <dir>] [--only <exp>[,<exp>...]] [--threads <n>]"
                 );
                 std::process::exit(0);
             }
@@ -63,6 +84,7 @@ fn parse_args() -> Result<Options, String> {
         scale,
         out_dir,
         only,
+        threads,
     })
 }
 
@@ -73,6 +95,7 @@ fn wants(options: &Options, id: &str) -> bool {
 fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let mut artifacts = ExperimentArtifacts::new(&options.out_dir)?;
     let scale = options.scale;
+    let runner = ExperimentRunner::new(options.threads);
     let started = Instant::now();
 
     let emit = |name: &str,
@@ -85,11 +108,15 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     };
 
     if wants(options, "table1") {
-        emit("table1_configuration", table1::run(), &mut artifacts)?;
+        emit(
+            "table1_configuration",
+            table1::run_on(&runner),
+            &mut artifacts,
+        )?;
     }
 
     if wants(options, "fig06") {
-        let result = characterization::fig06_page_divergence(scale)?;
+        let result = characterization::fig06_page_divergence_on(&runner, scale)?;
         artifacts.json("fig06_page_divergence", &result)?;
         emit("fig06_page_divergence", result.to_table(), &mut artifacts)?;
     }
@@ -99,7 +126,7 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
             (WorkloadId::Cnn1, "fig07a_cnn1"),
             (WorkloadId::Rnn1, "fig07b_rnn1"),
         ] {
-            let result = characterization::fig07_translation_bursts(workload, 1)?;
+            let result = characterization::fig07_translation_bursts_on(&runner, workload, 1)?;
             artifacts.json(name, &result)?;
             println!(
                 "Figure 7 ({}): peak {} translations per {}-cycle window, bursty fraction {:.2}\n",
@@ -113,7 +140,7 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if wants(options, "fig08") {
-        let result = performance::fig08_baseline_iommu(scale)?;
+        let result = performance::fig08_baseline_iommu_on(&runner, scale)?;
         artifacts.json("fig08_baseline_iommu", &result)?;
         emit(
             "fig08_baseline_iommu",
@@ -123,7 +150,7 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if wants(options, "fig10") {
-        let result = performance::fig10_prmb_sweep(scale)?;
+        let result = performance::fig10_prmb_sweep_on(&runner, scale)?;
         artifacts.json("fig10_prmb_sweep", &result)?;
         emit(
             "fig10_prmb_sweep",
@@ -133,7 +160,7 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if wants(options, "fig11") {
-        let result = performance::fig11_ptw_sweep(scale)?;
+        let result = performance::fig11_ptw_sweep_on(&runner, scale)?;
         artifacts.json("fig11_ptw_sweep", &result)?;
         emit(
             "fig11_ptw_sweep",
@@ -143,7 +170,7 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if wants(options, "fig12a") {
-        let result = performance::fig12a_ptw_no_prmb(scale)?;
+        let result = performance::fig12a_ptw_no_prmb_on(&runner, scale)?;
         artifacts.json("fig12a_ptw_no_prmb", &result)?;
         emit(
             "fig12a_ptw_no_prmb",
@@ -153,25 +180,25 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if wants(options, "fig12b") {
-        let result = performance::fig12b_energy_perf(scale)?;
+        let result = performance::fig12b_energy_perf_on(&runner, scale)?;
         artifacts.json("fig12b_energy_perf", &result)?;
         emit("fig12b_energy_perf", result.to_table(), &mut artifacts)?;
     }
 
     if wants(options, "fig13") {
-        let result = performance::fig13_tpreg_hit_rate(scale)?;
+        let result = performance::fig13_tpreg_hit_rate_on(&runner, scale)?;
         artifacts.json("fig13_tpreg_hit_rate", &result)?;
         emit("fig13_tpreg_hit_rate", result.to_table(), &mut artifacts)?;
     }
 
     if wants(options, "fig14") {
-        let result = characterization::fig14_va_trace(WorkloadId::Cnn1, 1)?;
+        let result = characterization::fig14_va_trace_on(&runner, WorkloadId::Cnn1, 1)?;
         artifacts.json("fig14_va_trace", &result)?;
         emit("fig14_va_trace", result.to_table(), &mut artifacts)?;
     }
 
     if wants(options, "mmu_cache") {
-        let result = mmu_cache_study::run(scale)?;
+        let result = mmu_cache_study::run_on(&runner, scale)?;
         artifacts.json("mmu_cache_uptc_vs_tpc", &result)?;
         println!(
             "TPC eliminates {:.1}% of the page-table reads left by the UPTC\n",
@@ -181,13 +208,13 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if wants(options, "summary") {
-        let result = performance::summary_neummu(scale)?;
+        let result = performance::summary_neummu_on(&runner, scale)?;
         artifacts.json("summary_neummu", &result)?;
         emit("summary_neummu", result.to_table(), &mut artifacts)?;
     }
 
     if wants(options, "largepage") {
-        let result = performance::largepage_dense(scale)?;
+        let result = performance::largepage_dense_on(&runner, scale)?;
         artifacts.json("largepage_dense", &result)?;
         emit(
             "largepage_dense",
@@ -197,7 +224,7 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if wants(options, "spatial") {
-        let result = performance::spatial_npu(scale)?;
+        let result = performance::spatial_npu_on(&runner, scale)?;
         artifacts.json("spatial_npu", &result)?;
         emit(
             "spatial_npu",
@@ -207,13 +234,13 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if wants(options, "sensitivity") {
-        let result = performance::sensitivity(scale)?;
+        let result = performance::sensitivity_on(&runner, scale)?;
         artifacts.json("sensitivity", &result)?;
         emit("sensitivity", result.to_table(), &mut artifacts)?;
     }
 
     if wants(options, "fig15") {
-        let result = recommender::fig15_numa_breakdown(scale)?;
+        let result = recommender::fig15_numa_breakdown_on(&runner, scale)?;
         artifacts.json("fig15_numa_breakdown", &result)?;
         println!(
             "Figure 15: average latency reduction vs the MMU-less baseline: NUMA(slow) {:.0}%, NUMA(fast) {:.0}%\n",
@@ -224,17 +251,30 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     if wants(options, "fig16") {
-        let result = recommender::fig16_demand_paging(scale)?;
+        let result = recommender::fig16_demand_paging_on(&runner, scale)?;
         artifacts.json("fig16_demand_paging", &result)?;
         emit("fig16_demand_paging", result.to_table(), &mut artifacts)?;
     }
 
+    // The self-profile is wall-clock data and therefore nondeterministic; it
+    // goes to stdout only, never into the artifact directory, so artifact
+    // trees stay byte-identical across thread counts.
+    println!("{}", runner.profile().to_table().to_markdown());
+    let cache = runner.oracle_cache();
     println!(
-        "wrote {} artifacts to `{}` in {:.1}s ({} scale)",
+        "oracle cache: {} baseline simulations, {} reuses across {} keys",
+        cache.simulations(),
+        cache.hits(),
+        cache.len()
+    );
+    println!(
+        "wrote {} artifacts to `{}` in {:.1}s ({} scale, {} threads, {:.1}s simulation busy-time)",
         artifacts.written().len(),
         options.out_dir,
         started.elapsed().as_secs_f64(),
-        scale.label()
+        scale.label(),
+        runner.threads(),
+        runner.profile().total_busy().as_secs_f64()
     );
     Ok(())
 }

@@ -1,0 +1,115 @@
+//! Golden-artifact regression tests.
+//!
+//! A small-scale (smoke) subset of the experiment artifacts is regenerated
+//! from scratch and compared **byte-for-byte** against JSON/CSV/Markdown
+//! files checked in under `tests/golden/`. This pins down two things at once:
+//!
+//! * the simulator's timing model — any change to cycle accounting, tiling,
+//!   walker scheduling or energy accounting shows up as a diff in the golden
+//!   numbers and must be a conscious decision (regenerate the goldens), and
+//! * the determinism of the parallel runner — the regeneration runs on a
+//!   multi-threaded runner, so any scheduling-dependent nondeterminism the
+//!   runner could introduce fails the byte comparison immediately.
+//!
+//! To regenerate after an intentional model change:
+//!
+//! ```text
+//! cargo run --release --bin neummu_experiments -- --quick --out /tmp/golden \
+//!     --only fig08,fig12b,fig13,mmu_cache,table1
+//! cp /tmp/golden/{fig08_baseline_iommu,fig12b_energy_perf,fig13_tpreg_hit_rate,mmu_cache_uptc_vs_tpc}.json \
+//!    /tmp/golden/table1_configuration.{csv,md} crates/bench/tests/golden/
+//! ```
+
+use serde::Serialize;
+
+use neummu_sim::experiments::{mmu_cache_study, performance, table1, ExperimentScale};
+use neummu_sim::ExperimentRunner;
+
+const SMOKE: ExperimentScale = ExperimentScale::Smoke;
+
+/// Serializes exactly like `ExperimentArtifacts::json` writes artifacts.
+fn to_artifact_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("artifact serialization is infallible")
+}
+
+fn assert_matches_golden(name: &str, golden: &str, regenerated: &str) {
+    assert_eq!(
+        golden, regenerated,
+        "regenerated `{name}` diverged from tests/golden/{name} — either the \
+         timing model changed (regenerate the goldens, see the module docs) \
+         or the parallel runner produced nondeterministic output"
+    );
+}
+
+#[test]
+fn fig08_json_matches_golden() {
+    let runner = ExperimentRunner::new(4);
+    let result = performance::fig08_baseline_iommu_on(&runner, SMOKE).unwrap();
+    assert_matches_golden(
+        "fig08_baseline_iommu.json",
+        include_str!("golden/fig08_baseline_iommu.json"),
+        &to_artifact_json(&result),
+    );
+}
+
+#[test]
+fn fig12b_json_matches_golden() {
+    let runner = ExperimentRunner::new(4);
+    let result = performance::fig12b_energy_perf_on(&runner, SMOKE).unwrap();
+    assert_matches_golden(
+        "fig12b_energy_perf.json",
+        include_str!("golden/fig12b_energy_perf.json"),
+        &to_artifact_json(&result),
+    );
+}
+
+#[test]
+fn fig13_json_matches_golden() {
+    let runner = ExperimentRunner::new(4);
+    let result = performance::fig13_tpreg_hit_rate_on(&runner, SMOKE).unwrap();
+    assert_matches_golden(
+        "fig13_tpreg_hit_rate.json",
+        include_str!("golden/fig13_tpreg_hit_rate.json"),
+        &to_artifact_json(&result),
+    );
+}
+
+#[test]
+fn mmu_cache_json_matches_golden() {
+    let runner = ExperimentRunner::new(4);
+    let result = mmu_cache_study::run_on(&runner, SMOKE).unwrap();
+    assert_matches_golden(
+        "mmu_cache_uptc_vs_tpc.json",
+        include_str!("golden/mmu_cache_uptc_vs_tpc.json"),
+        &to_artifact_json(&result),
+    );
+}
+
+#[test]
+fn table1_csv_and_markdown_match_golden() {
+    let table = table1::run_on(&ExperimentRunner::serial());
+    assert_matches_golden(
+        "table1_configuration.csv",
+        include_str!("golden/table1_configuration.csv"),
+        &table.to_csv(),
+    );
+    assert_matches_golden(
+        "table1_configuration.md",
+        include_str!("golden/table1_configuration.md"),
+        &table.to_markdown(),
+    );
+}
+
+#[test]
+fn serial_regeneration_matches_golden_too() {
+    // The goldens were produced by a serial run; a fresh serial runner must
+    // reproduce them as well (guards the serial path independently of the
+    // parallel path, so a divergence pinpoints which schedule drifted).
+    let runner = ExperimentRunner::serial();
+    let result = performance::fig08_baseline_iommu_on(&runner, SMOKE).unwrap();
+    assert_matches_golden(
+        "fig08_baseline_iommu.json",
+        include_str!("golden/fig08_baseline_iommu.json"),
+        &to_artifact_json(&result),
+    );
+}

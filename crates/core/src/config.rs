@@ -159,6 +159,18 @@ impl MmuConfig {
         self.prmb_slots_per_ptw > 0
     }
 
+    /// Builds a fresh translator for this configuration — the oracle for
+    /// [`MmuKind::Oracle`], the cycle-accounted engine otherwise.
+    ///
+    /// `MmuConfig` is `Copy`, so this is the cheap clone/reset path for
+    /// per-point simulation state: keep the config, rebuild the translator.
+    /// Equivalent to (and implemented by)
+    /// [`crate::engine::TranslationEngine::for_config`].
+    #[must_use]
+    pub fn translator(&self) -> Box<dyn crate::engine::AddressTranslator> {
+        crate::engine::TranslationEngine::for_config(*self)
+    }
+
     /// Additional SRAM bytes this configuration adds over the baseline IOMMU
     /// (PRMB slots, TPregs and the PTS), following the accounting of
     /// Section IV-E.
@@ -227,6 +239,17 @@ mod tests {
         let cfg = MmuConfig::baseline_iommu().with_page_size(PageSize::Size2M);
         assert_eq!(cfg.full_walk_levels(), 3);
         assert_eq!(cfg.full_walk_latency(), 300);
+    }
+
+    #[test]
+    fn translator_builder_dispatches_on_kind_and_is_send() {
+        fn assert_send<T: Send + ?Sized>(_: &T) {}
+        let oracle = MmuConfig::oracle().translator();
+        assert_eq!(oracle.page_size(), PageSize::Size4K);
+        assert_send(oracle.as_ref());
+        let engine = MmuConfig::neummu().translator();
+        assert_eq!(engine.stats().requests, 0);
+        assert_send(engine.as_ref());
     }
 
     #[test]

@@ -61,7 +61,12 @@ pub struct TranslationOutcome {
 }
 
 /// Common interface of the oracular MMU and the cycle-accounted engines.
-pub trait AddressTranslator {
+///
+/// The trait requires `Send` so that boxed translators — and any per-point
+/// simulation state embedding one — can move onto worker threads of the
+/// parallel experiment runner. All translator state is plain owned data, so
+/// every implementation satisfies the bound structurally.
+pub trait AddressTranslator: Send {
     /// Translates `va` for a request issued at `cycle`.
     ///
     /// Requests must be issued in non-decreasing cycle order; the engine

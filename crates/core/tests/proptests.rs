@@ -158,6 +158,85 @@ proptest! {
         prop_assert!(with_tpreg <= without_tpreg);
     }
 
+    /// Engine timing invariant: driven in program order (each request issued
+    /// at the previous accept + 1), accept cycles are strictly increasing,
+    /// never earlier than the issue cycle, and every completion is at or
+    /// after its accept.
+    #[test]
+    fn accept_cycles_are_monotone_and_completions_follow(stream in access_stream(),
+                                                        neummu in any::<bool>()) {
+        let pages: Vec<u64> = (0..64).collect();
+        let pt = table_with_pages(&pages);
+        let config = if neummu { MmuConfig::neummu() } else { MmuConfig::baseline_iommu() };
+        let mut engine = TranslationEngine::new(config);
+        let mut cycle = 0u64;
+        let mut last_accept: Option<u64> = None;
+        for (page, offset) in &stream {
+            let outcome = engine.translate(&pt, VirtAddr::new((page << 12) | offset), cycle);
+            prop_assert!(outcome.accept_cycle >= cycle);
+            if let Some(prev) = last_accept {
+                prop_assert!(outcome.accept_cycle > prev,
+                             "accept {} did not advance past {}", outcome.accept_cycle, prev);
+            }
+            prop_assert!(outcome.complete_cycle >= outcome.accept_cycle);
+            last_accept = Some(outcome.accept_cycle);
+            cycle = outcome.accept_cycle + 1;
+        }
+    }
+
+    /// PRMB capacity invariant: a walk can absorb at most `prmb_slots` merged
+    /// requests, so the engine's total merge count never exceeds
+    /// `walks * prmb_slots` for any stream and any slot count (including 0,
+    /// where merging must never happen).
+    #[test]
+    fn merges_never_exceed_prmb_capacity(stream in access_stream(),
+                                         slots in 0usize..8, ptws in 1usize..16) {
+        let pages: Vec<u64> = (0..64).collect();
+        let pt = table_with_pages(&pages);
+        let mut engine = TranslationEngine::new(
+            MmuConfig::baseline_iommu().with_ptws(ptws).with_prmb_slots(slots),
+        );
+        let mut cycle = 0u64;
+        for (page, offset) in &stream {
+            let outcome = engine.translate(&pt, VirtAddr::new((page << 12) | offset), cycle);
+            cycle = outcome.accept_cycle + 1;
+        }
+        let stats = engine.stats();
+        prop_assert!(stats.merged <= stats.walks * slots as u64,
+                     "{} merges exceed {} walks x {} slots", stats.merged, stats.walks, slots);
+        if slots == 0 {
+            prop_assert_eq!(stats.merged, 0);
+        }
+    }
+
+    /// `reset()` returns the engine to a state that replays identically: the
+    /// same stream driven after a reset produces exactly the same outcome
+    /// sequence and statistics as the first run.
+    #[test]
+    fn reset_replays_identically(stream in access_stream(), neummu in any::<bool>()) {
+        let pages: Vec<u64> = (0..64).collect();
+        let pt = table_with_pages(&pages);
+        let config = if neummu { MmuConfig::neummu() } else { MmuConfig::baseline_iommu() };
+        let mut engine = TranslationEngine::new(config);
+        let drive = |engine: &mut TranslationEngine| {
+            let mut cycle = 0u64;
+            let mut outcomes = Vec::with_capacity(stream.len());
+            for (page, offset) in &stream {
+                let outcome = engine.translate(&pt, VirtAddr::new((page << 12) | offset), cycle);
+                cycle = outcome.accept_cycle + 1;
+                outcomes.push(outcome);
+            }
+            outcomes
+        };
+        let first = drive(&mut engine);
+        let stats_first = *engine.stats();
+        engine.reset();
+        prop_assert_eq!(engine.stats().requests, 0);
+        let second = drive(&mut engine);
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(stats_first, *engine.stats());
+    }
+
     /// A path tag always matches itself and the TPC/UPTC never skip the leaf
     /// level of a walk.
     #[test]

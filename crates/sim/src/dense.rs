@@ -17,7 +17,7 @@
 use serde::{Deserialize, Serialize};
 
 use neummu_mem::dram::{DramConfig, DramModel};
-use neummu_mmu::{MmuConfig, TranslationEngine};
+use neummu_mmu::MmuConfig;
 use neummu_npu::{DmaEngine, Layer, NpuConfig, TileFetch, TilingPlan};
 use neummu_vmem::{AddressSpace, MemNode, PhysicalMemory, SegmentOptions, VirtAddr};
 
@@ -209,7 +209,7 @@ impl DenseSimulator {
             self.config.memory_capacity_bytes,
         )]);
         let mut space = AddressSpace::new("dense-npu");
-        let mut translator = TranslationEngine::for_config(self.config.mmu);
+        let mut translator = self.config.mmu.translator();
         let mut dram = DramModel::new(self.config.dram);
         let dma = DmaEngine::new(self.config.npu.dma);
 

@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 
 use neummu_mem::dram::{DramConfig, DramModel};
 use neummu_mem::interconnect::{CopyEngine, InterconnectConfig, TransferKind};
-use neummu_mmu::{MmuConfig, TranslationEngine};
+use neummu_mmu::MmuConfig;
 use neummu_npu::NpuConfig;
 use neummu_vmem::{AddressSpace, MemNode, PhysicalMemory, SegmentOptions};
 use neummu_workloads::EmbeddingModel;
@@ -248,7 +248,7 @@ impl EmbeddingSimulator {
             segments.push((seg, owner, table.vector_bytes()));
         }
 
-        let mut translator = TranslationEngine::for_config(cfg.mmu);
+        let mut translator = cfg.mmu.translator();
         let mut copy_engine = CopyEngine::new(cfg.interconnect);
         let mut local_dram = DramModel::new(cfg.dram);
 

@@ -5,10 +5,14 @@ use serde::{Deserialize, Serialize};
 use neummu_mmu::MmuConfig;
 use neummu_workloads::{DenseWorkload, WorkloadId};
 
+use neummu_npu::NpuConfig;
+use neummu_vmem::PageSize;
+
 use crate::dense::{DenseSimConfig, DenseSimulator};
 use crate::error::SimError;
 use crate::experiments::ExperimentScale;
 use crate::report::ResultTable;
+use crate::runner::ExperimentRunner;
 
 /// One row of Figure 6: per-tile page divergence of a workload/batch point.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -57,20 +61,32 @@ impl Fig06Result {
 ///
 /// Propagates simulator errors.
 pub fn fig06_page_divergence(scale: ExperimentScale) -> Result<Fig06Result, SimError> {
-    let sim = DenseSimulator::new(DenseSimConfig::with_mmu(MmuConfig::oracle()));
-    let mut rows = Vec::new();
-    for workload_id in scale.workloads() {
-        let workload = DenseWorkload::new(workload_id);
-        for &batch in &scale.batches() {
-            let result = sim.simulate_workload(&workload.layers(batch))?;
-            rows.push(PageDivergenceRow {
-                workload: workload_id,
-                batch,
-                max_pages: result.max_pages_per_tile(),
-                avg_pages: result.avg_pages_per_tile(),
-            });
-        }
-    }
+    fig06_page_divergence_on(&ExperimentRunner::serial(), scale)
+}
+
+/// [`fig06_page_divergence`] on a caller-provided runner. The oracle runs it
+/// needs are exactly the memoized baselines of the performance sweeps, so on a
+/// shared runner this experiment costs no extra simulation at all.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig06_page_divergence_on(
+    runner: &ExperimentRunner,
+    scale: ExperimentScale,
+) -> Result<Fig06Result, SimError> {
+    let cells = scale.grid();
+    let rows = runner.run_jobs("characterization/fig06", cells.len(), |i| {
+        let (workload_id, batch) = cells[i];
+        let result =
+            runner.oracle_point(workload_id, batch, PageSize::Size4K, NpuConfig::tpu_like())?;
+        Ok(PageDivergenceRow {
+            workload: workload_id,
+            batch,
+            max_pages: result.max_pages_per_tile(),
+            avg_pages: result.avg_pages_per_tile(),
+        })
+    })?;
     Ok(Fig06Result { rows })
 }
 
@@ -138,17 +154,35 @@ pub fn fig07_translation_bursts(
     workload_id: WorkloadId,
     batch: u64,
 ) -> Result<Fig07Result, SimError> {
-    let config = DenseSimConfig::with_mmu(MmuConfig::oracle()).with_traces();
-    let sim = DenseSimulator::new(config);
-    let workload = DenseWorkload::new(workload_id);
-    let result = sim.simulate_workload(&workload.layers(batch))?;
-    let trace = result.trace.expect("traces were requested");
-    Ok(Fig07Result {
-        workload: workload_id,
-        batch,
-        window_cycles: trace.window_cycles,
-        counts: trace.counts,
-    })
+    fig07_translation_bursts_on(&ExperimentRunner::serial(), workload_id, batch)
+}
+
+/// [`fig07_translation_bursts`] on a caller-provided runner. Trace-collecting
+/// runs are not cacheable (they carry per-cycle state the baselines do not),
+/// so this is a single profiled job.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig07_translation_bursts_on(
+    runner: &ExperimentRunner,
+    workload_id: WorkloadId,
+    batch: u64,
+) -> Result<Fig07Result, SimError> {
+    let mut results = runner.run_jobs("characterization/fig07", 1, |_| {
+        let config = DenseSimConfig::with_mmu(MmuConfig::oracle()).with_traces();
+        let sim = DenseSimulator::new(config);
+        let workload = DenseWorkload::new(workload_id);
+        let result = sim.simulate_workload(&workload.layers(batch))?;
+        let trace = result.trace.expect("traces were requested");
+        Ok(Fig07Result {
+            workload: workload_id,
+            batch,
+            window_cycles: trace.window_cycles,
+            counts: trace.counts,
+        })
+    })?;
+    Ok(results.remove(0))
 }
 
 /// Figure 14 result: the virtual-address windows touched by consecutive tiles.
@@ -218,16 +252,32 @@ impl Fig14Result {
 ///
 /// Propagates simulator errors.
 pub fn fig14_va_trace(workload_id: WorkloadId, batch: u64) -> Result<Fig14Result, SimError> {
-    let config = DenseSimConfig::with_mmu(MmuConfig::oracle()).with_traces();
-    let sim = DenseSimulator::new(config);
-    let workload = DenseWorkload::new(workload_id);
-    let result = sim.simulate_workload(&workload.layers(batch))?;
-    let trace = result.trace.expect("traces were requested");
-    Ok(Fig14Result {
-        workload: workload_id,
-        batch,
-        windows: trace.tile_va_windows,
-    })
+    fig14_va_trace_on(&ExperimentRunner::serial(), workload_id, batch)
+}
+
+/// [`fig14_va_trace`] on a caller-provided runner (a single profiled job).
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig14_va_trace_on(
+    runner: &ExperimentRunner,
+    workload_id: WorkloadId,
+    batch: u64,
+) -> Result<Fig14Result, SimError> {
+    let mut results = runner.run_jobs("characterization/fig14", 1, |_| {
+        let config = DenseSimConfig::with_mmu(MmuConfig::oracle()).with_traces();
+        let sim = DenseSimulator::new(config);
+        let workload = DenseWorkload::new(workload_id);
+        let result = sim.simulate_workload(&workload.layers(batch))?;
+        let trace = result.trace.expect("traces were requested");
+        Ok(Fig14Result {
+            workload: workload_id,
+            batch,
+            windows: trace.tile_va_windows,
+        })
+    })?;
+    Ok(results.remove(0))
 }
 
 #[cfg(test)]

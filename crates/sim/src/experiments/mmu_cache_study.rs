@@ -17,6 +17,7 @@ use neummu_workloads::{DenseWorkload, WorkloadId};
 use crate::error::SimError;
 use crate::experiments::ExperimentScale;
 use crate::report::{pct, ResultTable};
+use crate::runner::ExperimentRunner;
 
 /// Per-workload comparison of the two MMU-cache organizations.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -101,65 +102,77 @@ const CACHE_ENTRIES: usize = 16;
 ///
 /// Propagates simulator errors.
 pub fn run(scale: ExperimentScale) -> Result<MmuCacheStudyResult, SimError> {
+    run_on(&ExperimentRunner::serial(), scale)
+}
+
+/// [`run`] on a caller-provided runner: one job per `(workload, batch)` cell,
+/// each replaying its own walk stream into private cache instances.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_on(
+    runner: &ExperimentRunner,
+    scale: ExperimentScale,
+) -> Result<MmuCacheStudyResult, SimError> {
     let npu = NpuConfig::tpu_like();
     let mmu = MmuConfig::neummu();
     let dma = DmaEngine::new(npu.dma);
-    let mut rows = Vec::new();
+    let cells = scale.grid();
 
-    for workload_id in scale.workloads() {
+    let rows = runner.run_jobs("mmu_cache/uptc_vs_tpc", cells.len(), |i| {
+        let (workload_id, batch) = cells[i];
         let workload = DenseWorkload::new(workload_id);
-        for &batch in &scale.batches() {
-            let mut memory = PhysicalMemory::with_npus(1, 64 << 30);
-            let mut space = AddressSpace::new("walk-replay");
-            let mut uptc = UnifiedPageTableCache::new(CACHE_ENTRIES);
-            let mut tpc = TranslationPathCache::new(CACHE_ENTRIES);
-            let mut uptc_accesses = 0u64;
-            let mut tpc_accesses = 0u64;
+        let mut memory = PhysicalMemory::with_npus(1, 64 << 30);
+        let mut space = AddressSpace::new("walk-replay");
+        let mut uptc = UnifiedPageTableCache::new(CACHE_ENTRIES);
+        let mut tpc = TranslationPathCache::new(CACHE_ENTRIES);
+        let mut uptc_accesses = 0u64;
+        let mut tpc_accesses = 0u64;
 
-            for (layer_index, layer) in workload.layers(batch).iter().enumerate() {
-                let plan = TilingPlan::for_layer(layer, &npu)?;
-                let opts = SegmentOptions::new(neummu_vmem::MemNode::Npu(0), mmu.page_size);
-                let ia = space.alloc_segment(
-                    format!("l{layer_index}_ia"),
-                    plan.ia_segment_bytes().max(1),
-                    opts,
-                    &mut memory,
-                )?;
-                let w = space.alloc_segment(
-                    format!("l{layer_index}_w"),
-                    plan.w_segment_bytes().max(1),
-                    opts,
-                    &mut memory,
-                )?;
-                for tile in plan.tiles() {
-                    for (fetch, base) in [(tile.ia_fetch, ia.start()), (tile.w_fetch, w.start())]
-                        .into_iter()
-                        .filter_map(|(f, b)| f.map(|f| (f, b)))
-                    {
-                        // Walk once per distinct page of the fetch window.
-                        let first_page = fetch.offset >> 12;
-                        let last_page = (fetch.end().saturating_sub(1)) >> 12;
-                        for page in first_page..=last_page {
-                            let va = VirtAddr::new(base.raw() + (page << 12));
-                            let _ = dma; // the DMA defines the stream granularity
-                            let path = space.walk(va);
-                            uptc_accesses += u64::from(uptc.access(&path).levels_read);
-                            tpc_accesses += u64::from(tpc.access(&path).levels_read);
-                        }
+        for (layer_index, layer) in workload.layers(batch).iter().enumerate() {
+            let plan = TilingPlan::for_layer(layer, &npu)?;
+            let opts = SegmentOptions::new(neummu_vmem::MemNode::Npu(0), mmu.page_size);
+            let ia = space.alloc_segment(
+                format!("l{layer_index}_ia"),
+                plan.ia_segment_bytes().max(1),
+                opts,
+                &mut memory,
+            )?;
+            let w = space.alloc_segment(
+                format!("l{layer_index}_w"),
+                plan.w_segment_bytes().max(1),
+                opts,
+                &mut memory,
+            )?;
+            for tile in plan.tiles() {
+                for (fetch, base) in [(tile.ia_fetch, ia.start()), (tile.w_fetch, w.start())]
+                    .into_iter()
+                    .filter_map(|(f, b)| f.map(|f| (f, b)))
+                {
+                    // Walk once per distinct page of the fetch window.
+                    let first_page = fetch.offset >> 12;
+                    let last_page = (fetch.end().saturating_sub(1)) >> 12;
+                    for page in first_page..=last_page {
+                        let va = VirtAddr::new(base.raw() + (page << 12));
+                        let _ = dma; // the DMA defines the stream granularity
+                        let path = space.walk(va);
+                        uptc_accesses += u64::from(uptc.access(&path).levels_read);
+                        tpc_accesses += u64::from(tpc.access(&path).levels_read);
                     }
                 }
             }
-
-            rows.push(MmuCacheRow {
-                workload: workload_id,
-                batch,
-                uptc_hit_rate: uptc.hit_rate(),
-                tpc_depth_rates: tpc.depth_hit_rates(),
-                uptc_accesses,
-                tpc_accesses,
-            });
         }
-    }
+
+        Ok(MmuCacheRow {
+            workload: workload_id,
+            batch,
+            uptc_hit_rate: uptc.hit_rate(),
+            tpc_depth_rates: tpc.depth_hit_rates(),
+            uptc_accesses,
+            tpc_accesses,
+        })
+    })?;
     Ok(MmuCacheStudyResult { rows })
 }
 

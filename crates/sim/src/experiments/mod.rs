@@ -62,6 +62,19 @@ impl ExperimentScale {
         }
     }
 
+    /// The `(workload, batch)` grid covered at this scale, in figure order —
+    /// the canonical cell enumeration every experiment family iterates. Job
+    /// order (and therefore artifact row order and oracle-cache key sharing)
+    /// follows this single definition.
+    #[must_use]
+    pub fn grid(self) -> Vec<(WorkloadId, u64)> {
+        let batches = self.batches();
+        self.workloads()
+            .into_iter()
+            .flat_map(|workload| batches.iter().map(move |&batch| (workload, batch)))
+            .collect()
+    }
+
     /// A label for artifact file names.
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -95,5 +108,18 @@ mod tests {
         assert_eq!(ExperimentScale::Smoke.workloads().len(), 2);
         assert_eq!(ExperimentScale::Smoke.batches(), vec![1]);
         assert_eq!(ExperimentScale::Smoke.label(), "smoke");
+    }
+
+    #[test]
+    fn grid_is_workload_major_batch_minor() {
+        assert_eq!(
+            ExperimentScale::Smoke.grid(),
+            vec![(WorkloadId::Cnn1, 1), (WorkloadId::Rnn2, 1)]
+        );
+        let full = ExperimentScale::Full.grid();
+        assert_eq!(full.len(), 18);
+        assert_eq!(full[0], (WorkloadId::Cnn1, 1));
+        assert_eq!(full[2], (WorkloadId::Cnn1, 8));
+        assert_eq!(full[3], (WorkloadId::Cnn2, 1));
     }
 }

@@ -12,37 +12,7 @@ use crate::dense::{DenseSimConfig, DenseSimulator, WorkloadResult};
 use crate::error::SimError;
 use crate::experiments::{DensePoint, ExperimentScale};
 use crate::report::{geomean, mean, norm, pct, ResultTable};
-
-/// Runs one `(workload, batch)` point under a given MMU configuration.
-fn run_point(
-    workload_id: WorkloadId,
-    batch: u64,
-    mmu: MmuConfig,
-    npu: NpuConfig,
-) -> Result<WorkloadResult, SimError> {
-    let mut config = DenseSimConfig::with_mmu(mmu);
-    config.npu = npu;
-    let sim = DenseSimulator::new(config);
-    let workload = DenseWorkload::new(workload_id);
-    sim.simulate_workload(&workload.layers(batch))
-}
-
-/// Performance of `mmu` normalized to the oracle on the same point.
-fn normalized_point(
-    workload_id: WorkloadId,
-    batch: u64,
-    mmu: MmuConfig,
-    npu: NpuConfig,
-) -> Result<f64, SimError> {
-    let oracle = run_point(
-        workload_id,
-        batch,
-        MmuConfig::oracle().with_page_size(mmu.page_size),
-        npu,
-    )?;
-    let candidate = run_point(workload_id, batch, mmu, npu)?;
-    Ok(candidate.normalized_to(&oracle))
-}
+use crate::runner::ExperimentRunner;
 
 /// A normalized-performance sweep over the dense suite for several MMU
 /// configurations (the common shape of Figures 8, 10, 11 and 12a).
@@ -96,28 +66,41 @@ impl NormalizedSweep {
     }
 }
 
-/// Runs a sweep of MMU configurations over the dense suite.
+/// Runs a sweep of MMU configurations over the dense suite as one job per
+/// `(config, workload, batch)` cell. Every cell normalizes against the
+/// runner's memoized oracle baseline, so each baseline simulates once per
+/// `(workload, batch, page size)` instead of once per configuration column.
 fn sweep(
+    runner: &ExperimentRunner,
     parameter: &str,
     configs: &[(String, MmuConfig)],
     scale: ExperimentScale,
     npu: NpuConfig,
 ) -> Result<NormalizedSweep, SimError> {
-    let mut points = Vec::with_capacity(configs.len());
-    for (_, mmu) in configs {
-        let mut config_points = Vec::new();
-        for workload_id in scale.workloads() {
-            for &batch in &scale.batches() {
-                let normalized = normalized_point(workload_id, batch, *mmu, npu)?;
-                config_points.push(DensePoint {
-                    workload: workload_id,
+    let grid = scale.grid();
+    let cells: Vec<(MmuConfig, WorkloadId, u64)> = configs
+        .iter()
+        .flat_map(|(_, mmu)| grid.iter().map(|&(w, b)| (*mmu, w, b)))
+        .collect();
+    let phase = format!("performance/{parameter}");
+    let values = runner.run_jobs(&phase, cells.len(), |i| {
+        let (mmu, workload_id, batch) = cells[i];
+        runner.normalized_point(workload_id, batch, mmu, npu)
+    })?;
+    let points = values
+        .chunks(grid.len())
+        .map(|chunk| {
+            chunk
+                .iter()
+                .zip(&grid)
+                .map(|(&normalized_perf, &(workload, batch))| DensePoint {
+                    workload,
                     batch,
-                    normalized_perf: normalized,
-                });
-            }
-        }
-        points.push(config_points);
-    }
+                    normalized_perf,
+                })
+                .collect()
+        })
+        .collect();
     Ok(NormalizedSweep {
         parameter: parameter.to_string(),
         config_labels: configs.iter().map(|(l, _)| l.clone()).collect(),
@@ -132,7 +115,20 @@ fn sweep(
 ///
 /// Propagates simulator errors.
 pub fn fig08_baseline_iommu(scale: ExperimentScale) -> Result<NormalizedSweep, SimError> {
+    fig08_baseline_iommu_on(&ExperimentRunner::serial(), scale)
+}
+
+/// [`fig08_baseline_iommu`] on a caller-provided runner.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig08_baseline_iommu_on(
+    runner: &ExperimentRunner,
+    scale: ExperimentScale,
+) -> Result<NormalizedSweep, SimError> {
     sweep(
+        runner,
         "Baseline IOMMU",
         &[("IOMMU".to_string(), MmuConfig::baseline_iommu())],
         scale,
@@ -146,6 +142,18 @@ pub fn fig08_baseline_iommu(scale: ExperimentScale) -> Result<NormalizedSweep, S
 ///
 /// Propagates simulator errors.
 pub fn fig10_prmb_sweep(scale: ExperimentScale) -> Result<NormalizedSweep, SimError> {
+    fig10_prmb_sweep_on(&ExperimentRunner::serial(), scale)
+}
+
+/// [`fig10_prmb_sweep`] on a caller-provided runner.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig10_prmb_sweep_on(
+    runner: &ExperimentRunner,
+    scale: ExperimentScale,
+) -> Result<NormalizedSweep, SimError> {
     let configs: Vec<(String, MmuConfig)> = [1usize, 2, 4, 8, 16, 32]
         .iter()
         .map(|&slots| {
@@ -155,7 +163,7 @@ pub fn fig10_prmb_sweep(scale: ExperimentScale) -> Result<NormalizedSweep, SimEr
             )
         })
         .collect();
-    sweep("PRMB slots", &configs, scale, NpuConfig::tpu_like())
+    sweep(runner, "PRMB slots", &configs, scale, NpuConfig::tpu_like())
 }
 
 /// Figure 11: sensitivity to the number of PTWs with PRMB(32).
@@ -164,6 +172,18 @@ pub fn fig10_prmb_sweep(scale: ExperimentScale) -> Result<NormalizedSweep, SimEr
 ///
 /// Propagates simulator errors.
 pub fn fig11_ptw_sweep(scale: ExperimentScale) -> Result<NormalizedSweep, SimError> {
+    fig11_ptw_sweep_on(&ExperimentRunner::serial(), scale)
+}
+
+/// [`fig11_ptw_sweep`] on a caller-provided runner.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig11_ptw_sweep_on(
+    runner: &ExperimentRunner,
+    scale: ExperimentScale,
+) -> Result<NormalizedSweep, SimError> {
     let counts: &[usize] = match scale {
         ExperimentScale::Full => &[8, 16, 32, 64, 128, 256, 512, 1024],
         ExperimentScale::Smoke => &[8, 128],
@@ -179,7 +199,13 @@ pub fn fig11_ptw_sweep(scale: ExperimentScale) -> Result<NormalizedSweep, SimErr
             )
         })
         .collect();
-    sweep("PTWs with PRMB(32)", &configs, scale, NpuConfig::tpu_like())
+    sweep(
+        runner,
+        "PTWs with PRMB(32)",
+        &configs,
+        scale,
+        NpuConfig::tpu_like(),
+    )
 }
 
 /// Figure 12a: sensitivity to the number of PTWs *without* the PRMB.
@@ -188,6 +214,18 @@ pub fn fig11_ptw_sweep(scale: ExperimentScale) -> Result<NormalizedSweep, SimErr
 ///
 /// Propagates simulator errors.
 pub fn fig12a_ptw_no_prmb(scale: ExperimentScale) -> Result<NormalizedSweep, SimError> {
+    fig12a_ptw_no_prmb_on(&ExperimentRunner::serial(), scale)
+}
+
+/// [`fig12a_ptw_no_prmb`] on a caller-provided runner.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig12a_ptw_no_prmb_on(
+    runner: &ExperimentRunner,
+    scale: ExperimentScale,
+) -> Result<NormalizedSweep, SimError> {
     let counts: &[usize] = match scale {
         ExperimentScale::Full => &[8, 16, 32, 64, 128, 256, 512, 1024],
         ExperimentScale::Smoke => &[8, 1024],
@@ -201,7 +239,13 @@ pub fn fig12a_ptw_no_prmb(scale: ExperimentScale) -> Result<NormalizedSweep, Sim
             )
         })
         .collect();
-    sweep("PTWs without PRMB", &configs, scale, NpuConfig::tpu_like())
+    sweep(
+        runner,
+        "PTWs without PRMB",
+        &configs,
+        scale,
+        NpuConfig::tpu_like(),
+    )
 }
 
 /// One `[PRMB, PTW]` design point of Figure 12b.
@@ -249,6 +293,18 @@ impl Fig12bResult {
 ///
 /// Propagates simulator errors.
 pub fn fig12b_energy_perf(scale: ExperimentScale) -> Result<Fig12bResult, SimError> {
+    fig12b_energy_perf_on(&ExperimentRunner::serial(), scale)
+}
+
+/// [`fig12b_energy_perf`] on a caller-provided runner.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig12b_energy_perf_on(
+    runner: &ExperimentRunner,
+    scale: ExperimentScale,
+) -> Result<Fig12bResult, SimError> {
     let design_points: &[(usize, usize)] = match scale {
         ExperimentScale::Full => &[
             (512, 8),
@@ -265,19 +321,25 @@ pub fn fig12b_energy_perf(scale: ExperimentScale) -> Result<Fig12bResult, SimErr
         ExperimentScale::Smoke => &[(32, 128), (1, 4096)],
     };
     let npu = NpuConfig::tpu_like();
-    let mut measured = Vec::new();
-    for &(prmb, ptws) in design_points {
+    let grid = scale.grid();
+    let cells: Vec<((usize, usize), WorkloadId, u64)> = design_points
+        .iter()
+        .flat_map(|&dp| grid.iter().map(move |&(w, b)| (dp, w, b)))
+        .collect();
+    let values = runner.run_jobs("performance/fig12b", cells.len(), |i| {
+        let ((prmb, ptws), workload_id, batch) = cells[i];
         let mmu = MmuConfig::neummu().with_prmb_slots(prmb).with_ptws(ptws);
-        let mut perfs = Vec::new();
-        let mut energy = 0.0f64;
-        for workload_id in scale.workloads() {
-            for &batch in &scale.batches() {
-                let oracle = run_point(workload_id, batch, MmuConfig::oracle(), npu)?;
-                let run = run_point(workload_id, batch, mmu, npu)?;
-                perfs.push(run.normalized_to(&oracle));
-                energy += run.translation_energy_nj;
-            }
-        }
+        let oracle = runner.oracle_point(workload_id, batch, mmu.page_size, npu)?;
+        let run = runner.dense_point(workload_id, batch, mmu, npu)?;
+        Ok((run.normalized_to(&oracle), run.translation_energy_nj))
+    })?;
+    // Aggregate per design point in cell order — the same workload-major,
+    // batch-minor order the serial loop used, so float sums are identical.
+    let mut measured = Vec::new();
+    for (dp_index, &(prmb, ptws)) in design_points.iter().enumerate() {
+        let cells_of_point = &values[dp_index * grid.len()..(dp_index + 1) * grid.len()];
+        let perfs: Vec<f64> = cells_of_point.iter().map(|&(perf, _)| perf).collect();
+        let energy: f64 = cells_of_point.iter().map(|&(_, energy)| energy).sum();
         measured.push((prmb, ptws, mean(&perfs), energy));
     }
     let reference_energy = measured
@@ -348,20 +410,31 @@ impl Fig13Result {
 ///
 /// Propagates simulator errors.
 pub fn fig13_tpreg_hit_rate(scale: ExperimentScale) -> Result<Fig13Result, SimError> {
+    fig13_tpreg_hit_rate_on(&ExperimentRunner::serial(), scale)
+}
+
+/// [`fig13_tpreg_hit_rate`] on a caller-provided runner.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig13_tpreg_hit_rate_on(
+    runner: &ExperimentRunner,
+    scale: ExperimentScale,
+) -> Result<Fig13Result, SimError> {
     let npu = NpuConfig::tpu_like();
-    let mut rows = Vec::new();
-    for workload_id in scale.workloads() {
-        for &batch in &scale.batches() {
-            let run = run_point(workload_id, batch, MmuConfig::neummu(), npu)?;
-            rows.push(TpregHitRow {
-                workload: workload_id,
-                batch,
-                l4_rate: run.translation.tpreg_l4_rate(),
-                l3_rate: run.translation.tpreg_l3_rate(),
-                l2_rate: run.translation.tpreg_l2_rate(),
-            });
-        }
-    }
+    let cells = scale.grid();
+    let rows = runner.run_jobs("performance/fig13", cells.len(), |i| {
+        let (workload_id, batch) = cells[i];
+        let run = runner.dense_point(workload_id, batch, MmuConfig::neummu(), npu)?;
+        Ok(TpregHitRow {
+            workload: workload_id,
+            batch,
+            l4_rate: run.translation.tpreg_l4_rate(),
+            l3_rate: run.translation.tpreg_l3_rate(),
+            l2_rate: run.translation.tpreg_l2_rate(),
+        })
+    })?;
     Ok(Fig13Result { rows })
 }
 
@@ -413,25 +486,57 @@ impl SummaryResult {
 ///
 /// Propagates simulator errors.
 pub fn summary_neummu(scale: ExperimentScale) -> Result<SummaryResult, SimError> {
+    summary_neummu_on(&ExperimentRunner::serial(), scale)
+}
+
+/// Per-point measurements backing [`SummaryResult`].
+struct SummaryCell {
+    iommu_perf: f64,
+    neummu_perf: f64,
+    iommu_energy: f64,
+    neummu_energy: f64,
+    iommu_walk_accesses: u64,
+    neummu_walk_accesses: u64,
+}
+
+/// [`summary_neummu`] on a caller-provided runner.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn summary_neummu_on(
+    runner: &ExperimentRunner,
+    scale: ExperimentScale,
+) -> Result<SummaryResult, SimError> {
     let npu = NpuConfig::tpu_like();
+    let cells = scale.grid();
+    let measured = runner.run_jobs("performance/summary", cells.len(), |i| {
+        let (workload_id, batch) = cells[i];
+        let oracle = runner.oracle_point(workload_id, batch, MmuConfig::oracle().page_size, npu)?;
+        let iommu = runner.dense_point(workload_id, batch, MmuConfig::baseline_iommu(), npu)?;
+        let neummu = runner.dense_point(workload_id, batch, MmuConfig::neummu(), npu)?;
+        Ok(SummaryCell {
+            iommu_perf: iommu.normalized_to(&oracle),
+            neummu_perf: neummu.normalized_to(&oracle),
+            iommu_energy: iommu.translation_energy_nj,
+            neummu_energy: neummu.translation_energy_nj,
+            iommu_walk_accesses: iommu.walk_memory_accesses,
+            neummu_walk_accesses: neummu.walk_memory_accesses,
+        })
+    })?;
     let mut iommu_perfs = Vec::new();
     let mut neummu_perfs = Vec::new();
     let mut iommu_energy = 0.0;
     let mut neummu_energy = 0.0;
     let mut iommu_walk_accesses = 0u64;
     let mut neummu_walk_accesses = 0u64;
-    for workload_id in scale.workloads() {
-        for &batch in &scale.batches() {
-            let oracle = run_point(workload_id, batch, MmuConfig::oracle(), npu)?;
-            let iommu = run_point(workload_id, batch, MmuConfig::baseline_iommu(), npu)?;
-            let neummu = run_point(workload_id, batch, MmuConfig::neummu(), npu)?;
-            iommu_perfs.push(iommu.normalized_to(&oracle));
-            neummu_perfs.push(neummu.normalized_to(&oracle));
-            iommu_energy += iommu.translation_energy_nj;
-            neummu_energy += neummu.translation_energy_nj;
-            iommu_walk_accesses += iommu.walk_memory_accesses;
-            neummu_walk_accesses += neummu.walk_memory_accesses;
-        }
+    for cell in &measured {
+        iommu_perfs.push(cell.iommu_perf);
+        neummu_perfs.push(cell.neummu_perf);
+        iommu_energy += cell.iommu_energy;
+        neummu_energy += cell.neummu_energy;
+        iommu_walk_accesses += cell.iommu_walk_accesses;
+        neummu_walk_accesses += cell.neummu_walk_accesses;
     }
     Ok(SummaryResult {
         iommu_avg_overhead: 1.0 - mean(&iommu_perfs),
@@ -448,6 +553,18 @@ pub fn summary_neummu(scale: ExperimentScale) -> Result<SummaryResult, SimError>
 ///
 /// Propagates simulator errors.
 pub fn largepage_dense(scale: ExperimentScale) -> Result<NormalizedSweep, SimError> {
+    largepage_dense_on(&ExperimentRunner::serial(), scale)
+}
+
+/// [`largepage_dense`] on a caller-provided runner.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn largepage_dense_on(
+    runner: &ExperimentRunner,
+    scale: ExperimentScale,
+) -> Result<NormalizedSweep, SimError> {
     let configs = vec![
         (
             "IOMMU-2MB".to_string(),
@@ -458,7 +575,13 @@ pub fn largepage_dense(scale: ExperimentScale) -> Result<NormalizedSweep, SimErr
             MmuConfig::neummu().with_page_size(PageSize::Size2M),
         ),
     ];
-    sweep("Large pages", &configs, scale, NpuConfig::tpu_like())
+    sweep(
+        runner,
+        "Large pages",
+        &configs,
+        scale,
+        NpuConfig::tpu_like(),
+    )
 }
 
 /// Section VI-B: the spatial-array NPU with the baseline IOMMU and NeuMMU.
@@ -467,11 +590,24 @@ pub fn largepage_dense(scale: ExperimentScale) -> Result<NormalizedSweep, SimErr
 ///
 /// Propagates simulator errors.
 pub fn spatial_npu(scale: ExperimentScale) -> Result<NormalizedSweep, SimError> {
+    spatial_npu_on(&ExperimentRunner::serial(), scale)
+}
+
+/// [`spatial_npu`] on a caller-provided runner.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn spatial_npu_on(
+    runner: &ExperimentRunner,
+    scale: ExperimentScale,
+) -> Result<NormalizedSweep, SimError> {
     let configs = vec![
         ("IOMMU".to_string(), MmuConfig::baseline_iommu()),
         ("NeuMMU".to_string(), MmuConfig::neummu()),
     ];
     sweep(
+        runner,
         "Spatial-array NPU",
         &configs,
         scale,
@@ -560,6 +696,18 @@ impl SensitivityResult {
 ///
 /// Propagates simulator errors.
 pub fn sensitivity(scale: ExperimentScale) -> Result<SensitivityResult, SimError> {
+    sensitivity_on(&ExperimentRunner::serial(), scale)
+}
+
+/// [`sensitivity`] on a caller-provided runner.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn sensitivity_on(
+    runner: &ExperimentRunner,
+    scale: ExperimentScale,
+) -> Result<SensitivityResult, SimError> {
     let npu = NpuConfig::tpu_like();
     let arch_configs: Vec<(String, MmuConfig)> = match scale {
         ExperimentScale::Full => vec![
@@ -586,31 +734,44 @@ pub fn sensitivity(scale: ExperimentScale) -> Result<SensitivityResult, SimError
         ],
     };
 
-    let mut architecture_points = Vec::new();
-    for (label, mmu) in arch_configs {
-        let mut perfs = Vec::new();
-        for workload_id in scale.workloads() {
-            for &batch in &scale.batches() {
-                perfs.push(normalized_point(workload_id, batch, mmu, npu)?);
-            }
-        }
-        architecture_points.push(SensitivityPoint {
-            label,
-            avg_normalized_perf: mean(&perfs),
+    let grid = scale.grid();
+    let arch_cells: Vec<(MmuConfig, WorkloadId, u64)> = arch_configs
+        .iter()
+        .flat_map(|(_, mmu)| grid.iter().map(|&(w, b)| (*mmu, w, b)))
+        .collect();
+    let arch_values = runner.run_jobs("performance/sensitivity", arch_cells.len(), |i| {
+        let (mmu, workload_id, batch) = arch_cells[i];
+        runner.normalized_point(workload_id, batch, mmu, npu)
+    })?;
+    let architecture_points = arch_configs
+        .iter()
+        .zip(arch_values.chunks(grid.len()))
+        .map(|((label, _), perfs)| SensitivityPoint {
+            label: label.clone(),
+            avg_normalized_perf: mean(perfs),
             min_normalized_perf: perfs.iter().copied().fold(f64::INFINITY, f64::min),
-        });
-    }
+        })
+        .collect();
 
-    // Large-batch study over the per-network common layer.
+    // Large-batch study over the per-network common layer. The common layer is
+    // not the full workload, so its oracle runs stay out of the memoization
+    // cache (they would alias full-workload keys) and live inside each job.
     let large_batches: &[u64] = match scale {
         ExperimentScale::Full => &[32, 64, 128],
         ExperimentScale::Smoke => &[32],
     };
-    let mut large_batch_points = Vec::new();
+    let mut large_cells = Vec::new();
     for workload_id in scale.workloads() {
-        let workload = DenseWorkload::new(workload_id);
         for &batch in large_batches {
-            let layer = workload.common_layer(batch);
+            large_cells.push((workload_id, batch));
+        }
+    }
+    let large_batch_points = runner.run_jobs(
+        "performance/sensitivity-large-batch",
+        large_cells.len(),
+        |i| {
+            let (workload_id, batch) = large_cells[i];
+            let layer = DenseWorkload::new(workload_id).common_layer(batch);
             let sim_for = |mmu: MmuConfig| -> Result<WorkloadResult, SimError> {
                 let mut config = DenseSimConfig::with_mmu(mmu);
                 config.npu = npu;
@@ -619,9 +780,9 @@ pub fn sensitivity(scale: ExperimentScale) -> Result<SensitivityResult, SimError
             let oracle = sim_for(MmuConfig::oracle())?;
             let iommu = sim_for(MmuConfig::baseline_iommu())?.normalized_to(&oracle);
             let neummu = sim_for(MmuConfig::neummu())?.normalized_to(&oracle);
-            large_batch_points.push((workload_id, batch, iommu, neummu));
-        }
-    }
+            Ok((workload_id, batch, iommu, neummu))
+        },
+    )?;
 
     Ok(SensitivityResult {
         architecture_points,
@@ -663,13 +824,52 @@ mod tests {
                 MmuConfig::baseline_iommu().with_prmb_slots(32),
             ),
         ];
-        let sweep = super::sweep("PRMB slots", &configs, SMOKE, NpuConfig::tpu_like()).unwrap();
+        let sweep = super::sweep(
+            &ExperimentRunner::serial(),
+            "PRMB slots",
+            &configs,
+            SMOKE,
+            NpuConfig::tpu_like(),
+        )
+        .unwrap();
         let avgs = sweep.averages();
         assert!(
             avgs[1] >= avgs[0],
             "PRMB(32) {} should beat PRMB(1) {}",
             avgs[1],
             avgs[0]
+        );
+    }
+
+    #[test]
+    fn sweeps_simulate_each_oracle_baseline_exactly_once() {
+        // Two configuration columns over the smoke grid: the oracle baseline
+        // of each (workload, batch, page size) key must simulate once, with
+        // every other request served from the memoization cache.
+        let runner = ExperimentRunner::serial();
+        let configs = vec![
+            ("IOMMU".to_string(), MmuConfig::baseline_iommu()),
+            ("NeuMMU".to_string(), MmuConfig::neummu()),
+        ];
+        let sweep = super::sweep(
+            &runner,
+            "memoization",
+            &configs,
+            SMOKE,
+            NpuConfig::tpu_like(),
+        )
+        .unwrap();
+        let grid_cells = SMOKE.workloads().len() * SMOKE.batches().len();
+        assert_eq!(sweep.points.len(), 2);
+        assert_eq!(
+            runner.oracle_cache().simulations() as usize,
+            grid_cells,
+            "one oracle simulation per (workload, batch, page size)"
+        );
+        assert_eq!(
+            runner.oracle_cache().hits() as usize,
+            grid_cells * (configs.len() - 1),
+            "every further baseline request is a cache hit"
         );
     }
 

@@ -13,6 +13,7 @@ use crate::embedding::{
 use crate::error::SimError;
 use crate::experiments::ExperimentScale;
 use crate::report::{norm, ResultTable};
+use crate::runner::ExperimentRunner;
 
 /// Batch sizes of the Figure 15 study.
 pub const FIG15_BATCHES: [u64; 3] = [1, 8, 64];
@@ -105,6 +106,19 @@ impl Fig15Result {
 ///
 /// Propagates simulator errors.
 pub fn fig15_numa_breakdown(scale: ExperimentScale) -> Result<Fig15Result, SimError> {
+    fig15_numa_breakdown_on(&ExperimentRunner::serial(), scale)
+}
+
+/// [`fig15_numa_breakdown`] on a caller-provided runner: one job per
+/// `(model, batch)` cell, each producing the three strategy rows.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig15_numa_breakdown_on(
+    runner: &ExperimentRunner,
+    scale: ExperimentScale,
+) -> Result<Fig15Result, SimError> {
     let sim = EmbeddingSimulator::new(EmbeddingSimConfig::with_mmu(MmuConfig::neummu()));
     let strategies = [
         GatherStrategy::HostRelayedCopy,
@@ -115,28 +129,37 @@ pub fn fig15_numa_breakdown(scale: ExperimentScale) -> Result<Fig15Result, SimEr
             link: TransferKind::NpuLink,
         },
     ];
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for model in sparse_models(scale) {
         for &batch in &batches(scale, &FIG15_BATCHES) {
-            let baseline = sim.simulate(&model, batch, GatherStrategy::HostRelayedCopy)?;
-            let baseline_total = baseline.total_cycles().max(1) as f64;
-            for strategy in strategies {
-                let breakdown = if matches!(strategy, GatherStrategy::HostRelayedCopy) {
-                    baseline
-                } else {
-                    sim.simulate(&model, batch, strategy)?
-                };
-                rows.push(Fig15Row {
-                    model: model.name().to_string(),
-                    batch,
-                    strategy: strategy.label().to_string(),
-                    breakdown,
-                    normalized_latency: breakdown.total_cycles() as f64 / baseline_total,
-                });
-            }
+            cells.push((model.clone(), batch));
         }
     }
-    Ok(Fig15Result { rows })
+    let row_groups = runner.run_jobs("recommender/fig15", cells.len(), |i| {
+        let (model, batch) = &cells[i];
+        let batch = *batch;
+        let baseline = sim.simulate(model, batch, GatherStrategy::HostRelayedCopy)?;
+        let baseline_total = baseline.total_cycles().max(1) as f64;
+        let mut rows = Vec::with_capacity(strategies.len());
+        for strategy in strategies {
+            let breakdown = if matches!(strategy, GatherStrategy::HostRelayedCopy) {
+                baseline
+            } else {
+                sim.simulate(model, batch, strategy)?
+            };
+            rows.push(Fig15Row {
+                model: model.name().to_string(),
+                batch,
+                strategy: strategy.label().to_string(),
+                breakdown,
+                normalized_latency: breakdown.total_cycles() as f64 / baseline_total,
+            });
+        }
+        Ok(rows)
+    })?;
+    Ok(Fig15Result {
+        rows: row_groups.into_iter().flatten().collect(),
+    })
 }
 
 /// One bar of Figure 16: demand paging under a given page size and MMU,
@@ -216,36 +239,59 @@ impl Fig16Result {
 ///
 /// Propagates simulator errors.
 pub fn fig16_demand_paging(scale: ExperimentScale) -> Result<Fig16Result, SimError> {
+    fig16_demand_paging_on(&ExperimentRunner::serial(), scale)
+}
+
+/// [`fig16_demand_paging`] on a caller-provided runner: one job per
+/// `(model, batch)` cell, each simulating its own oracle baseline and the four
+/// `(page size, MMU)` combinations.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig16_demand_paging_on(
+    runner: &ExperimentRunner,
+    scale: ExperimentScale,
+) -> Result<Fig16Result, SimError> {
     let link = TransferKind::NpuLink;
     let strategy = GatherStrategy::DemandPaging { link };
-    let mut rows = Vec::new();
+    let mut cells = Vec::new();
     for model in sparse_models(scale) {
         for &batch in &batches(scale, &FIG16_BATCHES) {
-            let oracle = EmbeddingSimulator::new(EmbeddingSimConfig::with_mmu(MmuConfig::oracle()))
-                .simulate(&model, batch, strategy)?;
-            let oracle_cycles = oracle.total_cycles().max(1) as f64;
-            for page_size in [PageSize::Size4K, PageSize::Size2M] {
-                for mmu in [MmuConfig::baseline_iommu(), MmuConfig::neummu()] {
-                    let mmu = mmu.with_page_size(page_size);
-                    let run = EmbeddingSimulator::new(EmbeddingSimConfig::with_mmu(mmu))
-                        .simulate(&model, batch, strategy)?;
-                    rows.push(Fig16Row {
-                        model: model.name().to_string(),
-                        batch,
-                        page_size,
-                        mmu: if mmu.prmb_slots_per_ptw > 0 {
-                            MmuKind::NeuMmu
-                        } else {
-                            MmuKind::BaselineIommu
-                        },
-                        normalized_perf: oracle_cycles / run.total_cycles().max(1) as f64,
-                        migrated_bytes: run.interconnect_bytes,
-                    });
-                }
-            }
+            cells.push((model.clone(), batch));
         }
     }
-    Ok(Fig16Result { rows })
+    let row_groups = runner.run_jobs("recommender/fig16", cells.len(), |i| {
+        let (model, batch) = &cells[i];
+        let batch = *batch;
+        let oracle = EmbeddingSimulator::new(EmbeddingSimConfig::with_mmu(MmuConfig::oracle()))
+            .simulate(model, batch, strategy)?;
+        let oracle_cycles = oracle.total_cycles().max(1) as f64;
+        let mut rows = Vec::with_capacity(4);
+        for page_size in [PageSize::Size4K, PageSize::Size2M] {
+            for mmu in [MmuConfig::baseline_iommu(), MmuConfig::neummu()] {
+                let mmu = mmu.with_page_size(page_size);
+                let run = EmbeddingSimulator::new(EmbeddingSimConfig::with_mmu(mmu))
+                    .simulate(model, batch, strategy)?;
+                rows.push(Fig16Row {
+                    model: model.name().to_string(),
+                    batch,
+                    page_size,
+                    mmu: if mmu.prmb_slots_per_ptw > 0 {
+                        MmuKind::NeuMmu
+                    } else {
+                        MmuKind::BaselineIommu
+                    },
+                    normalized_perf: oracle_cycles / run.total_cycles().max(1) as f64,
+                    migrated_bytes: run.interconnect_bytes,
+                });
+            }
+        }
+        Ok(rows)
+    })?;
+    Ok(Fig16Result {
+        rows: row_groups.into_iter().flatten().collect(),
+    })
 }
 
 #[cfg(test)]

@@ -6,6 +6,17 @@ use neummu_mmu::MmuConfig;
 use neummu_npu::NpuConfig;
 
 use crate::report::ResultTable;
+use crate::runner::ExperimentRunner;
+
+/// [`run`] on a caller-provided runner (a single job, so the configuration
+/// dump shows up in the self-profile like every other experiment).
+#[must_use]
+pub fn run_on(runner: &ExperimentRunner) -> ResultTable {
+    runner
+        .run_jobs("table1/configuration", 1, |_| Ok(run()))
+        .expect("table1 is infallible")
+        .remove(0)
+}
 
 /// Produces the Table I configuration dump as a result table.
 #[must_use]

@@ -13,7 +13,10 @@
 //!   vs. fine-grained NUMA gathers vs. demand paging.
 //!
 //! [`experiments`] contains one runner per table/figure of the paper; each
-//! returns a typed result that can be rendered with [`report`].
+//! returns a typed result that can be rendered with [`report`]. [`runner`]
+//! executes those experiments as parallel job graphs on a scoped thread pool,
+//! with memoized oracle baselines and a wall-clock self-profile; serial and
+//! parallel schedules produce bit-identical results.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@ pub mod embedding;
 pub mod error;
 pub mod experiments;
 pub mod report;
+pub mod runner;
 
 pub use dense::{DenseSimConfig, DenseSimulator, LayerResult, TranslationTrace, WorkloadResult};
 pub use embedding::{
@@ -30,6 +34,7 @@ pub use embedding::{
 };
 pub use error::SimError;
 pub use report::ResultTable;
+pub use runner::{ExperimentRunner, OracleCache, SelfProfile};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
@@ -41,4 +46,5 @@ pub mod prelude {
     };
     pub use crate::error::SimError;
     pub use crate::report::ResultTable;
+    pub use crate::runner::{ExperimentRunner, OracleCache, SelfProfile};
 }

@@ -1,0 +1,91 @@
+//! A hand-rolled scoped thread pool for embarrassingly parallel job lists.
+//!
+//! The registry is offline, so no external thread-pool crate is used: workers
+//! are plain `std::thread::scope` threads pulling job indices from an atomic
+//! counter. Every job writes its result into a dedicated slot, so the caller
+//! always observes results in job-index order regardless of which worker ran
+//! which job or in what order the jobs finished — the property the
+//! byte-identical-artifacts guarantee of the experiment runner rests on.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `job(0..count)` on up to `threads` worker threads and returns the
+/// results in job-index order.
+///
+/// With `threads <= 1` (or fewer than two jobs) the jobs run inline on the
+/// caller's thread in index order, which is the reference serial schedule.
+/// The parallel path produces exactly the same result vector because each job
+/// is a pure function of its index and results are collected by slot, not by
+/// completion order.
+///
+/// # Panics
+///
+/// Propagates a panic from any job once all workers have been joined.
+pub fn run_indexed<T, F>(threads: usize, count: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(count);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let result = job(index);
+                *slots[index].lock().expect("job slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("job slot poisoned")
+                .expect("every job index below `count` was claimed by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_schedules_agree() {
+        let serial = run_indexed(1, 100, |i| i * i);
+        let parallel = run_indexed(8, 100, |i| i * i);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[99], 99 * 99);
+    }
+
+    #[test]
+    fn results_arrive_in_index_order_even_with_skewed_job_times() {
+        // Early jobs sleep longest, so completion order is roughly reversed;
+        // the result vector must still be index-ordered.
+        let results = run_indexed(4, 16, |i| {
+            std::thread::sleep(std::time::Duration::from_micros((16 - i as u64) * 50));
+            i
+        });
+        assert_eq!(results, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_and_one_job_edge_cases() {
+        assert_eq!(run_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        assert_eq!(run_indexed(32, 3, |i| i), vec![0, 1, 2]);
+    }
+}

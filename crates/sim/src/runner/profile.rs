@@ -1,0 +1,159 @@
+//! Self-profiling of experiment runs, in the spirit of rustc's `measureme`:
+//! every job records its wall-clock duration under a phase label, and the
+//! aggregate report shows where simulation time actually goes.
+//!
+//! Wall-clock numbers are inherently nondeterministic, so the profile is
+//! reported to stdout only and never written into the artifact directory —
+//! artifacts must stay byte-identical between serial and parallel runs.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::report::ResultTable;
+
+/// Aggregated wall-clock statistics of one profiled phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Number of jobs recorded under the phase.
+    pub jobs: u64,
+    /// Total wall-clock time spent across all jobs of the phase.
+    pub total: Duration,
+    /// Shortest single job.
+    pub min: Duration,
+    /// Longest single job.
+    pub max: Duration,
+}
+
+impl PhaseStats {
+    fn record(&mut self, elapsed: Duration) {
+        self.min = if self.jobs == 0 {
+            elapsed
+        } else {
+            self.min.min(elapsed)
+        };
+        self.max = self.max.max(elapsed);
+        self.jobs += 1;
+        self.total += elapsed;
+    }
+
+    /// Mean wall-clock time per job.
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        if self.jobs == 0 {
+            Duration::ZERO
+        } else {
+            self.total / u32::try_from(self.jobs).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// Thread-safe accumulator of per-phase wall-clock statistics.
+#[derive(Debug, Default)]
+pub struct SelfProfile {
+    phases: Mutex<BTreeMap<String, PhaseStats>>,
+}
+
+impl SelfProfile {
+    /// Creates an empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one job of `elapsed` wall-clock time under `phase`.
+    pub fn record(&self, phase: &str, elapsed: Duration) {
+        let mut phases = self.phases.lock().expect("profile poisoned");
+        phases.entry(phase.to_string()).or_default().record(elapsed);
+    }
+
+    /// Snapshot of every phase, sorted by label.
+    #[must_use]
+    pub fn phases(&self) -> BTreeMap<String, PhaseStats> {
+        self.phases.lock().expect("profile poisoned").clone()
+    }
+
+    /// Total busy time across all phases (CPU-seconds of simulation work; with
+    /// N threads this exceeds elapsed wall-clock time by up to N×).
+    #[must_use]
+    pub fn total_busy(&self) -> Duration {
+        self.phases
+            .lock()
+            .expect("profile poisoned")
+            .values()
+            .map(|p| p.total)
+            .sum()
+    }
+
+    /// Renders the profile as a table, phases sorted by total time spent,
+    /// descending — the "where does simulation time go" report.
+    #[must_use]
+    pub fn to_table(&self) -> ResultTable {
+        let snapshot = self.phases();
+        let busy = self.total_busy().as_secs_f64().max(1e-12);
+        let mut rows: Vec<(&String, &PhaseStats)> = snapshot.iter().collect();
+        rows.sort_by(|a, b| b.1.total.cmp(&a.1.total).then_with(|| a.0.cmp(b.0)));
+        let mut table = ResultTable::new(
+            "Self-profile: where simulation time goes",
+            &[
+                "Phase",
+                "Jobs",
+                "Total (ms)",
+                "Mean (ms)",
+                "Max (ms)",
+                "Share",
+            ],
+        );
+        for (label, stats) in rows {
+            table.push_row(&[
+                label.clone(),
+                stats.jobs.to_string(),
+                format!("{:.1}", stats.total.as_secs_f64() * 1e3),
+                format!("{:.2}", stats.mean().as_secs_f64() * 1e3),
+                format!("{:.1}", stats.max.as_secs_f64() * 1e3),
+                format!("{:.1}%", stats.total.as_secs_f64() / busy * 100.0),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_aggregate_per_phase() {
+        let profile = SelfProfile::new();
+        profile.record("sweep", Duration::from_millis(4));
+        profile.record("sweep", Duration::from_millis(2));
+        profile.record("table1", Duration::from_millis(1));
+        let phases = profile.phases();
+        assert_eq!(phases.len(), 2);
+        let sweep = &phases["sweep"];
+        assert_eq!(sweep.jobs, 2);
+        assert_eq!(sweep.total, Duration::from_millis(6));
+        assert_eq!(sweep.min, Duration::from_millis(2));
+        assert_eq!(sweep.max, Duration::from_millis(4));
+        assert_eq!(sweep.mean(), Duration::from_millis(3));
+        assert_eq!(profile.total_busy(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn table_sorts_by_total_time_descending() {
+        let profile = SelfProfile::new();
+        profile.record("small", Duration::from_millis(1));
+        profile.record("big", Duration::from_millis(10));
+        let table = profile.to_table();
+        assert_eq!(table.rows().len(), 2);
+        assert_eq!(table.rows()[0][0], "big");
+        assert!(table.rows()[0][5].ends_with('%'));
+    }
+
+    #[test]
+    fn empty_profile_renders_an_empty_table() {
+        let profile = SelfProfile::new();
+        assert!(profile.to_table().rows().is_empty());
+        assert_eq!(profile.total_busy(), Duration::ZERO);
+    }
+}

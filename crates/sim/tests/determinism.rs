@@ -1,0 +1,119 @@
+//! Determinism guarantees of the parallel experiment runner.
+//!
+//! The contract: for any thread count, every experiment produces results that
+//! are bit-identical to the serial reference schedule, and the memoized oracle
+//! baselines are exactly the results a direct (uncached) oracle simulation
+//! would produce. These tests back the `--threads N` byte-identical-artifacts
+//! acceptance criterion at the typed-result level; the CI workflow adds the
+//! file-level `diff -r` on top.
+
+use neummu_mmu::MmuConfig;
+use neummu_npu::NpuConfig;
+use neummu_sim::dense::{DenseSimConfig, DenseSimulator};
+use neummu_sim::experiments::{characterization, mmu_cache_study, performance, ExperimentScale};
+use neummu_sim::runner::ExperimentRunner;
+use neummu_vmem::PageSize;
+use neummu_workloads::DenseWorkload;
+
+const SMOKE: ExperimentScale = ExperimentScale::Smoke;
+
+#[test]
+fn normalized_sweep_is_identical_across_thread_counts() {
+    let serial = ExperimentRunner::new(1);
+    let parallel = ExperimentRunner::new(4);
+    let a = performance::fig10_prmb_sweep_on(&serial, SMOKE).unwrap();
+    let b = performance::fig10_prmb_sweep_on(&parallel, SMOKE).unwrap();
+    // PartialEq on the result compares every f64 exactly — bit-identical
+    // points, labels and ordering, not just "close enough".
+    assert_eq!(a, b);
+    assert_eq!(a.points, b.points);
+}
+
+#[test]
+fn aggregated_experiments_are_identical_across_thread_counts() {
+    let serial = ExperimentRunner::new(1);
+    let parallel = ExperimentRunner::new(4);
+    assert_eq!(
+        performance::fig12b_energy_perf_on(&serial, SMOKE).unwrap(),
+        performance::fig12b_energy_perf_on(&parallel, SMOKE).unwrap(),
+    );
+    assert_eq!(
+        performance::summary_neummu_on(&serial, SMOKE).unwrap(),
+        performance::summary_neummu_on(&parallel, SMOKE).unwrap(),
+    );
+    assert_eq!(
+        characterization::fig06_page_divergence_on(&serial, SMOKE).unwrap(),
+        characterization::fig06_page_divergence_on(&parallel, SMOKE).unwrap(),
+    );
+    assert_eq!(
+        mmu_cache_study::run_on(&serial, SMOKE).unwrap(),
+        mmu_cache_study::run_on(&parallel, SMOKE).unwrap(),
+    );
+}
+
+#[test]
+fn memoized_oracle_equals_direct_oracle_simulation() {
+    let runner = ExperimentRunner::new(4);
+    let npu = NpuConfig::tpu_like();
+    // Warm the cache through a sweep, then compare every memoized baseline
+    // against a from-scratch simulation of the same point.
+    performance::fig08_baseline_iommu_on(&runner, SMOKE).unwrap();
+    for workload_id in SMOKE.workloads() {
+        for &batch in &SMOKE.batches() {
+            let memoized = runner
+                .oracle_point(workload_id, batch, PageSize::Size4K, npu)
+                .unwrap();
+            let mut config = DenseSimConfig::with_mmu(MmuConfig::oracle());
+            config.npu = npu;
+            let direct = DenseSimulator::new(config)
+                .simulate_workload(&DenseWorkload::new(workload_id).layers(batch))
+                .unwrap();
+            assert_eq!(*memoized, direct, "{workload_id} b{batch}");
+        }
+    }
+}
+
+#[test]
+fn oracle_simulates_once_per_key_within_a_sweep() {
+    // Six PRMB configurations over the smoke grid: each (workload, batch,
+    // page size) baseline must simulate exactly once; the other five columns
+    // hit the cache.
+    let runner = ExperimentRunner::new(4);
+    performance::fig10_prmb_sweep_on(&runner, SMOKE).unwrap();
+    let grid = SMOKE.workloads().len() * SMOKE.batches().len();
+    let configs = 6;
+    assert_eq!(runner.oracle_cache().simulations() as usize, grid);
+    assert_eq!(runner.oracle_cache().len(), grid);
+    assert_eq!(
+        runner.oracle_cache().hits() as usize,
+        grid * (configs - 1),
+        "every duplicate baseline request must be served from the cache"
+    );
+}
+
+#[test]
+fn oracle_cache_is_shared_across_experiment_families() {
+    // Figure 8 and Figure 6 normalize/measure against the same 4K oracle
+    // baselines; on one runner the second family must not re-simulate them.
+    let runner = ExperimentRunner::new(2);
+    performance::fig08_baseline_iommu_on(&runner, SMOKE).unwrap();
+    let sims_after_fig08 = runner.oracle_cache().simulations();
+    characterization::fig06_page_divergence_on(&runner, SMOKE).unwrap();
+    assert_eq!(runner.oracle_cache().simulations(), sims_after_fig08);
+    assert!(runner.oracle_cache().hits() >= sims_after_fig08);
+}
+
+#[test]
+fn legacy_serial_entry_points_agree_with_runner_entry_points() {
+    // The scale-only signatures are wrappers over a private serial runner;
+    // they must produce the same bits as an explicit runner at any width.
+    let runner = ExperimentRunner::new(3);
+    assert_eq!(
+        performance::fig13_tpreg_hit_rate(SMOKE).unwrap(),
+        performance::fig13_tpreg_hit_rate_on(&runner, SMOKE).unwrap(),
+    );
+    assert_eq!(
+        performance::sensitivity(SMOKE).unwrap(),
+        performance::sensitivity_on(&runner, SMOKE).unwrap(),
+    );
+}

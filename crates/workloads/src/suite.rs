@@ -69,6 +69,12 @@ impl WorkloadId {
     }
 }
 
+impl std::fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// One dense workload: a named DNN whose layer list depends on the batch size.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DenseWorkload {
@@ -188,6 +194,12 @@ mod tests {
     fn rnn_classification() {
         assert!(WorkloadId::Rnn1.is_rnn());
         assert!(!WorkloadId::Cnn3.is_rnn());
+    }
+
+    #[test]
+    fn display_matches_figure_labels() {
+        assert_eq!(WorkloadId::Cnn1.to_string(), "CNN-1");
+        assert_eq!(format!("{}", WorkloadId::Rnn3), "RNN-3");
     }
 
     #[test]
