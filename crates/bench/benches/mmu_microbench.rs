@@ -81,6 +81,44 @@ fn bench_page_table(c: &mut Criterion) {
             accesses
         })
     });
+    // The allocation-free hot path the engines actually use; the gap to
+    // `walk_4k_mapped` is the cost of materializing the step trace.
+    group.bench_function("probe_4k_mapped", |b| {
+        b.iter(|| {
+            let mut accesses = 0u32;
+            for i in 0..walks {
+                let probe = pt.probe(black_box(VirtAddr::new(0x10_0000_0000 + i * 4096)));
+                accesses += probe.memory_accesses();
+            }
+            accesses
+        })
+    });
+    group.finish();
+}
+
+fn bench_oracle_translator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oracle");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let pages = 512u64;
+    let pt = streaming_table(pages);
+    // A DMA-style 512-byte transaction stream: 8 requests per 4 KB page, so
+    // the oracle's last-page mapped-range memo answers 7 of every 8.
+    let requests: Vec<VirtAddr> = (0..pages * 8)
+        .map(|i| VirtAddr::new(0x10_0000_0000 + i * 512))
+        .collect();
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    group.bench_function("memoized_burst_stream", |b| {
+        b.iter(|| {
+            let mut oracle = neummu_mmu::OracleTranslator::new(PageSize::Size4K);
+            let mut cycle = 0u64;
+            for va in &requests {
+                let outcome = oracle.translate(&pt, black_box(*va), cycle);
+                cycle = outcome.accept_cycle + 1;
+            }
+            oracle.stats().requests
+        })
+    });
     group.finish();
 }
 
@@ -180,6 +218,7 @@ criterion_group!(
     benches,
     bench_tlb,
     bench_page_table,
+    bench_oracle_translator,
     bench_walker_pool,
     bench_mmu_caches,
     bench_translation_engine_burst

@@ -1,0 +1,162 @@
+//! Process-wide hot-path telemetry counters.
+//!
+//! PR 3 rebuilt the per-translation hot path to be allocation-free; these
+//! counters prove, in the spirit of CounterPoint's cheap measured counters,
+//! where that work lands at run time: how many non-allocating page-table
+//! probes ran (each one a `WalkPath` heap allocation avoided relative to the
+//! old `walk()` hot path), how many structural-stall retries reused a cached
+//! probe instead of re-walking, how often the oracle answered from its
+//! mapped-range memo without touching the page table at all, and how often
+//! the walker pool's retirement drain exited on the "nothing completed" fast
+//! path.
+//!
+//! The counters are telemetry, not simulation state: they never feed back
+//! into cycle accounting and are never written into the artifact directory,
+//! so artifacts stay byte-identical whether or not anyone reads them.
+//! `neummu_experiments` prints a snapshot next to the wall-clock self-profile
+//! after each run.
+//!
+//! To keep the telemetry off the hot path it measures, nothing here is
+//! touched per event: each translator accumulates a plain-integer tally and
+//! flushes it into these process-global atomics once, when it is dropped (or
+//! reset). A full experiments run performs a few thousand relaxed `fetch_add`s
+//! in total — not one per translation — so parallel runners never contend on
+//! the counter cache lines.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PAGE_TABLE_PROBES: AtomicU64 = AtomicU64::new(0);
+static RETRY_REPROBES_SAVED: AtomicU64 = AtomicU64::new(0);
+static ORACLE_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static RETIRE_FAST_EXITS: AtomicU64 = AtomicU64::new(0);
+static DMA_FETCHES_STREAMED: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn add(counter: &AtomicU64, n: u64) {
+    if n > 0 {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn add_probes(n: u64) {
+    add(&PAGE_TABLE_PROBES, n);
+}
+
+pub(crate) fn add_retry_reprobes_saved(n: u64) {
+    add(&RETRY_REPROBES_SAVED, n);
+}
+
+pub(crate) fn add_oracle_memo_hits(n: u64) {
+    add(&ORACLE_MEMO_HITS, n);
+}
+
+pub(crate) fn add_retire_fast_exits(n: u64) {
+    add(&RETIRE_FAST_EXITS, n);
+}
+
+/// Records `fetches` DMA tile fetches whose transactions were streamed from
+/// the non-allocating iterator instead of a materialized `Vec`. Called by the
+/// simulators (which own the DMA loop, and batch the count per workload),
+/// hence public.
+pub fn add_dma_fetches_streamed(fetches: u64) {
+    add(&DMA_FETCHES_STREAMED, fetches);
+}
+
+/// A point-in-time copy of every hot-path counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotPathCounters {
+    /// Non-allocating page-table probes executed (engine walks + oracle
+    /// mapped-ness checks). Each one is a `WalkPath` allocation avoided
+    /// relative to the pre-PR 3 hot path.
+    pub page_table_probes: u64,
+    /// Structural-stall retries that reused the probe cached across the
+    /// `Rejected → retry` loop instead of re-walking the page table.
+    pub retry_reprobes_saved: u64,
+    /// Oracle translations answered from the last-page mapped-range memo
+    /// without a page-table traversal.
+    pub oracle_memo_hits: u64,
+    /// Walker-pool retirement drains that exited on the "nothing completed"
+    /// fast path after a single heap peek.
+    pub retire_fast_exits: u64,
+    /// DMA tile fetches whose transactions were streamed from the iterator
+    /// (one avoided `Vec<MemTransaction>` per fetch).
+    pub dma_fetches_streamed: u64,
+}
+
+impl HotPathCounters {
+    /// The counters as `(label, value)` pairs, for report tables.
+    #[must_use]
+    pub fn named(&self) -> [(&'static str, u64); 5] {
+        [
+            ("hot/page_table_probes", self.page_table_probes),
+            ("hot/retry_reprobes_saved", self.retry_reprobes_saved),
+            ("hot/oracle_memo_hits", self.oracle_memo_hits),
+            ("hot/retire_fast_exits", self.retire_fast_exits),
+            ("hot/dma_fetches_streamed", self.dma_fetches_streamed),
+        ]
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating), for measuring
+    /// one region of a program that shares the process-global counters.
+    #[must_use]
+    pub fn since(&self, earlier: &HotPathCounters) -> HotPathCounters {
+        HotPathCounters {
+            page_table_probes: self
+                .page_table_probes
+                .saturating_sub(earlier.page_table_probes),
+            retry_reprobes_saved: self
+                .retry_reprobes_saved
+                .saturating_sub(earlier.retry_reprobes_saved),
+            oracle_memo_hits: self
+                .oracle_memo_hits
+                .saturating_sub(earlier.oracle_memo_hits),
+            retire_fast_exits: self
+                .retire_fast_exits
+                .saturating_sub(earlier.retire_fast_exits),
+            dma_fetches_streamed: self
+                .dma_fetches_streamed
+                .saturating_sub(earlier.dma_fetches_streamed),
+        }
+    }
+}
+
+/// Reads every counter. Translators flush their tallies when dropped (or
+/// reset), so read after the simulations of interest have completed.
+#[must_use]
+pub fn snapshot() -> HotPathCounters {
+    HotPathCounters {
+        page_table_probes: PAGE_TABLE_PROBES.load(Ordering::Relaxed),
+        retry_reprobes_saved: RETRY_REPROBES_SAVED.load(Ordering::Relaxed),
+        oracle_memo_hits: ORACLE_MEMO_HITS.load(Ordering::Relaxed),
+        retire_fast_exits: RETIRE_FAST_EXITS.load(Ordering::Relaxed),
+        dma_fetches_streamed: DMA_FETCHES_STREAMED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_difference() {
+        // Process-global state shared with concurrently running tests, so
+        // assert on deltas rather than absolute values.
+        let before = snapshot();
+        add_probes(2);
+        add_retry_reprobes_saved(1);
+        add_oracle_memo_hits(1);
+        add_retire_fast_exits(1);
+        add_dma_fetches_streamed(3);
+        // Zero adds are free and must not disturb anything.
+        add_probes(0);
+        add_dma_fetches_streamed(0);
+        let delta = snapshot().since(&before);
+        assert!(delta.page_table_probes >= 2);
+        assert!(delta.retry_reprobes_saved >= 1);
+        assert!(delta.oracle_memo_hits >= 1);
+        assert!(delta.retire_fast_exits >= 1);
+        assert!(delta.dma_fetches_streamed >= 3);
+        assert_eq!(delta.named().len(), 5);
+        assert_eq!(delta.named()[0].0, "hot/page_table_probes");
+    }
+}

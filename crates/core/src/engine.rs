@@ -20,9 +20,10 @@
 use serde::{Deserialize, Serialize};
 
 use neummu_energy::{EnergyEvent, EnergyMeter};
-use neummu_vmem::{PageSize, PageTable, PathTag, VirtAddr};
+use neummu_vmem::{PageSize, PageTable, PathTag, VirtAddr, WalkProbe};
 
 use crate::config::{MmuConfig, MmuKind};
+use crate::counters;
 use crate::stats::TranslationStats;
 use crate::tlb::Tlb;
 use crate::walker::{WalkAdmission, WalkerPool};
@@ -95,12 +96,65 @@ pub trait AddressTranslator: Send {
     }
 }
 
+/// The mapped-ness of the most recent page probed by the oracle.
+///
+/// The oracle only ever asks "is this address mapped?", and the DMA asks it
+/// in page-local bursts (a 512-byte transaction stream touches the same 4 KB
+/// page eight times in a row, a 2 MB page 4096 times). Mapped-ness is
+/// constant across the leaf page containing the address, so the memo answers
+/// repeat questions without traversing the radix tree.
+/// [`PageTable::revision`] serves as the version stamp: a globally unique
+/// draw re-taken on every `map`/`unmap`, so the memo can never survive a
+/// mapped-ness change (even a compensating unmap+map pair) nor leak across
+/// two different page tables, and stays put across `remap` (page migration),
+/// which cannot change mapped-ness. Like the engine's IOTLB, the memo
+/// additionally honors [`AddressTranslator::invalidate_page`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct MappedRangeMemo {
+    stamp: u64,
+    start: u64,
+    end: u64,
+    mapped: bool,
+}
+
+impl MappedRangeMemo {
+    fn covers(&self, stamp: u64, va: VirtAddr) -> bool {
+        self.stamp == stamp && self.start <= va.raw() && va.raw() < self.end
+    }
+}
+
+/// Plain-integer tally of hot-path telemetry events, accumulated locally by
+/// a translator and flushed into the process-global `counters` atomics once,
+/// when the translator is dropped or reset — never per event, so the
+/// telemetry stays off the hot path it measures (and parallel runners never
+/// contend on the counter cache lines).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct HotTally {
+    probes: u64,
+    retry_reprobes_saved: u64,
+    memo_hits: u64,
+    retire_fast_exits: u64,
+}
+
+impl HotTally {
+    /// Adds the tally to the process-global counters and zeroes it.
+    fn flush(&mut self) {
+        counters::add_probes(self.probes);
+        counters::add_retry_reprobes_saved(self.retry_reprobes_saved);
+        counters::add_oracle_memo_hits(self.memo_hits);
+        counters::add_retire_fast_exits(self.retire_fast_exits);
+        *self = HotTally::default();
+    }
+}
+
 /// The oracular MMU: every translation hits with zero latency.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct OracleTranslator {
     page_size: PageSize,
     stats: TranslationStats,
     energy: EnergyMeter,
+    memo: Option<MappedRangeMemo>,
+    hot: HotTally,
 }
 
 impl OracleTranslator {
@@ -111,13 +165,63 @@ impl OracleTranslator {
             page_size,
             stats: TranslationStats::default(),
             energy: EnergyMeter::default(),
+            memo: None,
+            hot: HotTally::default(),
         }
+    }
+
+    /// True if `va` is mapped, answered from the last-page memo when the
+    /// address falls inside the memoized leaf page and the table is
+    /// unchanged, probing (and re-priming the memo) otherwise.
+    fn probe_mapped(&mut self, page_table: &PageTable, va: VirtAddr) -> bool {
+        let stamp = page_table.revision();
+        if let Some(memo) = &self.memo {
+            if memo.covers(stamp, va) {
+                self.hot.memo_hits += 1;
+                return memo.mapped;
+            }
+        }
+        self.hot.probes += 1;
+        let probe = page_table.probe(va);
+        let (base, bytes, mapped) = match probe.translation {
+            Some(t) => (va.page_base(t.page_size).raw(), t.page_size.bytes(), true),
+            // An unmapped address is certainly unmapped across its 4 KB page;
+            // claiming more would race with leaf sizes we did not observe.
+            None => (
+                va.page_base(PageSize::Size4K).raw(),
+                PageSize::Size4K.bytes(),
+                false,
+            ),
+        };
+        self.memo = Some(MappedRangeMemo {
+            stamp,
+            start: base,
+            end: base + bytes,
+            mapped,
+        });
+        mapped
     }
 }
 
 impl Default for OracleTranslator {
     fn default() -> Self {
         Self::new(PageSize::Size4K)
+    }
+}
+
+/// Hand-written (not derived) because of the telemetry tally: the original
+/// flushes its own counts into the process-global counters on drop, so a
+/// clone must start at zero or every event up to the clone point would be
+/// counted twice.
+impl Clone for OracleTranslator {
+    fn clone(&self) -> Self {
+        OracleTranslator {
+            page_size: self.page_size,
+            stats: self.stats,
+            energy: self.energy.clone(),
+            memo: self.memo,
+            hot: HotTally::default(),
+        }
     }
 }
 
@@ -131,7 +235,7 @@ impl AddressTranslator for OracleTranslator {
         self.stats.requests += 1;
         self.stats.tlb_hits += 1;
         self.stats.last_completion_cycle = self.stats.last_completion_cycle.max(cycle);
-        let fault = !page_table.is_mapped(va);
+        let fault = !self.probe_mapped(page_table, va);
         if fault {
             self.stats.faults += 1;
         }
@@ -158,17 +262,30 @@ impl AddressTranslator for OracleTranslator {
     fn reset(&mut self) {
         self.stats = TranslationStats::default();
         self.energy.reset();
+        self.memo = None;
+        self.hot.flush();
+    }
+
+    fn invalidate_page(&mut self, _va: VirtAddr) {
+        self.memo = None;
+    }
+}
+
+impl Drop for OracleTranslator {
+    fn drop(&mut self) {
+        self.hot.flush();
     }
 }
 
 /// The cycle-accounted IOMMU / NeuMMU translation engine.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct TranslationEngine {
     config: MmuConfig,
     tlb: Tlb,
     walkers: WalkerPool,
     stats: TranslationStats,
     energy: EnergyMeter,
+    hot: HotTally,
 }
 
 impl TranslationEngine {
@@ -186,6 +303,7 @@ impl TranslationEngine {
             ),
             stats: TranslationStats::default(),
             energy: EnergyMeter::default(),
+            hot: HotTally::default(),
         }
     }
 
@@ -218,15 +336,24 @@ impl TranslationEngine {
 
     /// Retires completed walks up to `cycle`, filling the TLB.
     fn drain_completions(&mut self, cycle: u64) {
-        for walk in self.walkers.retire_completed(cycle) {
+        let TranslationEngine {
+            walkers,
+            tlb,
+            energy,
+            hot,
+            ..
+        } = self;
+        let retired = walkers.drain_completed(cycle, |walk| {
             if walk.mapped {
-                self.tlb.insert(walk.page_number);
-                self.energy.record(EnergyEvent::TlbFill, 1);
+                tlb.insert(walk.page_number);
+                energy.record(EnergyEvent::TlbFill, 1);
             }
             if walk.merged_requests > 0 {
-                self.energy
-                    .record(EnergyEvent::PrmbRead, u64::from(walk.merged_requests));
+                energy.record(EnergyEvent::PrmbRead, u64::from(walk.merged_requests));
             }
+        });
+        if retired == 0 {
+            hot.retire_fast_exits += 1;
         }
     }
 }
@@ -241,6 +368,10 @@ impl AddressTranslator for TranslationEngine {
         self.stats.requests += 1;
         let page_number = self.page_number_of(va);
         let mut now = cycle;
+        // The page table is immutable for the duration of one translate call,
+        // so the probe is computed at most once and reused across the
+        // `Rejected → retry` iterations of the structural-stall loop.
+        let mut cached_probe: Option<WalkProbe> = None;
 
         loop {
             // Retire walks that completed before this attempt so their
@@ -282,15 +413,22 @@ impl AddressTranslator for TranslationEngine {
             }
 
             // 3. Try to start a walk on a free walker.
-            let walk_path = page_table.walk(va);
-            let mapped = walk_path.is_hit();
-            let full_levels = if mapped {
-                walk_path.memory_accesses()
-            } else {
-                // A fault is detected as soon as the walk reaches the missing
-                // level.
-                walk_path.memory_accesses().max(1)
+            let probe = match cached_probe {
+                Some(probe) => {
+                    self.hot.retry_reprobes_saved += 1;
+                    probe
+                }
+                None => {
+                    self.hot.probes += 1;
+                    let probe = page_table.probe(va);
+                    cached_probe = Some(probe);
+                    probe
+                }
             };
+            let mapped = probe.is_hit();
+            // A fault is detected as soon as the walk reaches the missing
+            // level; either way at least one entry is read.
+            let full_levels = probe.memory_accesses().max(1);
             if self.config.tpreg_enabled {
                 self.energy.record(EnergyEvent::TpregAccess, 1);
             }
@@ -372,6 +510,7 @@ impl AddressTranslator for TranslationEngine {
     }
 
     fn reset(&mut self) {
+        self.hot.flush();
         *self = TranslationEngine::new(self.config);
     }
 
@@ -379,6 +518,28 @@ impl AddressTranslator for TranslationEngine {
         let page = self.page_number_of(va);
         self.tlb.invalidate(page);
         self.walkers.invalidate_tpregs();
+    }
+}
+
+impl Drop for TranslationEngine {
+    fn drop(&mut self) {
+        self.hot.flush();
+    }
+}
+
+/// Hand-written (not derived) for the same reason as
+/// [`OracleTranslator`]'s `Clone`: the tally must not be duplicated, or the
+/// two drop-time flushes would double-count every event up to the clone.
+impl Clone for TranslationEngine {
+    fn clone(&self) -> Self {
+        TranslationEngine {
+            config: self.config,
+            tlb: self.tlb.clone(),
+            walkers: self.walkers.clone(),
+            stats: self.stats,
+            energy: self.energy.clone(),
+            hot: HotTally::default(),
+        }
     }
 }
 
@@ -411,6 +572,109 @@ mod tests {
         assert_eq!(out.complete_cycle, 123);
         assert!(!out.fault);
         assert_eq!(oracle.stats().requests, 1);
+    }
+
+    #[test]
+    fn oracle_memo_survives_bursts_and_tracks_page_table_changes() {
+        let mut pt = mapped_table(0x100_0000, 1);
+        let mut oracle = OracleTranslator::default();
+        // A DMA-style burst to one page: the memo answers the repeats.
+        for i in 0..8u64 {
+            let out = oracle.translate(&pt, VirtAddr::new(0x100_0000 + i * 512), i);
+            assert!(!out.fault);
+        }
+        // A different, unmapped page re-primes the memo with a negative range.
+        assert!(oracle.translate(&pt, VirtAddr::new(0x900_0000), 10).fault);
+        assert!(oracle.translate(&pt, VirtAddr::new(0x900_0800), 11).fault);
+        // Mapping that page changes the stats stamp: the stale negative memo
+        // must not answer.
+        pt.map(
+            VirtAddr::new(0x900_0000),
+            PageSize::Size4K,
+            PhysFrameNum::new(0x77),
+            MemNode::Npu(0),
+        )
+        .unwrap();
+        assert!(!oracle.translate(&pt, VirtAddr::new(0x900_0800), 12).fault);
+        // Unmapping likewise invalidates a stale positive memo.
+        pt.unmap(VirtAddr::new(0x900_0000)).unwrap();
+        assert!(oracle.translate(&pt, VirtAddr::new(0x900_0800), 13).fault);
+        assert_eq!(oracle.stats().faults, 3);
+    }
+
+    #[test]
+    fn oracle_memo_not_fooled_by_compensating_unmap_map_pairs() {
+        // An unmap followed by a map of a different page in the same L1 table
+        // returns the structural stats (table and leaf counts) to their prior
+        // values; the revision stamp still advances, so the memo must not
+        // claim the unmapped page.
+        let mut pt = mapped_table(0x100_0000, 2);
+        let mut oracle = OracleTranslator::default();
+        assert!(!oracle.translate(&pt, VirtAddr::new(0x100_0000), 0).fault);
+        let stats_before = pt.stats();
+        pt.unmap(VirtAddr::new(0x100_0000)).unwrap();
+        pt.map(
+            VirtAddr::new(0x100_2000),
+            PageSize::Size4K,
+            PhysFrameNum::new(0x55),
+            MemNode::Npu(0),
+        )
+        .unwrap();
+        assert_eq!(pt.stats(), stats_before, "the pair must be compensating");
+        let out = oracle.translate(&pt, VirtAddr::new(0x100_0000), 1);
+        assert!(out.fault, "stale memo answered for an unmapped page");
+    }
+
+    #[test]
+    fn oracle_memo_is_not_confused_by_a_second_page_table() {
+        // Two tables with identical mutation counts; the address is mapped
+        // only in the first. The memo's revision stamp is globally unique, so
+        // switching tables mid-stream must re-probe rather than reuse it.
+        let pt_a = mapped_table(0x100_0000, 1);
+        let mut pt_b = PageTable::new();
+        pt_b.map(
+            VirtAddr::new(0x900_0000),
+            PageSize::Size4K,
+            PhysFrameNum::new(1),
+            MemNode::Host,
+        )
+        .unwrap();
+        let mut oracle = OracleTranslator::default();
+        assert!(!oracle.translate(&pt_a, VirtAddr::new(0x100_0000), 0).fault);
+        assert!(
+            oracle.translate(&pt_b, VirtAddr::new(0x100_0000), 1).fault,
+            "memo leaked across page tables"
+        );
+    }
+
+    #[test]
+    fn cloned_translators_start_with_an_empty_telemetry_tally() {
+        // Both translators flush their tally into the process-global counters
+        // on drop; a clone that copied the tally would double-count every
+        // event up to the clone point.
+        let pt = mapped_table(0xe00_0000, 1);
+        let mut oracle = OracleTranslator::default();
+        oracle.translate(&pt, VirtAddr::new(0xe00_0000), 0);
+        assert_ne!(oracle.hot, HotTally::default());
+        assert_eq!(oracle.clone().hot, HotTally::default());
+        let mut engine = TranslationEngine::new(MmuConfig::neummu());
+        engine.translate(&pt, VirtAddr::new(0xe00_0000), 0);
+        assert_ne!(engine.hot, HotTally::default());
+        assert_eq!(engine.clone().hot, HotTally::default());
+    }
+
+    #[test]
+    fn oracle_memo_honors_invalidate_page() {
+        let pt = mapped_table(0x200_0000, 1);
+        let mut oracle = OracleTranslator::default();
+        assert!(!oracle.translate(&pt, VirtAddr::new(0x200_0000), 0).fault);
+        // invalidate_page drops the memo; the next request re-probes and
+        // still sees the (unchanged) table.
+        oracle.invalidate_page(VirtAddr::new(0x200_0000));
+        assert!(!oracle.translate(&pt, VirtAddr::new(0x200_0100), 1).fault);
+        oracle.reset();
+        assert_eq!(oracle.stats().requests, 0);
+        assert!(!oracle.translate(&pt, VirtAddr::new(0x200_0200), 2).fault);
     }
 
     #[test]

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod counters;
 pub mod engine;
 pub mod mmu_cache;
 pub mod stats;
@@ -63,6 +64,7 @@ pub mod tpreg;
 pub mod walker;
 
 pub use config::{MmuConfig, MmuKind};
+pub use counters::HotPathCounters;
 pub use engine::{
     AddressTranslator, OracleTranslator, TranslationEngine, TranslationOutcome, TranslationSource,
 };

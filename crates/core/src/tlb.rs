@@ -15,6 +15,10 @@ use serde::{Deserialize, Serialize};
 pub struct Tlb {
     sets: Vec<Vec<TlbEntry>>,
     ways: usize,
+    /// `num_sets - 1` when the set count is a power of two (every Table I
+    /// geometry), so the per-lookup set-index computation is a mask rather
+    /// than an integer divide; `None` falls back to modulo.
+    set_mask: Option<u64>,
     stamp: u64,
     lookups: u64,
     hits: u64,
@@ -44,6 +48,7 @@ impl Tlb {
         Tlb {
             sets: vec![Vec::with_capacity(ways); num_sets],
             ways,
+            set_mask: num_sets.is_power_of_two().then(|| num_sets as u64 - 1),
             stamp: 0,
             lookups: 0,
             hits: 0,
@@ -57,8 +62,12 @@ impl Tlb {
         self.sets.len() * self.ways
     }
 
+    #[inline]
     fn set_index(&self, page_number: u64) -> usize {
-        (page_number % self.sets.len() as u64) as usize
+        match self.set_mask {
+            Some(mask) => (page_number & mask) as usize,
+            None => (page_number % self.sets.len() as u64) as usize,
+        }
     }
 
     /// Looks up a page number, updating LRU state. Returns `true` on a hit.
@@ -247,6 +256,21 @@ mod tests {
             }
         }
         assert_eq!(hits, 0, "streaming over 16x the capacity should never hit");
+    }
+
+    #[test]
+    fn non_power_of_two_set_counts_use_the_modulo_path() {
+        let mut tlb = Tlb::new(12, 2); // 6 sets: not a power of two
+        for p in 0..24u64 {
+            tlb.insert(p);
+        }
+        // The last two inserts of every set are resident.
+        for p in 12..24u64 {
+            assert!(tlb.contains(p), "page {p} missing");
+        }
+        assert_eq!(tlb.occupancy(), 12);
+        assert!(tlb.lookup(23));
+        assert!(!tlb.lookup(5));
     }
 
     #[test]

@@ -97,14 +97,24 @@ impl EnergyMeter {
         }
     }
 
-    fn index(event: EnergyEvent) -> usize {
-        EnergyEvent::ALL
-            .iter()
-            .position(|e| *e == event)
-            .expect("every event kind is listed in EnergyEvent::ALL")
+    /// Index of `event` in [`EnergyEvent::ALL`]. A direct match rather than a
+    /// scan: `record` sits on the per-translation hot path (two to three
+    /// events per request).
+    const fn index(event: EnergyEvent) -> usize {
+        match event {
+            EnergyEvent::PageWalkMemoryAccess => 0,
+            EnergyEvent::TlbLookup => 1,
+            EnergyEvent::TlbFill => 2,
+            EnergyEvent::PtsLookup => 3,
+            EnergyEvent::PrmbWrite => 4,
+            EnergyEvent::PrmbRead => 5,
+            EnergyEvent::TpregAccess => 6,
+            EnergyEvent::MmuCacheLookup => 7,
+        }
     }
 
     /// Records `count` occurrences of `event`.
+    #[inline]
     pub fn record(&mut self, event: EnergyEvent, count: u64) {
         self.counts[Self::index(event)] += count;
     }
@@ -242,6 +252,13 @@ mod tests {
         m.reset();
         assert_eq!(m.total_nj(), 0.0);
         assert_eq!(m.count(EnergyEvent::PrmbRead), 0);
+    }
+
+    #[test]
+    fn index_matches_all_order() {
+        for (i, e) in EnergyEvent::ALL.iter().enumerate() {
+            assert_eq!(EnergyMeter::index(*e), i);
+        }
     }
 
     #[test]

@@ -34,6 +34,49 @@ impl MemTransaction {
     }
 }
 
+/// Non-allocating iterator over the memory transactions of one tile fetch
+/// (see [`DmaEngine::transaction_iter`]).
+#[derive(Debug, Clone, Copy)]
+pub struct TransactionIter {
+    kind: TensorKind,
+    cursor: u64,
+    end: u64,
+    txn_bytes: u64,
+}
+
+impl Iterator for TransactionIter {
+    type Item = MemTransaction;
+
+    #[inline]
+    fn next(&mut self) -> Option<MemTransaction> {
+        if self.cursor >= self.end {
+            return None;
+        }
+        let next_boundary = (self.cursor / self.txn_bytes + 1) * self.txn_bytes;
+        let chunk_end = next_boundary.min(self.end);
+        let txn = MemTransaction {
+            kind: self.kind,
+            offset: self.cursor,
+            bytes: chunk_end - self.cursor,
+        };
+        self.cursor = chunk_end;
+        Some(txn)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = if self.cursor >= self.end {
+            0
+        } else {
+            let first = self.cursor / self.txn_bytes;
+            let last = (self.end - 1) / self.txn_bytes;
+            (last - first + 1) as usize
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for TransactionIter {}
+
 /// Summary of the translation demand created by one tile fetch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TileTranslationDemand {
@@ -64,28 +107,31 @@ impl DmaEngine {
         self.config
     }
 
-    /// Decomposes a tile fetch into linearized memory transactions.
+    /// Streams the linearized memory transactions of a tile fetch without
+    /// materializing them.
     ///
     /// Transactions are aligned to the transaction size within the segment so
     /// that a transaction never straddles more pages than necessary; the first
-    /// and last transactions may be short.
+    /// and last transactions may be short. This is the simulators' hot path:
+    /// a multi-MB tile decomposes into thousands of transactions, and the
+    /// iterator produces them one `Copy` value at a time instead of one
+    /// `Vec<MemTransaction>` per fetch.
+    #[must_use]
+    pub fn transaction_iter(&self, fetch: &TileFetch) -> TransactionIter {
+        TransactionIter {
+            kind: fetch.kind,
+            cursor: fetch.offset,
+            end: fetch.end(),
+            txn_bytes: self.config.max_transaction_bytes,
+        }
+    }
+
+    /// Decomposes a tile fetch into linearized memory transactions,
+    /// materialized as a `Vec` (convenience form of
+    /// [`DmaEngine::transaction_iter`] for tests and inspection).
     #[must_use]
     pub fn transactions(&self, fetch: &TileFetch) -> Vec<MemTransaction> {
-        let mut out = Vec::new();
-        let txn = self.config.max_transaction_bytes;
-        let mut cursor = fetch.offset;
-        let end = fetch.end();
-        while cursor < end {
-            let next_boundary = (cursor / txn + 1) * txn;
-            let chunk_end = next_boundary.min(end);
-            out.push(MemTransaction {
-                kind: fetch.kind,
-                offset: cursor,
-                bytes: chunk_end - cursor,
-            });
-            cursor = chunk_end;
-        }
-        out
+        self.transaction_iter(fetch).collect()
     }
 
     /// Number of transactions a fetch decomposes into, without materializing
@@ -202,6 +248,25 @@ mod tests {
         assert_eq!(demand.distinct_pages_4k, 2);
         let demand = engine().translation_demand(&fetch(4000, 50));
         assert_eq!(demand.distinct_pages_4k, 1);
+    }
+
+    #[test]
+    fn transaction_iter_matches_materialized_list_and_knows_its_length() {
+        for (off, len) in [
+            (0u64, 0u64),
+            (0, 512),
+            (1, 1),
+            (100, 1024),
+            (511, 2),
+            (1000, 100_000),
+            (4096, 5 << 20),
+        ] {
+            let f = fetch(off, len);
+            let iter = engine().transaction_iter(&f);
+            assert_eq!(iter.len() as u64, engine().transaction_count(&f));
+            let streamed: Vec<MemTransaction> = iter.collect();
+            assert_eq!(streamed, engine().transactions(&f));
+        }
     }
 
     #[test]

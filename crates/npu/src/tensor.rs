@@ -38,7 +38,7 @@ impl fmt::Display for DataType {
 }
 
 /// Which of an NPU layer's operand tensors is being referenced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TensorKind {
     /// Input activations (IA).
     InputActivation,
@@ -47,6 +47,18 @@ pub enum TensorKind {
     /// Output activations (OA).
     OutputActivation,
 }
+
+/// Serialized via [`fmt::Display`] (`"IA"` / `"W"` / `"OA"`): the kind
+/// appears once per tile fetch in the Figure 14 trace artifacts, and the
+/// short operand labels keep those artifacts compact and identical to the
+/// historical format.
+impl Serialize for TensorKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for TensorKind {}
 
 impl fmt::Display for TensorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use neummu_mem::dram::{DramConfig, DramModel};
 use neummu_mmu::MmuConfig;
-use neummu_npu::{DmaEngine, Layer, NpuConfig, TileFetch, TilingPlan};
+use neummu_npu::{DmaEngine, Layer, NpuConfig, TensorKind, TileFetch, TilingPlan};
 use neummu_vmem::{AddressSpace, MemNode, PhysicalMemory, SegmentOptions, VirtAddr};
 
 use crate::error::SimError;
@@ -75,8 +75,10 @@ pub struct TranslationTrace {
     /// Number of translation requests issued in each window.
     pub counts: Vec<u64>,
     /// Virtual-address windows fetched per tile: `(tile index, kind, start, end)`
-    /// (the Figure 14 trace). Capped to the first few thousand tiles.
-    pub tile_va_windows: Vec<(u64, String, u64, u64)>,
+    /// (the Figure 14 trace). Capped to the first few thousand tiles. The
+    /// operand kind is the `Copy` [`TensorKind`] (serialized via its `Display`
+    /// labels `IA`/`W`/`OA`), so recording a window never allocates.
+    pub tile_va_windows: Vec<(u64, TensorKind, u64, u64)>,
 }
 
 impl TranslationTrace {
@@ -225,6 +227,7 @@ impl DenseSimulator {
         let mut now = 0u64;
         let mut layer_results = Vec::with_capacity(layers.len());
         let mut global_tile_index = 0u64;
+        let mut fetches_streamed = 0u64;
 
         for (layer_index, layer) in layers.iter().enumerate() {
             let plan = TilingPlan::for_layer(layer, &self.config.npu)?;
@@ -272,13 +275,14 @@ impl DenseSimulator {
                             let start = seg_base.raw() + fetch.offset;
                             trace.tile_va_windows.push((
                                 global_tile_index,
-                                fetch.kind.to_string(),
+                                fetch.kind,
                                 start,
                                 start + fetch.bytes,
                             ));
                         }
                     }
-                    for txn in dma.transactions(fetch) {
+                    fetches_streamed += 1;
+                    for txn in dma.transaction_iter(fetch) {
                         let va = seg_base.add(txn.offset);
                         let outcome = translator.translate(space.page_table(), va, issue_cycle);
                         debug_assert!(!outcome.fault, "dense operands are eagerly mapped");
@@ -334,6 +338,9 @@ impl DenseSimulator {
                 },
             });
         }
+
+        // One batched telemetry update per workload, not one per fetch.
+        neummu_mmu::counters::add_dma_fetches_streamed(fetches_streamed);
 
         Ok(WorkloadResult {
             total_cycles: now,
@@ -449,7 +456,7 @@ mod tests {
         let ia_starts: Vec<u64> = trace
             .tile_va_windows
             .iter()
-            .filter(|(_, kind, _, _)| kind == "IA")
+            .filter(|(_, kind, _, _)| *kind == TensorKind::InputActivation)
             .map(|(_, _, start, _)| *start)
             .collect();
         assert!(ia_starts.windows(2).all(|w| w[0] <= w[1]));

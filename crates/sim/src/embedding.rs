@@ -252,7 +252,6 @@ impl EmbeddingSimulator {
         let mut copy_engine = CopyEngine::new(cfg.interconnect);
         let mut local_dram = DramModel::new(cfg.dram);
 
-        let lookups = model.generate_lookups(batch_share, cfg.seed);
         let mut gather_end = 0u64;
         let mut issue_cycle = 0u64;
         let mut vectors = 0u64;
@@ -261,62 +260,63 @@ impl EmbeddingSimulator {
         let mut pages_migrated = 0u64;
         let mut host_relayed_remote_bytes: Vec<u64> = vec![0; cfg.num_npus as usize];
 
-        for (table_idx, indices) in lookups.indices.iter().enumerate() {
+        // Lookups are streamed straight from the seeded generator — the same
+        // `(table, row)` sequence `generate_lookups` would materialize,
+        // without the per-minibatch index buffers.
+        for (table_idx, row) in model.lookup_stream(batch_share, cfg.seed) {
             let (seg, owner, vector_bytes) = &segments[table_idx];
-            for &row in indices {
-                vectors += 1;
-                let va = seg.start().add(row * *vector_bytes);
-                // The table shard is resident on its owning node; materialize
-                // the mapping (this models residency, not a data transfer).
-                space.ensure_mapped(va, &mut memory)?;
-                let is_remote = *owner != local_node;
-                if is_remote {
-                    remote_vectors += 1;
-                }
+            vectors += 1;
+            let va = seg.start().add(row * *vector_bytes);
+            // The table shard is resident on its owning node; materialize
+            // the mapping (this models residency, not a data transfer).
+            space.ensure_mapped(va, &mut memory)?;
+            let is_remote = *owner != local_node;
+            if is_remote {
+                remote_vectors += 1;
+            }
 
-                match strategy {
-                    GatherStrategy::HostRelayedCopy => {
-                        // The MMU-less NPU cannot address remote memory at
-                        // all; the CPU batches the remote vectors per source
-                        // NPU and relays them through pinned host memory.
-                        if is_remote {
-                            let src = owner.npu_index().unwrap_or(0) as usize;
-                            host_relayed_remote_bytes[src] += *vector_bytes;
-                        } else {
-                            let done = local_dram.schedule_transfer(0, *vector_bytes);
-                            gather_end = gather_end.max(done);
-                        }
-                    }
-                    GatherStrategy::NumaDirect { link } => {
-                        let outcome = translator.translate(space.page_table(), va, issue_cycle);
-                        issue_cycle = outcome.accept_cycle + 1;
-                        let ready = outcome.complete_cycle;
-                        let done = if is_remote {
-                            interconnect_bytes += *vector_bytes;
-                            copy_engine.numa_access(ready, *vector_bytes, link)
-                        } else {
-                            local_dram.schedule_transfer(ready, *vector_bytes)
-                        };
+            match strategy {
+                GatherStrategy::HostRelayedCopy => {
+                    // The MMU-less NPU cannot address remote memory at
+                    // all; the CPU batches the remote vectors per source
+                    // NPU and relays them through pinned host memory.
+                    if is_remote {
+                        let src = owner.npu_index().unwrap_or(0) as usize;
+                        host_relayed_remote_bytes[src] += *vector_bytes;
+                    } else {
+                        let done = local_dram.schedule_transfer(0, *vector_bytes);
                         gather_end = gather_end.max(done);
                     }
-                    GatherStrategy::DemandPaging { link } => {
-                        let outcome = translator.translate(space.page_table(), va, issue_cycle);
-                        issue_cycle = outcome.accept_cycle + 1;
-                        let mut ready = outcome.complete_cycle;
-                        let translation = space.translate(va)?;
-                        if translation.node != local_node {
-                            // Far fault: migrate the whole page into local
-                            // memory before accessing it.
-                            let page_bytes = page_size.bytes();
-                            interconnect_bytes += page_bytes;
-                            pages_migrated += 1;
-                            ready = copy_engine.page_migration(ready, page_bytes, link);
-                            space.migrate_page(va, local_node, &mut memory)?;
-                            translator.invalidate_page(va);
-                        }
-                        let done = local_dram.schedule_transfer(ready, *vector_bytes);
-                        gather_end = gather_end.max(done);
+                }
+                GatherStrategy::NumaDirect { link } => {
+                    let outcome = translator.translate(space.page_table(), va, issue_cycle);
+                    issue_cycle = outcome.accept_cycle + 1;
+                    let ready = outcome.complete_cycle;
+                    let done = if is_remote {
+                        interconnect_bytes += *vector_bytes;
+                        copy_engine.numa_access(ready, *vector_bytes, link)
+                    } else {
+                        local_dram.schedule_transfer(ready, *vector_bytes)
+                    };
+                    gather_end = gather_end.max(done);
+                }
+                GatherStrategy::DemandPaging { link } => {
+                    let outcome = translator.translate(space.page_table(), va, issue_cycle);
+                    issue_cycle = outcome.accept_cycle + 1;
+                    let mut ready = outcome.complete_cycle;
+                    let translation = space.translate(va)?;
+                    if translation.node != local_node {
+                        // Far fault: migrate the whole page into local
+                        // memory before accessing it.
+                        let page_bytes = page_size.bytes();
+                        interconnect_bytes += page_bytes;
+                        pages_migrated += 1;
+                        ready = copy_engine.page_migration(ready, page_bytes, link);
+                        space.migrate_page(va, local_node, &mut memory)?;
+                        translator.invalidate_page(va);
                     }
+                    let done = local_dram.schedule_transfer(ready, *vector_bytes);
+                    gather_end = gather_end.max(done);
                 }
             }
         }

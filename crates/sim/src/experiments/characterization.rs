@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 use neummu_mmu::MmuConfig;
 use neummu_workloads::{DenseWorkload, WorkloadId};
 
-use neummu_npu::NpuConfig;
+use neummu_npu::{NpuConfig, TensorKind};
 use neummu_vmem::PageSize;
 
 use crate::dense::{DenseSimConfig, DenseSimulator};
@@ -193,7 +193,9 @@ pub struct Fig14Result {
     /// Batch size.
     pub batch: u64,
     /// `(tile index, operand, VA window start, VA window end)` per tile fetch.
-    pub windows: Vec<(u64, String, u64, u64)>,
+    /// The operand kind serializes via its `Display` labels (`IA`/`W`/`OA`),
+    /// keeping the artifact format identical to the historical string form.
+    pub windows: Vec<(u64, TensorKind, u64, u64)>,
 }
 
 impl Fig14Result {
@@ -210,7 +212,7 @@ impl Fig14Result {
         for (tile, kind, start, end) in &self.windows {
             table.push_row(&[
                 tile.to_string(),
-                kind.clone(),
+                kind.to_string(),
                 format!("{start:#x}"),
                 format!("{end:#x}"),
             ]);
@@ -222,11 +224,11 @@ impl Fig14Result {
     /// property the TPreg exploits).
     #[must_use]
     pub fn is_streaming(&self) -> bool {
-        for kind in ["IA", "W"] {
+        for kind in [TensorKind::InputActivation, TensorKind::Weight] {
             let mut last = 0u64;
             let mut last_tile = 0u64;
             for (tile, k, start, _) in &self.windows {
-                if k != kind {
+                if *k != kind {
                     continue;
                 }
                 // Restart detection: a new layer or a new sweep of the same

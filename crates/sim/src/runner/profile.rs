@@ -48,10 +48,13 @@ impl PhaseStats {
     }
 }
 
-/// Thread-safe accumulator of per-phase wall-clock statistics.
+/// Thread-safe accumulator of per-phase wall-clock statistics, plus named
+/// event counters (the hot-path telemetry of `neummu_mmu::counters`, cache
+/// statistics, and anything else worth one number per run).
 #[derive(Debug, Default)]
 pub struct SelfProfile {
     phases: Mutex<BTreeMap<String, PhaseStats>>,
+    counters: Mutex<BTreeMap<String, u64>>,
 }
 
 impl SelfProfile {
@@ -71,6 +74,28 @@ impl SelfProfile {
     #[must_use]
     pub fn phases(&self) -> BTreeMap<String, PhaseStats> {
         self.phases.lock().expect("profile poisoned").clone()
+    }
+
+    /// Adds `value` to the named event counter.
+    pub fn add_counter(&self, name: &str, value: u64) {
+        let mut counters = self.counters.lock().expect("profile poisoned");
+        *counters.entry(name.to_string()).or_default() += value;
+    }
+
+    /// Snapshot of every event counter, sorted by name.
+    #[must_use]
+    pub fn counters(&self) -> BTreeMap<String, u64> {
+        self.counters.lock().expect("profile poisoned").clone()
+    }
+
+    /// Renders the event counters as a table (empty if none were recorded).
+    #[must_use]
+    pub fn counters_table(&self) -> ResultTable {
+        let mut table = ResultTable::new("Hot-path counters", &["Counter", "Value"]);
+        for (name, value) in self.counters() {
+            table.push_row(&[name, value.to_string()]);
+        }
+        table
     }
 
     /// Total busy time across all phases (CPU-seconds of simulation work; with
@@ -154,6 +179,21 @@ mod tests {
     fn empty_profile_renders_an_empty_table() {
         let profile = SelfProfile::new();
         assert!(profile.to_table().rows().is_empty());
+        assert!(profile.counters_table().rows().is_empty());
         assert_eq!(profile.total_busy(), Duration::ZERO);
+    }
+
+    #[test]
+    fn counters_accumulate_by_name() {
+        let profile = SelfProfile::new();
+        profile.add_counter("hot/probes", 3);
+        profile.add_counter("hot/probes", 4);
+        profile.add_counter("cache/hits", 1);
+        let counters = profile.counters();
+        assert_eq!(counters["hot/probes"], 7);
+        assert_eq!(counters["cache/hits"], 1);
+        let table = profile.counters_table();
+        assert_eq!(table.rows().len(), 2);
+        assert_eq!(table.rows()[0], vec!["cache/hits", "1"]);
     }
 }

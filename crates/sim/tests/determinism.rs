@@ -104,6 +104,72 @@ fn oracle_cache_is_shared_across_experiment_families() {
 }
 
 #[test]
+fn dma_transaction_iterator_matches_the_materialized_vec_path() {
+    // PR 3 switched the simulators from `DmaEngine::transactions` (one Vec
+    // per tile fetch) to the streaming `transaction_iter`. The two must issue
+    // the identical transaction sequence for every fetch shape the tiling
+    // planner can produce — including the real fetches of a paper workload.
+    use neummu_npu::{DmaEngine, Layer, TilingPlan};
+
+    let npu = NpuConfig::tpu_like();
+    let dma = DmaEngine::new(npu.dma);
+
+    // Synthetic edge shapes: empty, sub-transaction, unaligned head/tail.
+    for (offset, bytes) in [(0u64, 0u64), (0, 1), (7, 510), (511, 2), (4096, 5 << 20)] {
+        let fetch = neummu_npu::TileFetch {
+            kind: neummu_npu::TensorKind::Weight,
+            offset,
+            bytes,
+        };
+        let streamed: Vec<_> = dma.transaction_iter(&fetch).collect();
+        assert_eq!(
+            streamed,
+            dma.transactions(&fetch),
+            "offset {offset} bytes {bytes}"
+        );
+    }
+
+    // Every fetch of a real layer's tiling plan.
+    let layer = Layer::lstm_cell("lstm", 1, 512, 512, 1);
+    let plan = TilingPlan::for_layer(&layer, &npu).unwrap();
+    let mut fetches = 0;
+    for tile in plan.tiles() {
+        for fetch in [tile.ia_fetch.as_ref(), tile.w_fetch.as_ref()]
+            .into_iter()
+            .flatten()
+        {
+            let streamed: Vec<_> = dma.transaction_iter(fetch).collect();
+            assert_eq!(streamed, dma.transactions(fetch));
+            assert_eq!(
+                dma.transaction_iter(fetch).len() as u64,
+                dma.transaction_count(fetch)
+            );
+            fetches += 1;
+        }
+    }
+    assert!(fetches > 0, "the plan must exercise real fetches");
+}
+
+#[test]
+fn embedding_lookup_stream_matches_the_materialized_trace() {
+    // The gather simulator streams `(table, row)` pairs straight from the
+    // seeded generator; the sequence must equal the flattened trace the old
+    // materializing path consumed.
+    use neummu_workloads::EmbeddingModel;
+    for model in [EmbeddingModel::ncf(), EmbeddingModel::dlrm()] {
+        let trace = model.generate_lookups(4, 0x4e65_754d_4d55);
+        let flattened: Vec<(usize, u64)> = trace
+            .indices
+            .iter()
+            .enumerate()
+            .flat_map(|(t, rows)| rows.iter().map(move |&r| (t, r)))
+            .collect();
+        let streamed: Vec<(usize, u64)> = model.lookup_stream(4, 0x4e65_754d_4d55).collect();
+        assert_eq!(streamed, flattened, "{}", model.name());
+    }
+}
+
+#[test]
 fn legacy_serial_entry_points_agree_with_runner_entry_points() {
     // The scale-only signatures are wrappers over a private serial runner;
     // they must produce the same bits as an explicit runner at any width.

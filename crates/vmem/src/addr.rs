@@ -111,6 +111,7 @@ impl VirtAddr {
     ///
     /// Panics in debug builds if the address uses more than [`VA_BITS`] bits;
     /// the simulator never produces non-canonical addresses.
+    #[inline]
     #[must_use]
     pub fn new(raw: u64) -> Self {
         debug_assert!(
@@ -154,6 +155,7 @@ impl VirtAddr {
     ///
     /// Level 4 is the root (bits 47..39), level 1 is the leaf level for 4 KB
     /// pages (bits 20..12).
+    #[inline]
     #[must_use]
     pub fn level_index(self, level: WalkIndexLevel) -> u16 {
         let shift = PAGE_SHIFT_4K + LEVEL_INDEX_BITS * (level.as_number() - 1);
@@ -164,6 +166,7 @@ impl VirtAddr {
     // Named `add` for call-site readability; the byte-offset semantics differ
     // from `ops::Add` (no `VirtAddr + VirtAddr`), so the trait is not implemented.
     #[allow(clippy::should_implement_trait)]
+    #[inline]
     #[must_use]
     pub fn add(self, bytes: u64) -> VirtAddr {
         VirtAddr::new(self.0 + bytes)
@@ -388,6 +391,7 @@ pub struct PathTag {
 
 impl PathTag {
     /// Extracts the path tag of a virtual address.
+    #[inline]
     #[must_use]
     pub fn of(va: VirtAddr) -> Self {
         PathTag {

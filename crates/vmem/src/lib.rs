@@ -57,7 +57,7 @@ pub use frame_alloc::{NodeSpec, PhysicalMemory};
 pub use numa::{MemNode, PlacementPolicy};
 pub use page_table::{
     pages_2m, pages_4k, PageTable, PageTableStats, TableId, Translation, WalkLevel, WalkPath,
-    WalkStep,
+    WalkProbe, WalkStep,
 };
 
 /// Convenience re-exports for downstream crates.
@@ -73,6 +73,6 @@ pub mod prelude {
     pub use crate::numa::{MemNode, PlacementPolicy};
     pub use crate::page_table::{
         pages_2m, pages_4k, PageTable, PageTableStats, TableId, Translation, WalkLevel, WalkPath,
-        WalkStep,
+        WalkProbe, WalkStep,
     };
 }

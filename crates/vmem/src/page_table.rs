@@ -11,8 +11,15 @@
 //! Interior nodes are stored sparsely (only populated entries are kept), which
 //! keeps the model practical even for the multi-hundred-GB embedding tables of
 //! Section V while preserving the radix-tree structure exactly.
+//!
+//! Two query paths exist. [`PageTable::walk`] records every entry access as a
+//! [`WalkPath`] — an allocating trace used by tests, inspection tooling and
+//! the MMU-cache studies. [`PageTable::probe`] performs the same traversal but
+//! returns a `Copy` [`WalkProbe`] without touching the heap; it is the hot
+//! path the translation engines use, since they only need the leaf, the level
+//! count and the final entry access.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -63,9 +70,52 @@ enum Entry {
     },
 }
 
+/// One page-table node: the populated entries, sorted by their 9-bit index.
+///
+/// A sorted vec with binary search replaces the previous per-node `HashMap`:
+/// nodes hold at most 512 entries and are probed orders of magnitude more
+/// often than they are mutated, so the compact, cache-friendly layout wins on
+/// the translation hot path while `O(n)` inserts stay negligible.
 #[derive(Debug, Clone, Default)]
 struct TableNode {
-    entries: HashMap<u16, Entry>,
+    entries: Vec<(u16, Entry)>,
+}
+
+impl TableNode {
+    #[inline]
+    fn slot_of(&self, index: u16) -> Result<usize, usize> {
+        self.entries.binary_search_by_key(&index, |&(i, _)| i)
+    }
+
+    #[inline]
+    fn get(&self, index: u16) -> Option<Entry> {
+        self.slot_of(index).ok().map(|slot| self.entries[slot].1)
+    }
+
+    /// Inserts `entry` at `index`; returns `false` if the index is occupied.
+    fn try_insert(&mut self, index: u16, entry: Entry) -> bool {
+        match self.slot_of(index) {
+            Ok(_) => false,
+            Err(slot) => {
+                self.entries.insert(slot, (index, entry));
+                true
+            }
+        }
+    }
+
+    /// Inserts or replaces the entry at `index`.
+    fn set(&mut self, index: u16, entry: Entry) {
+        match self.slot_of(index) {
+            Ok(slot) => self.entries[slot].1 = entry,
+            Err(slot) => self.entries.insert(slot, (index, entry)),
+        }
+    }
+
+    fn remove(&mut self, index: u16) {
+        if let Ok(slot) = self.slot_of(index) {
+            self.entries.remove(slot);
+        }
+    }
 }
 
 /// The result of a successful translation.
@@ -142,6 +192,53 @@ impl WalkPath {
     }
 }
 
+/// The allocation-free result of a [`PageTable::probe`].
+///
+/// A probe traverses exactly the entries a full [`PageTable::walk`] would,
+/// but records only what the translation engines need — the final entry
+/// access, the number of levels touched and the translation — in a `Copy`
+/// value, so the hot path never touches the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkProbe {
+    /// The virtual address that was probed.
+    pub va: VirtAddr,
+    /// The final entry access of the walk: the leaf for a hit, the missing
+    /// entry for a miss.
+    pub last_step: WalkStep,
+    /// The translation, if the probe reached a leaf mapping.
+    pub translation: Option<Translation>,
+}
+
+impl WalkProbe {
+    /// True if the probe reached a leaf mapping.
+    #[must_use]
+    pub fn is_hit(&self) -> bool {
+        self.translation.is_some()
+    }
+
+    /// Number of page-table memory accesses the walk performed. The walk
+    /// stops at the level of its final access, so the root-first access count
+    /// follows directly from that level (L4 → 1, ..., L1 → 4).
+    #[must_use]
+    pub fn memory_accesses(&self) -> u32 {
+        5 - self.last_step.level.as_number()
+    }
+
+    /// Number of accesses a PTW whose TPreg/path cache already holds the
+    /// L4/L3/L2 entries performs: only the L1 access remains (1 for 4 KB
+    /// leaves and 4 KB misses detected at L1, 0 otherwise).
+    #[must_use]
+    pub fn cached_path_accesses(&self) -> u32 {
+        u32::from(self.last_step.level == WalkIndexLevel::L1)
+    }
+
+    /// The L4/L3/L2 path tag of the probed address.
+    #[must_use]
+    pub fn path_tag(&self) -> PathTag {
+        PathTag::of(self.va)
+    }
+}
+
 /// Aggregate statistics about the page table's structure.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PageTableStats {
@@ -161,11 +258,25 @@ impl PageTableStats {
     }
 }
 
+/// Process-wide source of mapped-ness revision stamps. Every draw is unique,
+/// so a revision identifies one mapped-ness state of one table: two equal
+/// revisions can only be snapshots of the same state (a table and its
+/// unmutated clone), never two independently mutated tables that happen to
+/// have seen the same number of operations.
+static NEXT_REVISION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_revision() -> u64 {
+    NEXT_REVISION.fetch_add(1, Ordering::Relaxed)
+}
+
 /// A 4-level radix page table with 4 KB and 2 MB leaves.
 #[derive(Debug, Clone)]
 pub struct PageTable {
     nodes: Vec<TableNode>,
     stats: PageTableStats,
+    /// Stamp of the table's current mapped-ness state; see
+    /// [`PageTable::revision`].
+    revision: u64,
 }
 
 impl Default for PageTable {
@@ -184,7 +295,22 @@ impl PageTable {
                 tables: 1,
                 ..PageTableStats::default()
             },
+            revision: fresh_revision(),
         }
+    }
+
+    /// Stamp of the table's *mapped-ness* state: re-drawn (from a process-wide
+    /// unique source) on every successful [`PageTable::map`] and
+    /// [`PageTable::unmap`], and untouched by [`PageTable::remap`] (migration
+    /// changes the backing frame/node but not whether an address is mapped).
+    /// A cheap, sound version stamp for mapped-ness memos: equal revisions
+    /// guarantee identical `is_mapped` answers for every address — across
+    /// tables too, since stamps are never reused (a clone shares its
+    /// original's stamp exactly until either mutates, which is precisely when
+    /// their mapped-ness states coincide).
+    #[must_use]
+    pub fn revision(&self) -> u64 {
+        self.revision
     }
 
     const ROOT: TableId = TableId(0);
@@ -222,11 +348,7 @@ impl PageTable {
         for level in WalkIndexLevel::WALK_ORDER {
             let index = va.level_index(level);
             if level == leaf_level {
-                let table = &mut self.nodes[current.0 as usize];
-                if table.entries.contains_key(&index) {
-                    return Err(VmemError::AlreadyMapped { vpn: va.vpn() });
-                }
-                table.entries.insert(
+                let inserted = self.nodes[current.0 as usize].try_insert(
                     index,
                     Entry::Leaf {
                         pfn,
@@ -234,13 +356,17 @@ impl PageTable {
                         page_size,
                     },
                 );
+                if !inserted {
+                    return Err(VmemError::AlreadyMapped { vpn: va.vpn() });
+                }
                 match page_size {
                     PageSize::Size4K => self.stats.leaf_4k += 1,
                     PageSize::Size2M => self.stats.leaf_2m += 1,
                 }
+                self.revision = fresh_revision();
                 return Ok(());
             }
-            let existing = self.nodes[current.0 as usize].entries.get(&index).copied();
+            let existing = self.nodes[current.0 as usize].get(index);
             current = match existing {
                 Some(Entry::Table(next)) => next,
                 Some(Entry::Leaf { .. }) => {
@@ -249,9 +375,7 @@ impl PageTable {
                 }
                 None => {
                     let next = self.alloc_node();
-                    self.nodes[current.0 as usize]
-                        .entries
-                        .insert(index, Entry::Table(next));
+                    self.nodes[current.0 as usize].try_insert(index, Entry::Table(next));
                     next
                 }
             };
@@ -265,18 +389,15 @@ impl PageTable {
     ///
     /// Returns [`VmemError::NotMapped`] if no mapping covers `va`.
     pub fn unmap(&mut self, va: VirtAddr) -> Result<Translation, VmemError> {
-        let path = self.walk(va);
-        let translation = path.translation.ok_or(VmemError::NotMapped { va })?;
-        let leaf_step = *path
-            .steps
-            .last()
-            .expect("successful walk has at least one step");
-        let table = &mut self.nodes[leaf_step.table.0 as usize];
-        table.entries.remove(&leaf_step.index);
+        let probe = self.probe(va);
+        let translation = probe.translation.ok_or(VmemError::NotMapped { va })?;
+        let leaf_step = probe.last_step;
+        self.nodes[leaf_step.table.0 as usize].remove(leaf_step.index);
         match translation.page_size {
             PageSize::Size4K => self.stats.leaf_4k -= 1,
             PageSize::Size2M => self.stats.leaf_2m -= 1,
         }
+        self.revision = fresh_revision();
         Ok(translation)
     }
 
@@ -291,14 +412,10 @@ impl PageTable {
         new_pfn: PhysFrameNum,
         new_node: MemNode,
     ) -> Result<Translation, VmemError> {
-        let path = self.walk(va);
-        let old = path.translation.ok_or(VmemError::NotMapped { va })?;
-        let leaf_step = *path
-            .steps
-            .last()
-            .expect("successful walk has at least one step");
-        let table = &mut self.nodes[leaf_step.table.0 as usize];
-        table.entries.insert(
+        let probe = self.probe(va);
+        let old = probe.translation.ok_or(VmemError::NotMapped { va })?;
+        let leaf_step = probe.last_step;
+        self.nodes[leaf_step.table.0 as usize].set(
             leaf_step.index,
             Entry::Leaf {
                 pfn: new_pfn,
@@ -309,15 +426,71 @@ impl PageTable {
         Ok(old)
     }
 
+    /// Probes the page table for `va` without allocating.
+    ///
+    /// This is the translation hot path: it traverses exactly the entries
+    /// [`PageTable::walk`] would but returns a `Copy` [`WalkProbe`] instead of
+    /// materializing the step trace.
+    #[inline]
+    #[must_use]
+    pub fn probe(&self, va: VirtAddr) -> WalkProbe {
+        let mut current = Self::ROOT;
+        for level in WalkIndexLevel::WALK_ORDER {
+            let index = va.level_index(level);
+            match self.nodes[current.0 as usize].get(index) {
+                Some(Entry::Table(next)) => current = next,
+                Some(Entry::Leaf {
+                    pfn,
+                    node,
+                    page_size,
+                }) => {
+                    let offset = va.page_offset(page_size);
+                    let pa = PhysAddr::new(pfn.base_addr().raw() + offset);
+                    return WalkProbe {
+                        va,
+                        last_step: WalkStep {
+                            level,
+                            table: current,
+                            index,
+                            outcome: WalkLevel::Leaf { page_size },
+                        },
+                        translation: Some(Translation {
+                            pa,
+                            pfn,
+                            page_size,
+                            node,
+                        }),
+                    };
+                }
+                None => {
+                    return WalkProbe {
+                        va,
+                        last_step: WalkStep {
+                            level,
+                            table: current,
+                            index,
+                            outcome: WalkLevel::NotPresent,
+                        },
+                        translation: None,
+                    };
+                }
+            }
+        }
+        unreachable!("L1 entries are always leaves or absent");
+    }
+
     /// Walks the page table for `va`, reporting every entry access.
+    ///
+    /// The step trace allocates; simulation hot paths use the trace-free
+    /// [`PageTable::probe`] instead and `walk` serves tests, inspection and
+    /// the MMU-cache studies that need per-entry access records.
     #[must_use]
     pub fn walk(&self, va: VirtAddr) -> WalkPath {
         let mut steps = Vec::with_capacity(4);
         let mut current = Self::ROOT;
         for level in WalkIndexLevel::WALK_ORDER {
             let index = va.level_index(level);
-            let entry = self.nodes[current.0 as usize].entries.get(&index).copied();
-            match entry {
+            match self.nodes[current.0 as usize].get(index) {
                 Some(Entry::Table(next)) => {
                     steps.push(WalkStep {
                         level,
@@ -378,20 +551,21 @@ impl PageTable {
     ///
     /// Returns the walk steps actually performed (at most the L1 access for a
     /// 4 KB mapping; an empty step list for a 2 MB mapping whose leaf lives at
-    /// L2 and is therefore covered by the cached path).
+    /// L2 and is therefore covered by the cached path). Implemented on the
+    /// probe path: only the final entry access can sit at L1, so the step
+    /// trace is reconstructed from it without a second traversal.
     #[must_use]
     pub fn walk_from_cached_path(&self, va: VirtAddr) -> WalkPath {
-        let full = self.walk(va);
-        let skipped: Vec<WalkStep> = full
-            .steps
-            .iter()
-            .copied()
-            .filter(|s| s.level == WalkIndexLevel::L1)
-            .collect();
+        let probe = self.probe(va);
+        let steps = if probe.last_step.level == WalkIndexLevel::L1 {
+            vec![probe.last_step]
+        } else {
+            Vec::new()
+        };
         WalkPath {
             va,
-            steps: skipped,
-            translation: full.translation,
+            steps,
+            translation: probe.translation,
         }
     }
 
@@ -401,13 +575,15 @@ impl PageTable {
     ///
     /// Returns [`VmemError::NotMapped`] if no mapping covers `va`.
     pub fn translate(&self, va: VirtAddr) -> Result<Translation, VmemError> {
-        self.walk(va).translation.ok_or(VmemError::NotMapped { va })
+        self.probe(va)
+            .translation
+            .ok_or(VmemError::NotMapped { va })
     }
 
     /// True if `va` is covered by a mapping.
     #[must_use]
     pub fn is_mapped(&self, va: VirtAddr) -> bool {
-        self.walk(va).is_hit()
+        self.probe(va).is_hit()
     }
 
     /// True if the 4 KB virtual page is covered by a mapping.
@@ -636,6 +812,110 @@ mod tests {
         assert_eq!(pages_4k(4096), 1);
         assert_eq!(pages_4k(4097), 2);
         assert_eq!(pages_2m(2 * 1024 * 1024 + 1), 2);
+    }
+
+    #[test]
+    fn probe_agrees_with_walk_on_hits_misses_and_both_page_sizes() {
+        let mut pt = PageTable::new();
+        map_4k(&mut pt, 0x40_0000, 0x99);
+        pt.map(
+            VirtAddr::new(0x8000_0000),
+            PageSize::Size2M,
+            PhysFrameNum::new(0x2000),
+            MemNode::Host,
+        )
+        .unwrap();
+        for raw in [
+            0x40_0000u64,     // 4 KB hit
+            0x40_0123,        // 4 KB hit, interior offset
+            0x8000_0000,      // 2 MB hit
+            0x8012_3456,      // 2 MB hit, interior offset
+            0x40_1000,        // miss at L1 (sibling page)
+            0x1234_5678,      // miss at an upper level
+            0x0007_ffff_f000, // miss far away
+        ] {
+            let va = VirtAddr::new(raw);
+            let probe = pt.probe(va);
+            let walk = pt.walk(va);
+            assert_eq!(probe.is_hit(), walk.is_hit(), "hit mismatch at {va}");
+            assert_eq!(
+                probe.memory_accesses(),
+                walk.memory_accesses(),
+                "access-count mismatch at {va}"
+            );
+            assert_eq!(probe.translation, walk.translation, "leaf mismatch at {va}");
+            assert_eq!(
+                Some(&probe.last_step),
+                walk.steps.last(),
+                "final step mismatch at {va}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_cached_path_accesses_match_walk_from_cached_path() {
+        let mut pt = PageTable::new();
+        map_4k(&mut pt, 0x40_0000, 7);
+        pt.map(
+            VirtAddr::new(0x8000_0000),
+            PageSize::Size2M,
+            PhysFrameNum::new(0x2000),
+            MemNode::Host,
+        )
+        .unwrap();
+        for raw in [0x40_0000u64, 0x8000_0000, 0x40_1000, 0x1234_5678] {
+            let va = VirtAddr::new(raw);
+            let probe = pt.probe(va);
+            let partial = pt.walk_from_cached_path(va);
+            assert_eq!(probe.cached_path_accesses(), partial.memory_accesses());
+            assert_eq!(probe.translation, partial.translation);
+        }
+    }
+
+    #[test]
+    fn revision_changes_on_map_and_unmap_but_not_remap() {
+        let mut pt = PageTable::new();
+        let fresh = pt.revision();
+        map_4k(&mut pt, 0x1000, 1);
+        let after_map = pt.revision();
+        assert_ne!(after_map, fresh);
+        // Failed maps leave the revision alone.
+        assert!(pt
+            .map(
+                VirtAddr::new(0x1000),
+                PageSize::Size4K,
+                PhysFrameNum::new(2),
+                MemNode::Host
+            )
+            .is_err());
+        assert_eq!(pt.revision(), after_map);
+        // Migration does not change mapped-ness.
+        pt.remap(VirtAddr::new(0x1000), PhysFrameNum::new(9), MemNode::Npu(1))
+            .unwrap();
+        assert_eq!(pt.revision(), after_map);
+        pt.unmap(VirtAddr::new(0x1000)).unwrap();
+        let after_unmap = pt.revision();
+        assert_ne!(after_unmap, after_map);
+        assert!(pt.unmap(VirtAddr::new(0x1000)).is_err());
+        assert_eq!(pt.revision(), after_unmap);
+    }
+
+    #[test]
+    fn revisions_are_unique_across_tables_and_track_clone_divergence() {
+        // Two tables that saw the same number of mutations must not share a
+        // stamp — equal revisions promise identical mapped-ness everywhere.
+        let mut a = PageTable::new();
+        let mut b = PageTable::new();
+        assert_ne!(a.revision(), b.revision());
+        map_4k(&mut a, 0x1000, 1);
+        map_4k(&mut b, 0x2000, 2);
+        assert_ne!(a.revision(), b.revision());
+        // A clone shares the stamp exactly while the states coincide...
+        let mut c = a.clone();
+        assert_eq!(c.revision(), a.revision());
+        // ...and diverges as soon as either mutates.
+        map_4k(&mut c, 0x3000, 3);
+        assert_ne!(c.revision(), a.revision());
     }
 
     #[test]

@@ -73,6 +73,47 @@ proptest! {
         prop_assert_eq!(pt.stats().leaf_4k, pages.len() as u64);
     }
 
+    /// The allocation-free `probe` agrees with the trace-recording `walk` —
+    /// hit flag, levels touched, translation and final entry access — on
+    /// randomly generated mixes of 4 KB and 2 MB mappings, probed both at
+    /// mapped and (likely) unmapped addresses. `walk_from_cached_path`, which
+    /// is implemented on the probe, must agree with the probe's L1-only
+    /// access count.
+    #[test]
+    fn probe_agrees_with_walk_on_random_mapping_mixes(
+        small_pages in prop::collection::hash_set(0u64..(1u64 << 22), 1..40),
+        huge_pages in prop::collection::hash_set(0u64..(1u64 << 13), 1..8),
+        probes in prop::collection::vec((0u64..(1u64 << 34), 0u64..4096u64), 1..40),
+    ) {
+        let mut pt = PageTable::new();
+        // 2 MB mappings first (each covers 512 small-page slots)...
+        for (i, hp) in huge_pages.iter().enumerate() {
+            let va = VirtAddr::new(hp << 21);
+            let _ = pt.map(va, PageSize::Size2M, PhysFrameNum::new(2_000_000 + (i as u64) * 512), MemNode::Host);
+        }
+        // ...then 4 KB mappings wherever no large page already covers them.
+        for (i, vpn) in small_pages.iter().enumerate() {
+            let va = VirtPageNum::new(*vpn).base_addr();
+            let _ = pt.map(va, PageSize::Size4K, PhysFrameNum::new(1_000_000 + i as u64), MemNode::Npu(0));
+        }
+        // Probe every mapped page plus arbitrary addresses (mostly misses).
+        let mapped_vas = small_pages.iter().map(|vpn| (vpn << 12) + 777)
+            .chain(huge_pages.iter().map(|hp| (hp << 21) + 123_456));
+        let arbitrary_vas = probes.iter().map(|(base, off)| base + off);
+        for raw in mapped_vas.chain(arbitrary_vas) {
+            let va = VirtAddr::new(raw);
+            let probe = pt.probe(va);
+            let walk = pt.walk(va);
+            prop_assert_eq!(probe.is_hit(), walk.is_hit());
+            prop_assert_eq!(probe.memory_accesses(), walk.memory_accesses());
+            prop_assert_eq!(probe.translation, walk.translation);
+            prop_assert_eq!(Some(&probe.last_step), walk.steps.last());
+            let partial = pt.walk_from_cached_path(va);
+            prop_assert_eq!(probe.cached_path_accesses(), partial.memory_accesses());
+            prop_assert_eq!(probe.translation, partial.translation);
+        }
+    }
+
     /// Frame allocation never hands out the same frame twice while it is live,
     /// and freed frames can be reused.
     #[test]

@@ -20,7 +20,9 @@ pub mod embedding;
 pub mod rnn;
 pub mod suite;
 
-pub use embedding::{EmbeddingModel, EmbeddingTableSpec, IndexDistribution, LookupTrace};
+pub use embedding::{
+    EmbeddingModel, EmbeddingTableSpec, IndexDistribution, LookupStream, LookupTrace,
+};
 pub use suite::{
     dense_suite, sparse_suite, DenseWorkload, WorkloadId, DENSE_BATCH_SIZES, SPARSE_BATCH_SIZES,
 };
@@ -29,7 +31,7 @@ pub use suite::{
 pub mod prelude {
     pub use crate::cnn;
     pub use crate::embedding::{
-        EmbeddingModel, EmbeddingTableSpec, IndexDistribution, LookupTrace,
+        EmbeddingModel, EmbeddingTableSpec, IndexDistribution, LookupStream, LookupTrace,
     };
     pub use crate::rnn;
     pub use crate::suite::{

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Records the perf trajectory of the translation hot path into a JSON file
+# (default BENCH_PR3.json): per-request translate latency from the
+# mmu_microbench Criterion targets, plus the wall-clock time of a full-scale
+# serial artifact regeneration.
+#
+# Usage: scripts/record_bench.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR3.json}"
+
+echo "building release binaries..." >&2
+cargo build --release >&2
+
+echo "running mmu_microbench (criterion quick mode)..." >&2
+bench_log="$(mktemp)"
+cargo bench --bench mmu_microbench 2>/dev/null | tee /dev/stderr > "$bench_log"
+
+# "bench <group>/<id>: <dur>/iter (<rate> elem/s)" -> ns per element.
+ns_per_elem() {
+    local id="$1"
+    local rate
+    rate="$(sed -n "s|^bench ${id}: .* (\([0-9.]*\) elem/s)$|\1|p" "$bench_log")"
+    if [ -z "$rate" ]; then
+        echo "null"
+    else
+        python3 -c "print(f'{1e9 / ${rate}:.2f}')"
+    fi
+}
+
+translate_neummu_ns="$(ns_per_elem 'translation_engine/neummu')"
+translate_iommu_ns="$(ns_per_elem 'translation_engine/baseline_iommu')"
+probe_ns="$(ns_per_elem 'page_table/probe_4k_mapped')"
+walk_ns="$(ns_per_elem 'page_table/walk_4k_mapped')"
+oracle_ns="$(ns_per_elem 'oracle/memoized_burst_stream')"
+
+echo "running full-scale serial regeneration..." >&2
+regen_out="$(mktemp -d)"
+start_ns="$(date +%s%N)"
+./target/release/neummu_experiments --threads 1 --out "$regen_out" > /dev/null
+end_ns="$(date +%s%N)"
+regen_s="$(python3 -c "print(f'{(${end_ns} - ${start_ns}) / 1e9:.2f}')")"
+rm -rf "$regen_out" "$bench_log"
+
+cat > "$out" <<EOF
+{
+  "recorded_at": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
+  "translate_ns_per_req": {
+    "neummu": ${translate_neummu_ns},
+    "baseline_iommu": ${translate_iommu_ns}
+  },
+  "page_table_ns_per_traversal": {
+    "probe": ${probe_ns},
+    "walk": ${walk_ns}
+  },
+  "oracle_memoized_ns_per_req": ${oracle_ns},
+  "full_scale_regen_serial_seconds": ${regen_s}
+}
+EOF
+
+echo "wrote $out" >&2
+cat "$out"
