@@ -8,6 +8,8 @@
 //! * a NUMA-aware physical frame allocator ([`frame_alloc`]),
 //! * device address spaces with segment allocation, demand paging and page
 //!   migration ([`address_space`]),
+//! * address-space identifiers and the multi-tenant context registry
+//!   ([`asid`]),
 //! * NUMA node identifiers ([`numa`]).
 //!
 //! The page table is a faithful structural model: every walk reports the exact
@@ -39,10 +41,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod addr;
 pub mod address_space;
+pub mod asid;
 pub mod error;
 pub mod frame_alloc;
 pub mod numa;
@@ -52,6 +55,7 @@ pub use addr::{PageSize, PathTag, PhysAddr, PhysFrameNum, VirtAddr, VirtPageNum,
 pub use address_space::{
     AddressSpace, FaultOutcome, Population, Segment, SegmentOptions, SpaceStats,
 };
+pub use asid::{AddressSpaceRegistry, Asid};
 pub use error::VmemError;
 pub use frame_alloc::{NodeSpec, PhysicalMemory};
 pub use numa::{MemNode, PlacementPolicy};
@@ -68,6 +72,7 @@ pub mod prelude {
     pub use crate::address_space::{
         AddressSpace, FaultOutcome, Population, Segment, SegmentOptions, SpaceStats,
     };
+    pub use crate::asid::{AddressSpaceRegistry, Asid};
     pub use crate::error::VmemError;
     pub use crate::frame_alloc::{NodeSpec, PhysicalMemory};
     pub use crate::numa::{MemNode, PlacementPolicy};

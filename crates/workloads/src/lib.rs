@@ -13,7 +13,7 @@
 //! only shapes matter for address-translation behaviour, never weight values.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cnn;
 pub mod embedding;
