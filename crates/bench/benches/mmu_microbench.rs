@@ -214,6 +214,51 @@ fn bench_translation_engine_burst(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_multi_tenant_translation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translation_engine");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    // Four tenants, each with a private page table over the same VA range,
+    // interleaved through ONE shared NeuMMU engine in 64-request bursts —
+    // the tagged hot path the multi-tenant scheduler drives. ns/req here is
+    // the `multi_tenant` datapoint `scripts/record_bench.sh` records.
+    const TENANTS: usize = 4;
+    const BURST: usize = 64;
+    let pages = 2048u64;
+    let tables: Vec<PageTable> = (0..TENANTS).map(|_| streaming_table(pages)).collect();
+    let requests: Vec<VirtAddr> = (0..pages * 8)
+        .map(|i| VirtAddr::new(0x10_0000_0000 + i * 512))
+        .collect();
+    group.throughput(Throughput::Elements((requests.len() * TENANTS) as u64));
+    group.bench_function("multi_tenant_4asid_burst64", |b| {
+        b.iter(|| {
+            let mut engine = TranslationEngine::new(MmuConfig::neummu());
+            let mut cycle = 0u64;
+            let mut cursors = [0usize; TENANTS];
+            let mut live = TENANTS;
+            while live > 0 {
+                live = 0;
+                for (tenant, cursor) in cursors.iter_mut().enumerate() {
+                    if *cursor >= requests.len() {
+                        continue;
+                    }
+                    live += 1;
+                    let asid = neummu_vmem::Asid::new(tenant as u16);
+                    let end = (*cursor + BURST).min(requests.len());
+                    for va in &requests[*cursor..end] {
+                        let outcome =
+                            engine.translate_tagged(&tables[tenant], asid, black_box(*va), cycle);
+                        cycle = outcome.accept_cycle + 1;
+                    }
+                    *cursor = end;
+                }
+            }
+            engine.stats().walks
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_tlb,
@@ -221,6 +266,7 @@ criterion_group!(
     bench_oracle_translator,
     bench_walker_pool,
     bench_mmu_caches,
-    bench_translation_engine_burst
+    bench_translation_engine_burst,
+    bench_multi_tenant_translation
 );
 criterion_main!(benches);

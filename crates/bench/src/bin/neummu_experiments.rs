@@ -13,7 +13,7 @@
 //! * `--only` restricts the run to a comma-separated list of experiment ids
 //!   (`table1`, `fig06`, `fig07`, `fig08`, `fig10`, `fig11`, `fig12a`,
 //!   `fig12b`, `fig13`, `fig14`, `mmu_cache`, `summary`, `largepage`,
-//!   `spatial`, `sensitivity`, `fig15`, `fig16`).
+//!   `spatial`, `sensitivity`, `fig15`, `fig16`, `multitenant`).
 //! * `--threads` sets the worker-thread count of the experiment runner
 //!   (default: the machine's available parallelism; `1` forces the serial
 //!   reference schedule). Artifacts are byte-identical for every thread
@@ -32,7 +32,8 @@ use std::time::Instant;
 
 use neummu_bench::ExperimentArtifacts;
 use neummu_sim::experiments::{
-    characterization, mmu_cache_study, performance, recommender, table1, ExperimentScale,
+    characterization, mmu_cache_study, multi_tenant, performance, recommender, table1,
+    ExperimentScale,
 };
 use neummu_sim::ExperimentRunner;
 use neummu_workloads::WorkloadId;
@@ -254,6 +255,19 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
         let result = recommender::fig16_demand_paging_on(&runner, scale)?;
         artifacts.json("fig16_demand_paging", &result)?;
         emit("fig16_demand_paging", result.to_table(), &mut artifacts)?;
+    }
+
+    if wants(options, "multitenant") {
+        let result = multi_tenant::tenant_sweep_on(&runner, scale)?;
+        artifacts.json("multitenant_sweep", &result)?;
+        emit("multitenant_sweep", result.to_table(), &mut artifacts)?;
+        // The per-tenant counter table: the raw cross-tenant contention
+        // events (CounterPoint-style validation of the slowdown story).
+        emit(
+            "multitenant_tenant_counters",
+            result.counters_table(),
+            &mut artifacts,
+        )?;
     }
 
     // The self-profile is wall-clock data and therefore nondeterministic; it

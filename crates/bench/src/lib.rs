@@ -12,7 +12,7 @@
 //! writing result tables to disk.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod artifacts;
 

@@ -20,7 +20,7 @@
 use serde::{Deserialize, Serialize};
 
 use neummu_energy::{EnergyEvent, EnergyMeter};
-use neummu_vmem::{PageSize, PageTable, PathTag, VirtAddr, WalkProbe};
+use neummu_vmem::{Asid, PageSize, PageTable, PathTag, VirtAddr, WalkProbe};
 
 use crate::config::{MmuConfig, MmuKind};
 use crate::counters;
@@ -71,9 +71,36 @@ pub trait AddressTranslator: Send {
     /// Translates `va` for a request issued at `cycle`.
     ///
     /// Requests must be issued in non-decreasing cycle order; the engine
-    /// models an in-order DMA front end.
+    /// models an in-order DMA front end. Equivalent to
+    /// [`AddressTranslator::translate_tagged`] in the [`Asid::GLOBAL`]
+    /// context.
     fn translate(&mut self, page_table: &PageTable, va: VirtAddr, cycle: u64)
         -> TranslationOutcome;
+
+    /// Translates `va` in the tenant context `asid`, walking that tenant's
+    /// `page_table`.
+    ///
+    /// Translators that cache per-address state (the IOTLB, the PTS) key it
+    /// by `(asid, page)` so contexts never alias; stateless translators (the
+    /// oracle, whose memo is already stamped by the page table's globally
+    /// unique revision) ignore the tag, which is what this default does.
+    fn translate_tagged(
+        &mut self,
+        page_table: &PageTable,
+        asid: Asid,
+        va: VirtAddr,
+        cycle: u64,
+    ) -> TranslationOutcome {
+        let _ = asid;
+        self.translate(page_table, va, cycle)
+    }
+
+    /// Invalidates every cached translation belonging to the tenant context
+    /// `asid` (context teardown / page-table switch), leaving other tenants'
+    /// state untouched. Stateless translators need not do anything.
+    fn flush_asid(&mut self, asid: Asid) {
+        let _ = asid;
+    }
 
     /// Statistics accumulated so far.
     fn stats(&self) -> &TranslationStats;
@@ -345,7 +372,7 @@ impl TranslationEngine {
         } = self;
         let retired = walkers.drain_completed(cycle, |walk| {
             if walk.mapped {
-                tlb.insert(walk.page_number);
+                tlb.insert_tagged(walk.asid, walk.page_number);
                 energy.record(EnergyEvent::TlbFill, 1);
             }
             if walk.merged_requests > 0 {
@@ -365,6 +392,16 @@ impl AddressTranslator for TranslationEngine {
         va: VirtAddr,
         cycle: u64,
     ) -> TranslationOutcome {
+        self.translate_tagged(page_table, Asid::GLOBAL, va, cycle)
+    }
+
+    fn translate_tagged(
+        &mut self,
+        page_table: &PageTable,
+        asid: Asid,
+        va: VirtAddr,
+        cycle: u64,
+    ) -> TranslationOutcome {
         self.stats.requests += 1;
         let page_number = self.page_number_of(va);
         let mut now = cycle;
@@ -380,7 +417,7 @@ impl AddressTranslator for TranslationEngine {
 
             // 1. IOTLB lookup.
             self.energy.record(EnergyEvent::TlbLookup, 1);
-            if self.tlb.lookup(page_number) {
+            if self.tlb.lookup_tagged(asid, page_number) {
                 self.stats.tlb_hits += 1;
                 let complete = now + self.config.tlb_hit_latency;
                 self.stats.last_completion_cycle = self.stats.last_completion_cycle.max(complete);
@@ -396,7 +433,9 @@ impl AddressTranslator for TranslationEngine {
             // 2. PTS lookup / PRMB merge.
             if self.config.merging_enabled() {
                 self.energy.record(EnergyEvent::PtsLookup, 1);
-                if let Some((_walker, completes_at)) = self.walkers.try_merge(page_number) {
+                if let Some((_walker, completes_at)) =
+                    self.walkers.try_merge_tagged(asid, page_number)
+                {
                     self.stats.tlb_misses += 1;
                     self.stats.merged += 1;
                     self.energy.record(EnergyEvent::PrmbWrite, 1);
@@ -432,10 +471,14 @@ impl AddressTranslator for TranslationEngine {
             if self.config.tpreg_enabled {
                 self.energy.record(EnergyEvent::TpregAccess, 1);
             }
-            match self
-                .walkers
-                .start_walk(now, page_number, PathTag::of(va), full_levels, mapped)
-            {
+            match self.walkers.start_walk_tagged(
+                asid,
+                now,
+                page_number,
+                PathTag::of(va),
+                full_levels,
+                mapped,
+            ) {
                 WalkAdmission::Started {
                     completes_at,
                     path_match,
@@ -516,8 +559,20 @@ impl AddressTranslator for TranslationEngine {
 
     fn invalidate_page(&mut self, va: VirtAddr) {
         let page = self.page_number_of(va);
-        self.tlb.invalidate(page);
+        // An untagged invalidation (page migration / unmap) is a broadcast
+        // shootdown: the page's entry dies in every context.
+        self.tlb.invalidate_all_contexts(page);
         self.walkers.invalidate_tpregs();
+    }
+
+    fn flush_asid(&mut self, asid: Asid) {
+        // Drop the tenant's TLB entries AND discard its in-flight walks:
+        // their PTS entries vanish (no later request can merge into a walk
+        // of the torn-down page table) and their results retire as unmapped,
+        // so a stale translation can never re-enter the TLB after the flush.
+        // TPregs are per-walker physical hints refreshed by the next walk.
+        self.tlb.flush_asid(asid);
+        self.walkers.flush_asid(asid);
     }
 }
 
@@ -851,6 +906,163 @@ mod tests {
         mmu.invalidate_page(VirtAddr::new(0xa00_0000));
         let after = mmu.translate(&pt, VirtAddr::new(0xa00_0000), hit.complete_cycle + 1);
         assert!(matches!(after.source, TranslationSource::PageWalk { .. }));
+    }
+
+    #[test]
+    fn tagged_contexts_do_not_share_tlb_entries() {
+        // Two tenants, same VA, each with its own page table. Tenant A's
+        // walk fills the TLB under its ASID; tenant B's request to the same
+        // VA must miss and walk B's own table.
+        let pt_a = mapped_table(0x500_0000, 1);
+        let pt_b = mapped_table(0x500_0000, 1);
+        let (a, b) = (Asid::new(1), Asid::new(2));
+        let mut mmu = TranslationEngine::new(MmuConfig::neummu());
+        let first = mmu.translate_tagged(&pt_a, a, VirtAddr::new(0x500_0000), 0);
+        assert!(matches!(first.source, TranslationSource::PageWalk { .. }));
+        let hit = mmu.translate_tagged(
+            &pt_a,
+            a,
+            VirtAddr::new(0x500_0000),
+            first.complete_cycle + 1,
+        );
+        assert_eq!(hit.source, TranslationSource::TlbHit);
+        let cross =
+            mmu.translate_tagged(&pt_b, b, VirtAddr::new(0x500_0000), hit.complete_cycle + 1);
+        assert!(
+            matches!(cross.source, TranslationSource::PageWalk { .. }),
+            "tenant B must not hit on tenant A's TLB entry, got {:?}",
+            cross.source
+        );
+        // Once B's walk retires, both tenants hold their own entry.
+        let hit_b = mmu.translate_tagged(
+            &pt_b,
+            b,
+            VirtAddr::new(0x500_0000),
+            cross.complete_cycle + 1,
+        );
+        assert_eq!(hit_b.source, TranslationSource::TlbHit);
+        assert_eq!(mmu.tlb().occupancy_of(a), 1);
+        assert_eq!(mmu.tlb().occupancy_of(b), 1);
+    }
+
+    #[test]
+    fn tagged_contexts_do_not_merge_into_each_others_walks() {
+        // Back-to-back requests to the same page number from two different
+        // contexts, issued before the first walk completes: no cross-tenant
+        // PRMB merge may happen.
+        let pt_a = mapped_table(0x600_0000, 1);
+        let pt_b = mapped_table(0x600_0000, 1);
+        let (a, b) = (Asid::new(1), Asid::new(2));
+        let mut mmu = TranslationEngine::new(MmuConfig::neummu());
+        let first = mmu.translate_tagged(&pt_a, a, VirtAddr::new(0x600_0000), 0);
+        let second = mmu.translate_tagged(&pt_b, b, VirtAddr::new(0x600_0000), 1);
+        assert!(matches!(first.source, TranslationSource::PageWalk { .. }));
+        assert!(matches!(second.source, TranslationSource::PageWalk { .. }));
+        assert_eq!(mmu.stats().merged, 0);
+        // Same context *does* merge.
+        let third = mmu.translate_tagged(&pt_a, a, VirtAddr::new(0x600_0040), 2);
+        assert_eq!(third.source, TranslationSource::Merged);
+    }
+
+    #[test]
+    fn flush_asid_only_evicts_the_flushed_tenant() {
+        let pt = mapped_table(0x700_0000, 1);
+        let (a, b) = (Asid::new(1), Asid::new(2));
+        let mut mmu = TranslationEngine::new(MmuConfig::neummu());
+        let wa = mmu.translate_tagged(&pt, a, VirtAddr::new(0x700_0000), 0);
+        let wb = mmu.translate_tagged(&pt, b, VirtAddr::new(0x700_0000), wa.complete_cycle + 1);
+        let mut cycle = wb.complete_cycle + 1;
+        mmu.flush_asid(a);
+        let after_a = mmu.translate_tagged(&pt, a, VirtAddr::new(0x700_0000), cycle);
+        assert!(matches!(after_a.source, TranslationSource::PageWalk { .. }));
+        cycle = after_a.complete_cycle + 1;
+        let after_b = mmu.translate_tagged(&pt, b, VirtAddr::new(0x700_0000), cycle);
+        assert_eq!(after_b.source, TranslationSource::TlbHit);
+    }
+
+    #[test]
+    fn untagged_translate_is_the_global_context() {
+        let pt = mapped_table(0x800_0000, 1);
+        let mut mmu = TranslationEngine::new(MmuConfig::neummu());
+        let walk = mmu.translate(&pt, VirtAddr::new(0x800_0000), 0);
+        let hit = mmu.translate_tagged(
+            &pt,
+            Asid::GLOBAL,
+            VirtAddr::new(0x800_0000),
+            walk.complete_cycle + 1,
+        );
+        assert_eq!(hit.source, TranslationSource::TlbHit);
+    }
+
+    #[test]
+    fn flush_asid_discards_in_flight_walks() {
+        // Tenant A's walk for page P is in flight when A's context is torn
+        // down (page-table switch). After the flush, a new same-page request
+        // from A must neither merge into the stale walk nor ever see its
+        // translation appear in the TLB.
+        let pt_old = mapped_table(0x900_0000, 1);
+        let pt_new = mapped_table(0x900_0000, 1);
+        let a = Asid::new(1);
+        let mut mmu = TranslationEngine::new(MmuConfig::neummu());
+        let stale = mmu.translate_tagged(&pt_old, a, VirtAddr::new(0x900_0000), 0);
+        assert!(matches!(stale.source, TranslationSource::PageWalk { .. }));
+        mmu.flush_asid(a);
+        // Re-issued against the new table, before the stale walk completes:
+        // a fresh walk, not a merge into the doomed one.
+        let fresh = mmu.translate_tagged(&pt_new, a, VirtAddr::new(0x900_0000), 1);
+        assert!(
+            matches!(fresh.source, TranslationSource::PageWalk { .. }),
+            "merged into a flushed walk: {:?}",
+            fresh.source
+        );
+        // Let both walks retire; exactly one TLB entry (the fresh walk's) may
+        // exist — the flushed walk's stale translation must not have landed.
+        let after = mmu.translate_tagged(
+            &pt_new,
+            a,
+            VirtAddr::new(0x900_0000),
+            stale.complete_cycle.max(fresh.complete_cycle) + 1,
+        );
+        assert_eq!(after.source, TranslationSource::TlbHit);
+        assert_eq!(mmu.tlb().occupancy_of(a), 1);
+    }
+
+    #[test]
+    fn flush_asid_during_walk_spares_other_tenants_merges() {
+        // Flushing tenant A while tenant B's walk is in flight must leave
+        // B's PTS entry mergeable.
+        let pt = mapped_table(0xf00_0000, 1);
+        let (a, b) = (Asid::new(1), Asid::new(2));
+        let mut mmu = TranslationEngine::new(MmuConfig::neummu());
+        mmu.translate_tagged(&pt, b, VirtAddr::new(0xf00_0000), 0);
+        mmu.flush_asid(a);
+        let merged = mmu.translate_tagged(&pt, b, VirtAddr::new(0xf00_0040), 1);
+        assert_eq!(merged.source, TranslationSource::Merged);
+    }
+
+    #[test]
+    fn invalidate_page_is_a_broadcast_across_contexts() {
+        // An untagged invalidation (migration/unmap) kills the page's entry
+        // in every context, not just GLOBAL.
+        let pt = mapped_table(0x110_0000, 2);
+        let (a, b) = (Asid::new(1), Asid::new(2));
+        let mut mmu = TranslationEngine::new(MmuConfig::neummu());
+        let wa = mmu.translate_tagged(&pt, a, VirtAddr::new(0x110_0000), 0);
+        let wb = mmu.translate_tagged(&pt, b, VirtAddr::new(0x110_0000), wa.complete_cycle + 1);
+        let wc = mmu.translate_tagged(&pt, b, VirtAddr::new(0x110_1000), wb.complete_cycle + 1);
+        let mut cycle = wc.complete_cycle + 1;
+        mmu.invalidate_page(VirtAddr::new(0x110_0000));
+        for asid in [a, b] {
+            let out = mmu.translate_tagged(&pt, asid, VirtAddr::new(0x110_0000), cycle);
+            assert!(
+                matches!(out.source, TranslationSource::PageWalk { .. }),
+                "{asid}: stale entry survived the broadcast shootdown"
+            );
+            cycle = out.complete_cycle + 1;
+        }
+        // The *other* page's entry survives.
+        let other = mmu.translate_tagged(&pt, b, VirtAddr::new(0x110_1000), cycle);
+        assert_eq!(other.source, TranslationSource::TlbHit);
     }
 
     #[test]

@@ -7,8 +7,19 @@
 //! translation bursts — requests to the same page arrive back to back before
 //! the first walk completes — which is exactly the behaviour the engine
 //! reproduces on top of this structure.
+//!
+//! Entries are additionally tagged with the [`Asid`] of the owning tenant
+//! context: identical page numbers from different contexts never alias, all
+//! contexts compete for the shared capacity (LRU does not partition by
+//! tenant), and one tenant's entries can be flushed without disturbing the
+//! others ([`Tlb::flush_asid`]). The untagged methods operate on
+//! [`Asid::GLOBAL`] and behave exactly like the pre-ASID single-tenant TLB:
+//! the set index is computed from the page number alone, so a single-tenant
+//! run is bit-identical either way.
 
 use serde::{Deserialize, Serialize};
+
+use neummu_vmem::Asid;
 
 /// A set-associative TLB with true-LRU replacement within each set.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -27,8 +38,16 @@ pub struct Tlb {
 
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct TlbEntry {
+    asid: Asid,
     page_number: u64,
     last_used: u64,
+}
+
+impl TlbEntry {
+    #[inline]
+    fn matches(&self, asid: Asid, page_number: u64) -> bool {
+        self.page_number == page_number && self.asid == asid
+    }
 }
 
 impl Tlb {
@@ -70,15 +89,37 @@ impl Tlb {
         }
     }
 
-    /// Looks up a page number, updating LRU state. Returns `true` on a hit.
+    /// Looks up a page number in the [`Asid::GLOBAL`] context, updating LRU
+    /// state. Returns `true` on a hit.
     pub fn lookup(&mut self, page_number: u64) -> bool {
+        self.lookup_tagged(Asid::GLOBAL, page_number)
+    }
+
+    /// Looks up a page number in the given context, updating LRU state.
+    /// Returns `true` on a hit. An entry hits only if both its page number
+    /// *and* its ASID match — identical virtual pages of different tenants
+    /// never alias.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use neummu_mmu::Tlb;
+    /// use neummu_vmem::Asid;
+    ///
+    /// let mut tlb = Tlb::new(16, 4);
+    /// let (a, b) = (Asid::new(1), Asid::new(2));
+    /// tlb.insert_tagged(a, 42);
+    /// assert!(tlb.lookup_tagged(a, 42));
+    /// assert!(!tlb.lookup_tagged(b, 42)); // same page, other tenant: miss
+    /// ```
+    pub fn lookup_tagged(&mut self, asid: Asid, page_number: u64) -> bool {
         self.lookups += 1;
         self.stamp += 1;
         let stamp = self.stamp;
         let set = self.set_index(page_number);
         if let Some(entry) = self.sets[set]
             .iter_mut()
-            .find(|e| e.page_number == page_number)
+            .find(|e| e.matches(asid, page_number))
         {
             entry.last_used = stamp;
             self.hits += 1;
@@ -88,27 +129,45 @@ impl Tlb {
         }
     }
 
-    /// Checks for presence without updating LRU state or statistics.
+    /// Checks for presence in the [`Asid::GLOBAL`] context without updating
+    /// LRU state or statistics.
     #[must_use]
     pub fn contains(&self, page_number: u64) -> bool {
-        let set = self.set_index(page_number);
-        self.sets[set].iter().any(|e| e.page_number == page_number)
+        self.contains_tagged(Asid::GLOBAL, page_number)
     }
 
-    /// Inserts a translation, evicting the LRU entry of the set if needed.
+    /// Checks for presence in the given context without updating LRU state or
+    /// statistics.
+    #[must_use]
+    pub fn contains_tagged(&self, asid: Asid, page_number: u64) -> bool {
+        let set = self.set_index(page_number);
+        self.sets[set].iter().any(|e| e.matches(asid, page_number))
+    }
+
+    /// Inserts a translation into the [`Asid::GLOBAL`] context, evicting the
+    /// LRU entry of the set if needed.
     pub fn insert(&mut self, page_number: u64) {
+        self.insert_tagged(Asid::GLOBAL, page_number);
+    }
+
+    /// Inserts a translation into the given context, evicting the LRU entry
+    /// of the set if needed. Eviction ignores ASIDs: all tenants compete for
+    /// the shared capacity, which is exactly the cross-tenant contention the
+    /// multi-tenant experiments measure.
+    pub fn insert_tagged(&mut self, asid: Asid, page_number: u64) {
         self.stamp += 1;
         let stamp = self.stamp;
         let ways = self.ways;
         let set_idx = self.set_index(page_number);
         let set = &mut self.sets[set_idx];
-        if let Some(entry) = set.iter_mut().find(|e| e.page_number == page_number) {
+        if let Some(entry) = set.iter_mut().find(|e| e.matches(asid, page_number)) {
             entry.last_used = stamp;
             return;
         }
         self.fills += 1;
         if set.len() < ways {
             set.push(TlbEntry {
+                asid,
                 page_number,
                 last_used: stamp,
             });
@@ -119,17 +178,24 @@ impl Tlb {
             .min_by_key(|e| e.last_used)
             .expect("a full set always has a victim");
         *victim = TlbEntry {
+            asid,
             page_number,
             last_used: stamp,
         };
     }
 
-    /// Invalidates a single translation (used when a page is migrated or
-    /// unmapped). Returns `true` if the entry was present.
+    /// Invalidates a single [`Asid::GLOBAL`] translation (used when a page is
+    /// migrated or unmapped). Returns `true` if the entry was present.
     pub fn invalidate(&mut self, page_number: u64) -> bool {
+        self.invalidate_tagged(Asid::GLOBAL, page_number)
+    }
+
+    /// Invalidates a single translation of the given context. Returns `true`
+    /// if the entry was present.
+    pub fn invalidate_tagged(&mut self, asid: Asid, page_number: u64) -> bool {
         let set_idx = self.set_index(page_number);
         let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|e| e.page_number == page_number) {
+        if let Some(pos) = set.iter().position(|e| e.matches(asid, page_number)) {
             set.swap_remove(pos);
             true
         } else {
@@ -137,11 +203,59 @@ impl Tlb {
         }
     }
 
-    /// Invalidates every translation (full TLB shootdown).
+    /// Invalidates every translation (full TLB shootdown across all ASIDs).
     pub fn flush(&mut self) {
         for set in &mut self.sets {
             set.clear();
         }
+    }
+
+    /// Invalidates every translation of one context, leaving all other
+    /// tenants' entries (and their LRU state) untouched. Returns the number
+    /// of entries removed.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use neummu_mmu::Tlb;
+    /// use neummu_vmem::Asid;
+    ///
+    /// let mut tlb = Tlb::new(16, 4);
+    /// tlb.insert_tagged(Asid::new(1), 7);
+    /// tlb.insert_tagged(Asid::new(2), 7);
+    /// assert_eq!(tlb.flush_asid(Asid::new(1)), 1);
+    /// assert!(!tlb.contains_tagged(Asid::new(1), 7));
+    /// assert!(tlb.contains_tagged(Asid::new(2), 7)); // the neighbour survives
+    /// ```
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        let mut removed = 0;
+        for set in &mut self.sets {
+            let before = set.len();
+            set.retain(|e| e.asid != asid);
+            removed += before - set.len();
+        }
+        removed
+    }
+
+    /// Invalidates the page's translation in *every* context (the broadcast
+    /// shootdown an untagged invalidation performs in hardware). Returns the
+    /// number of entries removed.
+    pub fn invalidate_all_contexts(&mut self, page_number: u64) -> usize {
+        let set_idx = self.set_index(page_number);
+        let set = &mut self.sets[set_idx];
+        let before = set.len();
+        set.retain(|e| e.page_number != page_number);
+        before - set.len()
+    }
+
+    /// Number of resident entries belonging to the given context (a
+    /// cross-tenant capacity-share snapshot for the contention breakdowns).
+    #[must_use]
+    pub fn occupancy_of(&self, asid: Asid) -> usize {
+        self.sets
+            .iter()
+            .map(|set| set.iter().filter(|e| e.asid == asid).count())
+            .sum()
     }
 
     /// Number of valid entries currently resident.
@@ -277,5 +391,74 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_entries_rejected() {
         let _ = Tlb::new(0, 1);
+    }
+
+    #[test]
+    fn untagged_methods_are_the_global_asid() {
+        let mut tlb = Tlb::new(8, 2);
+        tlb.insert(3);
+        assert!(tlb.contains_tagged(Asid::GLOBAL, 3));
+        assert!(tlb.lookup_tagged(Asid::GLOBAL, 3));
+        assert!(tlb.invalidate_tagged(Asid::GLOBAL, 3));
+        tlb.insert_tagged(Asid::GLOBAL, 4);
+        assert!(tlb.contains(4));
+        assert!(tlb.lookup(4));
+        assert!(tlb.invalidate(4));
+    }
+
+    #[test]
+    fn identical_pages_in_different_asids_never_alias() {
+        let mut tlb = Tlb::new(16, 4);
+        let (a, b) = (Asid::new(1), Asid::new(2));
+        tlb.insert_tagged(a, 42);
+        assert!(!tlb.lookup_tagged(b, 42), "tenant B must miss on A's entry");
+        tlb.insert_tagged(b, 42);
+        assert_eq!(tlb.occupancy(), 2, "both tenants hold their own entry");
+        assert!(tlb.lookup_tagged(a, 42));
+        assert!(tlb.lookup_tagged(b, 42));
+        // Invalidating one tenant's page leaves the twin intact.
+        assert!(tlb.invalidate_tagged(a, 42));
+        assert!(!tlb.contains_tagged(a, 42));
+        assert!(tlb.contains_tagged(b, 42));
+    }
+
+    #[test]
+    fn per_asid_flush_leaves_other_tenants_intact() {
+        let mut tlb = Tlb::new(64, 4);
+        let (a, b, c) = (Asid::new(1), Asid::new(2), Asid::new(3));
+        for page in 0..10u64 {
+            tlb.insert_tagged(a, page);
+            tlb.insert_tagged(b, page);
+        }
+        tlb.insert_tagged(c, 99);
+        assert_eq!(tlb.occupancy_of(a), 10);
+        assert_eq!(tlb.flush_asid(a), 10);
+        assert_eq!(tlb.occupancy_of(a), 0);
+        assert_eq!(tlb.occupancy_of(b), 10);
+        assert_eq!(tlb.occupancy_of(c), 1);
+        for page in 0..10u64 {
+            assert!(!tlb.contains_tagged(a, page));
+            assert!(tlb.contains_tagged(b, page));
+        }
+        // Flushing an absent tenant is a no-op.
+        assert_eq!(tlb.flush_asid(Asid::new(9)), 0);
+    }
+
+    #[test]
+    fn tenants_share_capacity_and_lru_is_asid_blind() {
+        // Single-set TLB: tenant B's streaming inserts evict tenant A's cold
+        // entry (shared capacity), but A's recently touched entry survives.
+        let mut tlb = Tlb::new(2, 2);
+        let (a, b) = (Asid::new(1), Asid::new(2));
+        tlb.insert_tagged(a, 10);
+        tlb.insert_tagged(a, 20);
+        assert!(tlb.lookup_tagged(a, 20)); // 10 becomes LRU
+        tlb.insert_tagged(b, 30);
+        assert!(
+            !tlb.contains_tagged(a, 10),
+            "cold entry evicted by tenant B"
+        );
+        assert!(tlb.contains_tagged(a, 20));
+        assert!(tlb.contains_tagged(b, 30));
     }
 }

@@ -17,7 +17,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use serde::{Deserialize, Serialize};
 
 use crate::tpreg::{PathMatch, TranslationPathRegister};
-use neummu_vmem::PathTag;
+use neummu_vmem::{Asid, PathTag};
 
 /// The result of asking the pool to start or join a walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,6 +53,8 @@ pub enum WalkAdmission {
 /// into the TLB and its merged requests released).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CompletedWalk {
+    /// Context the walk belongs to.
+    pub asid: Asid,
     /// Page number (at the engine's page size) that was translated.
     pub page_number: u64,
     /// Cycle at which the walk finished.
@@ -65,11 +67,17 @@ pub struct CompletedWalk {
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct InFlightWalk {
+    asid: Asid,
     page_number: u64,
     walker: usize,
     completes_at: u64,
     merged_requests: u32,
     mapped: bool,
+    /// Set by [`WalkerPool::flush_asid`]: the walk's context was torn down
+    /// while it was in flight. Its PTS entry is already gone (a fresh
+    /// same-key walk may own that key now), and its result must be
+    /// discarded at retirement.
+    flushed: bool,
 }
 
 /// Min-heap ordering by completion time.
@@ -107,8 +115,10 @@ pub struct WalkerPool {
     /// In-flight walks, indexed by slot id.
     walks: Vec<Option<InFlightWalk>>,
     free_slots: Vec<usize>,
-    /// PTS: page number -> in-flight walk slot.
-    pts: HashMap<u64, usize>,
+    /// PTS: (context, page number) -> in-flight walk slot. Tagging the key
+    /// with the ASID keeps one tenant's requests from merging into another
+    /// tenant's in-flight walk of the same virtual page.
+    pts: HashMap<(Asid, u64), usize>,
     /// Completion order.
     heap: BinaryHeap<HeapEntry>,
 }
@@ -173,10 +183,13 @@ impl WalkerPool {
                 .take()
                 .expect("heap entries always reference live walks");
             self.free_slots.push(entry.walk_slot);
-            self.pts.remove(&walk.page_number);
+            if !walk.flushed {
+                self.pts.remove(&(walk.asid, walk.page_number));
+            }
             self.free_walkers.push_back(walk.walker);
             retired += 1;
             retire(CompletedWalk {
+                asid: walk.asid,
                 page_number: walk.page_number,
                 completed_at: walk.completes_at,
                 merged_requests: walk.merged_requests,
@@ -202,17 +215,24 @@ impl WalkerPool {
         self.heap.peek().map(|e| e.completes_at)
     }
 
-    /// Probes the PTS for an in-flight walk of `page_number` and, if present
-    /// and a PRMB slot is free, merges the request into it.
+    /// Probes the PTS for an in-flight [`Asid::GLOBAL`] walk of
+    /// `page_number` and, if present and a PRMB slot is free, merges the
+    /// request into it.
     ///
     /// Returns the completion cycle of the walk the request was merged into,
     /// or `None` if no merge was possible (no in-flight walk, merging
     /// disabled, or the walker's PRMB is full).
     pub fn try_merge(&mut self, page_number: u64) -> Option<(usize, u64)> {
+        self.try_merge_tagged(Asid::GLOBAL, page_number)
+    }
+
+    /// [`WalkerPool::try_merge`] in the given context: a request only merges
+    /// into an in-flight walk with the same `(asid, page_number)` PTS key.
+    pub fn try_merge_tagged(&mut self, asid: Asid, page_number: u64) -> Option<(usize, u64)> {
         if self.prmb_slots == 0 {
             return None;
         }
-        let slot = *self.pts.get(&page_number)?;
+        let slot = *self.pts.get(&(asid, page_number))?;
         let walk = self.walks[slot]
             .as_mut()
             .expect("PTS entries reference live walks");
@@ -231,6 +251,22 @@ impl WalkerPool {
     /// Returns [`WalkAdmission::Rejected`] when every walker is busy.
     pub fn start_walk(
         &mut self,
+        cycle: u64,
+        page_number: u64,
+        tag: PathTag,
+        full_levels: u32,
+        mapped: bool,
+    ) -> WalkAdmission {
+        self.start_walk_tagged(Asid::GLOBAL, cycle, page_number, tag, full_levels, mapped)
+    }
+
+    /// [`WalkerPool::start_walk`] in the given context: the walk's PTS entry
+    /// is keyed by `(asid, page_number)` so only same-context requests can
+    /// merge into it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_walk_tagged(
+        &mut self,
+        asid: Asid,
         cycle: u64,
         page_number: u64,
         tag: PathTag,
@@ -262,11 +298,13 @@ impl WalkerPool {
         }
 
         let walk = InFlightWalk {
+            asid,
             page_number,
             walker,
             completes_at,
             merged_requests: 0,
             mapped,
+            flushed: false,
         };
         let slot = if let Some(slot) = self.free_slots.pop() {
             self.walks[slot] = Some(walk);
@@ -276,7 +314,7 @@ impl WalkerPool {
             self.walks.len() - 1
         };
         if self.prmb_slots > 0 {
-            self.pts.insert(page_number, slot);
+            self.pts.insert((asid, page_number), slot);
         }
         self.heap.push(HeapEntry {
             completes_at,
@@ -295,6 +333,27 @@ impl WalkerPool {
         for reg in &mut self.tpregs {
             reg.invalidate();
         }
+    }
+
+    /// Discards every in-flight walk of one context (context teardown /
+    /// page-table switch). The walks keep occupying their walkers until
+    /// their completion time — hardware cannot recall a walk in flight —
+    /// but their PTS entries vanish immediately, so no later request can
+    /// merge into them, and they retire as unmapped, so their (stale)
+    /// translations never fill the TLB. Returns the number of walks
+    /// discarded.
+    pub fn flush_asid(&mut self, asid: Asid) -> usize {
+        let WalkerPool { walks, pts, .. } = self;
+        let mut discarded = 0;
+        for walk in walks.iter_mut().flatten() {
+            if walk.asid == asid && !walk.flushed {
+                pts.remove(&(walk.asid, walk.page_number));
+                walk.mapped = false;
+                walk.flushed = true;
+                discarded += 1;
+            }
+        }
+        discarded
     }
 }
 
@@ -462,6 +521,34 @@ mod tests {
         assert_eq!(drained.len(), 3);
         // Nothing left: the fast path reports zero without invoking the sink.
         assert_eq!(a.drain_completed(u64::MAX, |_| panic!("empty pool")), 0);
+    }
+
+    #[test]
+    fn pts_keys_are_asid_tagged() {
+        let mut pool = WalkerPool::new(4, 8, 100, false);
+        let (a, b) = (Asid::new(1), Asid::new(2));
+        // Tenant A walks page 9; tenant B's request to the *same* page number
+        // must not merge into it (different page tables!) and starts its own
+        // walk instead.
+        assert!(matches!(
+            pool.start_walk_tagged(a, 0, 9, tag_of_page(9), 4, true),
+            WalkAdmission::Started { .. }
+        ));
+        assert!(pool.try_merge_tagged(b, 9).is_none());
+        assert!(pool.try_merge_tagged(a, 9).is_some());
+        assert!(matches!(
+            pool.start_walk_tagged(b, 0, 9, tag_of_page(9), 4, true),
+            WalkAdmission::Started { .. }
+        ));
+        // Both walks retire carrying their own ASID.
+        let retired = pool.retire_completed(u64::MAX);
+        assert_eq!(retired.len(), 2);
+        let mut asids: Vec<u16> = retired.iter().map(|w| w.asid.raw()).collect();
+        asids.sort_unstable();
+        assert_eq!(asids, vec![1, 2]);
+        // The untagged entry points are the GLOBAL context.
+        pool.start_walk(0, 5, tag_of_page(5), 4, true);
+        assert!(pool.try_merge_tagged(Asid::GLOBAL, 5).is_some());
     }
 
     #[test]

@@ -8,7 +8,8 @@
 //! A tile's memory phase is simulated at per-transaction granularity: the DMA
 //! decomposes each tile fetch into linearized memory transactions, issues at
 //! most one translation request per cycle to the configured
-//! [`AddressTranslator`], and schedules each transaction's data transfer on the
+//! [`neummu_mmu::AddressTranslator`], and schedules each transaction's data
+//! transfer on the
 //! shared HBM bandwidth once its translation completes. The memory phase ends
 //! when the last byte of the tile has arrived. This is the mechanism through
 //! which translation throughput (the paper's central concern) throttles

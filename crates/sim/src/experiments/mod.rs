@@ -17,6 +17,9 @@
 //! * [`recommender`] — the embedding-layer case study: the NUMA latency
 //!   breakdown (Figure 15) and demand paging with small vs large pages
 //!   (Figure 16).
+//! * [`multi_tenant`] — beyond the paper: the tenant-count sweep measuring
+//!   per-tenant slowdown and TLB/walker contention when one NPU's
+//!   translation front end is time-shared between ASID-tagged tenants.
 //!
 //! Every runner takes an [`ExperimentScale`]: `Full` regenerates the figure
 //! over the complete benchmark suite (what the `neummu-experiments` binary
@@ -25,6 +28,7 @@
 
 pub mod characterization;
 pub mod mmu_cache_study;
+pub mod multi_tenant;
 pub mod performance;
 pub mod recommender;
 pub mod table1;

@@ -19,12 +19,13 @@
 //! parallel schedules produce bit-identical results.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod dense;
 pub mod embedding;
 pub mod error;
 pub mod experiments;
+pub mod multi_tenant;
 pub mod report;
 pub mod runner;
 
@@ -33,6 +34,9 @@ pub use embedding::{
     EmbeddingPhaseBreakdown, EmbeddingSimConfig, EmbeddingSimulator, GatherStrategy,
 };
 pub use error::SimError;
+pub use multi_tenant::{
+    MultiTenantConfig, MultiTenantResult, ResourceMode, TenantScheduler, TenantSpec, TenantStats,
+};
 pub use report::ResultTable;
 pub use runner::{ExperimentRunner, OracleCache, SelfProfile};
 
@@ -45,6 +49,10 @@ pub mod prelude {
         EmbeddingPhaseBreakdown, EmbeddingSimConfig, EmbeddingSimulator, GatherStrategy,
     };
     pub use crate::error::SimError;
+    pub use crate::multi_tenant::{
+        MultiTenantConfig, MultiTenantResult, ResourceMode, TenantScheduler, TenantSpec,
+        TenantStats,
+    };
     pub use crate::report::ResultTable;
     pub use crate::runner::{ExperimentRunner, OracleCache, SelfProfile};
 }

@@ -1,0 +1,565 @@
+//! Multi-tenant NPU sharing: one translation front end, many tenants.
+//!
+//! The paper models a single address space per NPU, but the serving scenario
+//! it motivates — a TPU-style accelerator behind heavy inference traffic —
+//! time-shares one NPU between many models and users. This module supplies
+//! the timing model for that scenario:
+//!
+//! * every tenant is a dense workload with a **private page table** (its own
+//!   [`neummu_vmem::AddressSpace`], registered under an [`Asid`] in an
+//!   [`AddressSpaceRegistry`]),
+//! * a [`TenantScheduler`] multiplexes the tenants' DMA translation streams
+//!   onto **one shared cycle-accounted translation engine and one shared
+//!   HBM** with round-robin, burst-interleaved scheduling (the DMA front end
+//!   accepts at most one translation request per cycle, so tenants contend
+//!   for IOTLB capacity, PTS/PRMB slots, walker bandwidth and DRAM
+//!   bandwidth),
+//! * per-tenant [`TenantStats`] event counters (in the spirit of
+//!   CounterPoint's cheap measured counters) expose exactly where the
+//!   cross-tenant interference lands: TLB hit-rate collapse, lost merges,
+//!   extra walker occupancy, stall cycles.
+//!
+//! The model follows the dense simulator's accounting of the *memory phase*:
+//! each tenant's stream is the exact per-transaction DMA decomposition of its
+//! layers' tile fetches (one translation request per transaction, data
+//! scheduled on the DRAM bandwidth server once the translation completes),
+//! and a tenant is finished when its last byte has arrived. Compute phases
+//! are not modelled here — translation throughput under contention is the
+//! quantity of interest, and it is unaffected by the overlap structure.
+//!
+//! [`ResourceMode::Isolated`] runs the same interleaved schedule with
+//! per-tenant private engines, DRAM servers and clocks — contention
+//! disabled. A tenant's stats in that mode are *identical* to a run of that
+//! tenant alone, which is both the baseline that defines per-tenant slowdown
+//! and a sharp correctness check on the scheduler's bookkeeping (locked in by
+//! a proptest in `crates/sim/tests/multi_tenant.rs`).
+
+use serde::{Deserialize, Serialize};
+
+use neummu_mem::dram::{DramConfig, DramModel};
+use neummu_mmu::{MmuConfig, MmuKind, TranslationEngine, TranslationSource};
+use neummu_npu::{DmaEngine, NpuConfig, TileFetch, TilingPlan, TransactionIter};
+use neummu_vmem::{
+    AddressSpaceRegistry, Asid, MemNode, NodeSpec, PhysicalMemory, SegmentOptions, VirtAddr,
+};
+use neummu_workloads::{DenseWorkload, WorkloadId};
+
+use crate::error::SimError;
+
+/// One tenant time-sharing the NPU: a dense workload at a batch size.
+///
+/// # Example
+///
+/// ```
+/// use neummu_sim::multi_tenant::TenantSpec;
+/// use neummu_workloads::WorkloadId;
+///
+/// let tenant = TenantSpec::new(WorkloadId::Cnn1, 1);
+/// assert_eq!(tenant.label(), "CNN-1/b01");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// The tenant's workload.
+    pub workload: WorkloadId,
+    /// The tenant's batch size.
+    pub batch: u64,
+}
+
+impl TenantSpec {
+    /// Creates a tenant spec.
+    #[must_use]
+    pub fn new(workload: WorkloadId, batch: u64) -> Self {
+        TenantSpec { workload, batch }
+    }
+
+    /// Human-readable `workload/batch` label (figure notation).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}/b{:02}", self.workload.label(), self.batch)
+    }
+}
+
+/// Whether tenants contend for the translation and memory hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResourceMode {
+    /// One IOTLB, one walker pool, one DRAM shared by every tenant — the
+    /// contended serving scenario.
+    Shared,
+    /// Contention disabled: every tenant gets private resources and a
+    /// private clock. Per-tenant results are identical to running each
+    /// tenant alone (the slowdown baseline).
+    Isolated,
+}
+
+/// Configuration of a multi-tenant scheduler run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiTenantConfig {
+    /// MMU design point of the (shared or per-tenant) translation engine.
+    /// Must be cycle-accounted ([`MmuKind::Oracle`] is rejected: an oracle
+    /// translates for free, so there is nothing to contend for).
+    pub mmu: MmuConfig,
+    /// NPU architecture parameters (tiling, DMA transaction size).
+    pub npu: NpuConfig,
+    /// Local memory system parameters.
+    pub dram: DramConfig,
+    /// Memory node the tenants' operands live on.
+    pub node: MemNode,
+    /// Backing capacity allocated to each tenant's operands.
+    pub memory_capacity_bytes: u64,
+    /// Scheduling quantum: how many DMA transactions a tenant issues before
+    /// the front end switches to the next tenant (burst interleaving; `1` is
+    /// fine-grained round-robin).
+    pub burst_transactions: u64,
+    /// Shared (contended) or isolated (contention-free baseline) resources.
+    pub mode: ResourceMode,
+}
+
+impl MultiTenantConfig {
+    /// The paper's default setup (TPU-like NPU, Table I memory system) with
+    /// the given MMU design point, shared resources and a 64-transaction
+    /// scheduling burst.
+    #[must_use]
+    pub fn with_mmu(mmu: MmuConfig) -> Self {
+        MultiTenantConfig {
+            mmu,
+            npu: NpuConfig::tpu_like(),
+            dram: DramConfig::table1(),
+            node: MemNode::Npu(0),
+            memory_capacity_bytes: 64 << 30,
+            burst_transactions: 64,
+            mode: ResourceMode::Shared,
+        }
+    }
+
+    /// Disables contention: per-tenant private engines, DRAM and clocks.
+    #[must_use]
+    pub fn isolated(mut self) -> Self {
+        self.mode = ResourceMode::Isolated;
+        self
+    }
+
+    /// Overrides the scheduling burst (transactions per tenant turn).
+    #[must_use]
+    pub fn with_burst(mut self, burst_transactions: u64) -> Self {
+        self.burst_transactions = burst_transactions;
+        self
+    }
+}
+
+/// Per-tenant event counters and timing of one scheduler run.
+///
+/// The counters are the multi-tenant extension of the repo's telemetry
+/// philosophy: cheap measured event counts that validate (or refute) the
+/// microarchitectural story — here, how much of a tenant's slowdown is TLB
+/// contention vs walker occupancy vs front-end stalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantStats {
+    /// The tenant's context tag.
+    pub asid: Asid,
+    /// Translation requests issued (one per DMA transaction).
+    pub requests: u64,
+    /// Requests that hit the (shared) IOTLB.
+    pub tlb_hits: u64,
+    /// Requests merged into an in-flight same-context walk by the PTS/PRMB.
+    pub merged: u64,
+    /// Page-table walks spent on this tenant.
+    pub walks: u64,
+    /// Page-table levels read by this tenant's walks (its walker-occupancy
+    /// and walk-energy footprint).
+    pub walk_levels_read: u64,
+    /// Translation faults (always zero for eagerly mapped dense operands).
+    pub faults: u64,
+    /// Cycles this tenant's requests spent stalled for translation bandwidth
+    /// (accept cycle minus issue cycle, summed).
+    pub stall_cycles: u64,
+    /// Cycle at which the tenant's last byte of data arrived.
+    pub completion_cycle: u64,
+    /// IOTLB entries the tenant held when it finished (capacity share).
+    pub final_tlb_occupancy: u64,
+}
+
+impl TenantStats {
+    fn new(asid: Asid) -> Self {
+        TenantStats {
+            asid,
+            requests: 0,
+            tlb_hits: 0,
+            merged: 0,
+            walks: 0,
+            walk_levels_read: 0,
+            faults: 0,
+            stall_cycles: 0,
+            completion_cycle: 0,
+            final_tlb_occupancy: 0,
+        }
+    }
+
+    /// IOTLB hit rate of the tenant's own request stream.
+    #[must_use]
+    pub fn tlb_hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.tlb_hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Cycles of walker busy time attributable to the tenant, given the
+    /// engine's per-level walk latency.
+    #[must_use]
+    pub fn walker_busy_cycles(&self, walk_latency_per_level: u64) -> u64 {
+        self.walk_levels_read * walk_latency_per_level
+    }
+}
+
+/// The outcome of one multi-tenant scheduler run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTenantResult {
+    /// Tenant mix the run executed, in ASID order.
+    pub tenants: Vec<TenantSpec>,
+    /// Per-tenant counters and timing, in ASID order.
+    pub stats: Vec<TenantStats>,
+    /// Cycle at which the last tenant finished.
+    pub makespan_cycles: u64,
+}
+
+impl MultiTenantResult {
+    /// The stats of the tenant registered under `asid`.
+    #[must_use]
+    pub fn tenant(&self, asid: Asid) -> Option<&TenantStats> {
+        self.stats.get(asid.index())
+    }
+
+    /// Each tenant's share of the total walker busy cycles (the
+    /// walker-occupancy breakdown; empty if no tenant walked).
+    #[must_use]
+    pub fn walker_occupancy_shares(&self) -> Vec<f64> {
+        let total: u64 = self.stats.iter().map(|s| s.walk_levels_read).sum();
+        if total == 0 {
+            return vec![0.0; self.stats.len()];
+        }
+        self.stats
+            .iter()
+            .map(|s| s.walk_levels_read as f64 / total as f64)
+            .collect()
+    }
+}
+
+/// One tenant's DMA translation stream: the per-transaction decomposition of
+/// its layers' tile fetches, yielded lazily in program order.
+struct TenantStream {
+    dma: DmaEngine,
+    /// `(segment base, fetch)` for every IA/W fetch of every tile of every
+    /// layer, in issue order.
+    fetches: Vec<(u64, TileFetch)>,
+    next_fetch: usize,
+    current: Option<(u64, TransactionIter)>,
+}
+
+impl TenantStream {
+    fn next_txn(&mut self) -> Option<(VirtAddr, u64)> {
+        loop {
+            if let Some((base, iter)) = self.current.as_mut() {
+                if let Some(txn) = iter.next() {
+                    return Some((VirtAddr::new(*base + txn.offset), txn.bytes));
+                }
+                self.current = None;
+            }
+            let &(base, fetch) = self.fetches.get(self.next_fetch)?;
+            self.next_fetch += 1;
+            self.current = Some((base, self.dma.transaction_iter(&fetch)));
+        }
+    }
+}
+
+/// Per-tenant or shared simulation resources, depending on the mode.
+struct Resources {
+    engines: Vec<TranslationEngine>,
+    drams: Vec<DramModel>,
+    clocks: Vec<u64>,
+}
+
+impl Resources {
+    fn index_for(&self, tenant: usize) -> usize {
+        if self.engines.len() == 1 {
+            0
+        } else {
+            tenant
+        }
+    }
+}
+
+/// Round-robin, burst-interleaving scheduler that multiplexes N tenants'
+/// translation streams onto one NPU's translation front end.
+#[derive(Debug, Clone)]
+pub struct TenantScheduler {
+    config: MultiTenantConfig,
+}
+
+impl TenantScheduler {
+    /// Creates a scheduler with the given configuration.
+    #[must_use]
+    pub fn new(config: MultiTenantConfig) -> Self {
+        TenantScheduler { config }
+    }
+
+    /// The scheduler's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MultiTenantConfig {
+        &self.config
+    }
+
+    /// Runs the tenant mix to completion and returns per-tenant counters.
+    ///
+    /// Tenants are registered in order (tenant `i` gets ASID `i`), their
+    /// streams are interleaved in bursts of
+    /// [`MultiTenantConfig::burst_transactions`] transactions, and the run
+    /// ends when every stream is exhausted and its data has arrived.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidConfig`] for an empty tenant list, a zero burst,
+    ///   or an oracular MMU (nothing to contend for).
+    /// * Propagates tiling and mapping errors.
+    pub fn run(&self, tenants: &[TenantSpec]) -> Result<MultiTenantResult, SimError> {
+        let config = &self.config;
+        if tenants.is_empty() {
+            return Err(SimError::InvalidConfig {
+                reason: "multi-tenant run needs at least one tenant".to_string(),
+            });
+        }
+        if config.burst_transactions == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "scheduling burst must be at least one transaction".to_string(),
+            });
+        }
+        if config.mmu.kind == MmuKind::Oracle {
+            return Err(SimError::InvalidConfig {
+                reason: "the multi-tenant scheduler models contention on a cycle-accounted \
+                         engine; the oracular MMU has nothing to contend for"
+                    .to_string(),
+            });
+        }
+        config.npu.validate()?;
+
+        // Per-tenant address spaces (private page tables) and streams.
+        let mut registry = AddressSpaceRegistry::new();
+        let mut streams = Vec::with_capacity(tenants.len());
+        let mut stats: Vec<TenantStats> = Vec::with_capacity(tenants.len());
+        for spec in tenants {
+            let asid = registry.create(format!("tenant-{}", spec.label()));
+            let space = registry.get_mut(asid).expect("just created");
+            // Every tenant draws frames from its own backing pool: physical
+            // frame identity never affects timing, and a private pool keeps a
+            // tenant's layout independent of who else is scheduled.
+            let mut memory =
+                PhysicalMemory::new(&[NodeSpec::new(config.node, config.memory_capacity_bytes)]);
+            let layers = DenseWorkload::new(spec.workload).layers(spec.batch);
+            let seg_opts = SegmentOptions::new(config.node, config.mmu.page_size);
+            let dma = DmaEngine::new(config.npu.dma);
+            let mut fetches = Vec::new();
+            for (layer_index, layer) in layers.iter().enumerate() {
+                let plan = TilingPlan::for_layer(layer, &config.npu)?;
+                let ia_seg = space.alloc_segment(
+                    format!("l{layer_index}_{}_ia", layer.name()),
+                    plan.ia_segment_bytes().max(1),
+                    seg_opts,
+                    &mut memory,
+                )?;
+                let w_seg = space.alloc_segment(
+                    format!("l{layer_index}_{}_w", layer.name()),
+                    plan.w_segment_bytes().max(1),
+                    seg_opts,
+                    &mut memory,
+                )?;
+                for tile in plan.tiles() {
+                    if let Some(fetch) = tile.ia_fetch {
+                        fetches.push((ia_seg.start().raw(), fetch));
+                    }
+                    if let Some(fetch) = tile.w_fetch {
+                        fetches.push((w_seg.start().raw(), fetch));
+                    }
+                }
+            }
+            streams.push(TenantStream {
+                dma,
+                fetches,
+                next_fetch: 0,
+                current: None,
+            });
+            stats.push(TenantStats::new(asid));
+        }
+
+        // Shared mode: one engine/DRAM/clock. Isolated mode: one per tenant.
+        let replicas = match config.mode {
+            ResourceMode::Shared => 1,
+            ResourceMode::Isolated => tenants.len(),
+        };
+        let mut resources = Resources {
+            engines: (0..replicas)
+                .map(|_| TranslationEngine::new(config.mmu))
+                .collect(),
+            drams: (0..replicas).map(|_| DramModel::new(config.dram)).collect(),
+            clocks: vec![0u64; replicas],
+        };
+
+        // Round-robin over live tenants, `burst_transactions` per turn.
+        let mut rotation: std::collections::VecDeque<usize> = (0..tenants.len()).collect();
+        while let Some(tenant) = rotation.pop_front() {
+            use neummu_mmu::AddressTranslator as _;
+            let slot = resources.index_for(tenant);
+            let asid = stats[tenant].asid;
+            let space = registry.get(asid).expect("registered above");
+            let page_table = space.page_table();
+            let mut exhausted = false;
+            for _ in 0..config.burst_transactions {
+                let Some((va, bytes)) = streams[tenant].next_txn() else {
+                    exhausted = true;
+                    break;
+                };
+                let issue = resources.clocks[slot];
+                let outcome = resources.engines[slot].translate_tagged(page_table, asid, va, issue);
+                let tenant_stats = &mut stats[tenant];
+                tenant_stats.requests += 1;
+                tenant_stats.stall_cycles += outcome.accept_cycle - issue;
+                match outcome.source {
+                    TranslationSource::TlbHit => tenant_stats.tlb_hits += 1,
+                    TranslationSource::Merged => tenant_stats.merged += 1,
+                    TranslationSource::PageWalk { levels_read } => {
+                        tenant_stats.walks += 1;
+                        tenant_stats.walk_levels_read += u64::from(levels_read);
+                    }
+                    TranslationSource::Oracle => unreachable!("oracle configs are rejected"),
+                }
+                if outcome.fault {
+                    tenant_stats.faults += 1;
+                }
+                resources.clocks[slot] = outcome.accept_cycle + 1;
+                let data_ready =
+                    resources.drams[slot].schedule_transfer(outcome.complete_cycle, bytes);
+                tenant_stats.completion_cycle = tenant_stats.completion_cycle.max(data_ready);
+            }
+            if exhausted {
+                stats[tenant].final_tlb_occupancy = resources.engines[resources.index_for(tenant)]
+                    .tlb()
+                    .occupancy_of(asid) as u64;
+            } else {
+                rotation.push_back(tenant);
+            }
+        }
+
+        let makespan_cycles = stats.iter().map(|s| s.completion_cycle).max().unwrap_or(0);
+        Ok(MultiTenantResult {
+            tenants: tenants.to_vec(),
+            stats,
+            makespan_cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_tenants(n: usize) -> Vec<TenantSpec> {
+        let mix = [WorkloadId::Cnn1, WorkloadId::Rnn2];
+        (0..n).map(|i| TenantSpec::new(mix[i % 2], 1)).collect()
+    }
+
+    #[test]
+    fn empty_zero_burst_and_oracle_configs_are_rejected() {
+        let scheduler = TenantScheduler::new(MultiTenantConfig::with_mmu(MmuConfig::neummu()));
+        assert!(matches!(
+            scheduler.run(&[]),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        let zero_burst =
+            TenantScheduler::new(MultiTenantConfig::with_mmu(MmuConfig::neummu()).with_burst(0));
+        assert!(matches!(
+            zero_burst.run(&smoke_tenants(1)),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        let oracle = TenantScheduler::new(MultiTenantConfig::with_mmu(MmuConfig::oracle()));
+        assert!(matches!(
+            oracle.run(&smoke_tenants(1)),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn single_tenant_shared_equals_isolated() {
+        // With one tenant there is nobody to contend with: shared and
+        // isolated modes must agree bit for bit.
+        let tenants = smoke_tenants(1);
+        let shared = TenantScheduler::new(MultiTenantConfig::with_mmu(MmuConfig::neummu()))
+            .run(&tenants)
+            .unwrap();
+        let isolated =
+            TenantScheduler::new(MultiTenantConfig::with_mmu(MmuConfig::neummu()).isolated())
+                .run(&tenants)
+                .unwrap();
+        assert_eq!(shared, isolated);
+        assert!(shared.stats[0].requests > 0);
+        assert_eq!(shared.makespan_cycles, shared.stats[0].completion_cycle);
+    }
+
+    #[test]
+    fn contention_slows_tenants_down() {
+        let tenants = smoke_tenants(2);
+        let shared = TenantScheduler::new(MultiTenantConfig::with_mmu(MmuConfig::neummu()))
+            .run(&tenants)
+            .unwrap();
+        let isolated =
+            TenantScheduler::new(MultiTenantConfig::with_mmu(MmuConfig::neummu()).isolated())
+                .run(&tenants)
+                .unwrap();
+        for (s, i) in shared.stats.iter().zip(&isolated.stats) {
+            assert_eq!(s.requests, i.requests, "same stream either way");
+            assert!(
+                s.completion_cycle >= i.completion_cycle,
+                "sharing cannot speed a tenant up: {} vs {}",
+                s.completion_cycle,
+                i.completion_cycle
+            );
+        }
+        assert!(
+            shared.makespan_cycles
+                > isolated
+                    .stats
+                    .iter()
+                    .map(|s| s.completion_cycle)
+                    .max()
+                    .unwrap()
+                    / 2,
+            "two interleaved tenants cannot be faster than half an isolated tenant"
+        );
+    }
+
+    #[test]
+    fn isolated_interleaved_matches_solo_runs() {
+        // The contention-disabled interleaved run must reproduce each
+        // tenant's solo run exactly (modulo the ASID tag).
+        let tenants = smoke_tenants(2);
+        let config = MultiTenantConfig::with_mmu(MmuConfig::neummu()).isolated();
+        let interleaved = TenantScheduler::new(config).run(&tenants).unwrap();
+        for (index, spec) in tenants.iter().enumerate() {
+            let solo = TenantScheduler::new(config).run(&[*spec]).unwrap();
+            let mut expected = solo.stats[0];
+            expected.asid = Asid::new(index as u16);
+            assert_eq!(interleaved.stats[index], expected, "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn walker_occupancy_shares_sum_to_one() {
+        let result = TenantScheduler::new(MultiTenantConfig::with_mmu(MmuConfig::neummu()))
+            .run(&smoke_tenants(2))
+            .unwrap();
+        let shares = result.walker_occupancy_shares();
+        assert_eq!(shares.len(), 2);
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "shares sum to {sum}");
+        assert!(result.tenant(Asid::new(0)).is_some());
+        assert!(result.tenant(Asid::new(7)).is_none());
+    }
+}

@@ -167,6 +167,46 @@ impl ExperimentRunner {
             })
     }
 
+    /// The memoized contention-free baseline of one tenant: its solo run
+    /// through the multi-tenant scheduler with isolation forced on. This is
+    /// the denominator of every per-tenant slowdown, keyed by the tenant
+    /// point *plus* the scenario fingerprint (MMU design point and
+    /// scheduling burst), so a tenant-count sweep simulates each distinct
+    /// baseline exactly once per runner lifetime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn isolated_tenant_point(
+        &self,
+        spec: crate::multi_tenant::TenantSpec,
+        config: crate::multi_tenant::MultiTenantConfig,
+    ) -> Result<Arc<crate::multi_tenant::TenantStats>, SimError> {
+        let isolated = config.isolated();
+        // The whole config is the scenario: every field (MMU design point,
+        // DRAM parameters, node, capacity, burst) can shift the baseline's
+        // completion cycles, so all of it goes into the fingerprint.
+        let key = oracle_cache::OracleKey::for_scenario(
+            spec.workload,
+            spec.batch,
+            isolated.mmu.page_size,
+            &isolated.npu,
+            format!("mt-isolated/{isolated:?}"),
+        );
+        self.oracle_cache.tenant_baseline_with(
+            key,
+            || {
+                crate::multi_tenant::TenantScheduler::new(isolated)
+                    .run(std::slice::from_ref(&spec))
+                    .map(|result| result.stats[0])
+            },
+            |elapsed| {
+                self.profile
+                    .record("multi_tenant/isolated-baseline", elapsed)
+            },
+        )
+    }
+
     /// Performance of `mmu` on a point, normalized to the memoized oracle
     /// baseline at the same page size.
     ///

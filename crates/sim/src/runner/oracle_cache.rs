@@ -8,6 +8,13 @@
 //! times. The cache below runs each baseline exactly once per distinct key and
 //! hands out shared references to the result, across threads and across
 //! experiments within one runner.
+//!
+//! The multi-tenant experiment family reuses the same key type for its
+//! *isolated tenant baselines* (a tenant's contention-free solo run, the
+//! denominator of every per-tenant slowdown): [`OracleKey::scenario`] carries
+//! the ASID/tenant-mix fingerprint — MMU design point, scheduling burst,
+//! resource mode — so a tenant-count sweep 1→8 simulates each distinct
+//! tenant's baseline once instead of once per sweep point.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -21,6 +28,7 @@ use neummu_workloads::{DenseWorkload, WorkloadId};
 
 use crate::dense::{DenseSimConfig, DenseSimulator, WorkloadResult};
 use crate::error::SimError;
+use crate::multi_tenant::TenantStats;
 
 /// Identity of one oracle baseline simulation.
 ///
@@ -37,10 +45,17 @@ pub struct OracleKey {
     pub page_size: PageSize,
     /// Stable fingerprint of the NPU architecture parameters.
     pub npu_fingerprint: String,
+    /// Scenario discriminator. Empty for the classic dense oracle baseline;
+    /// the multi-tenant family stores its ASID/tenant-mix fingerprint here
+    /// (MMU design point, scheduling burst, resource mode) so isolated
+    /// tenant baselines never alias oracle baselines — or each other across
+    /// different engine configurations.
+    pub scenario: String,
 }
 
 impl OracleKey {
-    /// Builds the key for a `(workload, batch, page size, NPU)` point.
+    /// Builds the key for a `(workload, batch, page size, NPU)` oracle
+    /// baseline point (the empty scenario).
     #[must_use]
     pub fn new(workload: WorkloadId, batch: u64, page_size: PageSize, npu: &NpuConfig) -> Self {
         OracleKey {
@@ -50,16 +65,36 @@ impl OracleKey {
             // NpuConfig is a plain-old-data struct; its Debug rendering is a
             // deterministic fingerprint of every architecture parameter.
             npu_fingerprint: format!("{npu:?}"),
+            scenario: String::new(),
         }
+    }
+
+    /// [`OracleKey::new`] with an explicit scenario fingerprint (the
+    /// multi-tenant isolated-baseline namespace).
+    #[must_use]
+    pub fn for_scenario(
+        workload: WorkloadId,
+        batch: u64,
+        page_size: PageSize,
+        npu: &NpuConfig,
+        scenario: impl Into<String>,
+    ) -> Self {
+        let mut key = Self::new(workload, batch, page_size, npu);
+        key.scenario = scenario.into();
+        key
     }
 }
 
-type Slot = Arc<OnceLock<Result<Arc<WorkloadResult>, SimError>>>;
+type Slot<T> = Arc<OnceLock<Result<Arc<T>, SimError>>>;
+type SlotMap<T> = Mutex<HashMap<OracleKey, Slot<T>>>;
 
-/// A thread-safe, exactly-once cache of oracle baseline results.
+/// A thread-safe, exactly-once cache of oracle baseline results (and, under
+/// scenario-tagged keys, of the multi-tenant family's isolated tenant
+/// baselines).
 #[derive(Debug, Default)]
 pub struct OracleCache {
-    slots: Mutex<HashMap<OracleKey, Slot>>,
+    slots: SlotMap<WorkloadResult>,
+    tenant_slots: SlotMap<TenantStats>,
     simulations: AtomicU64,
     hits: AtomicU64,
 }
@@ -109,15 +144,35 @@ impl OracleCache {
         on_simulated: impl FnOnce(Duration),
     ) -> Result<Arc<WorkloadResult>, SimError> {
         let key = OracleKey::new(workload, batch, page_size, &npu);
+        self.memoized(
+            &self.slots,
+            key,
+            || simulate_oracle(workload, batch, page_size, npu),
+            on_simulated,
+        )
+    }
+
+    /// The shared exactly-once core: looks up (or creates) the key's slot in
+    /// `map`, runs `simulate` on first initialization (counted as a
+    /// simulation, reported via `on_simulated`), and serves every later
+    /// request from the slot (counted as a hit). Concurrent requests for the
+    /// same key block on the in-flight simulation instead of duplicating it.
+    fn memoized<T>(
+        &self,
+        map: &SlotMap<T>,
+        key: OracleKey,
+        simulate: impl FnOnce() -> Result<T, SimError>,
+        on_simulated: impl FnOnce(Duration),
+    ) -> Result<Arc<T>, SimError> {
         let slot = {
-            let mut slots = self.slots.lock().expect("oracle cache poisoned");
+            let mut slots = map.lock().expect("oracle cache poisoned");
             Arc::clone(slots.entry(key).or_default())
         };
         let mut simulated: Option<Duration> = None;
         let result = slot.get_or_init(|| {
             self.simulations.fetch_add(1, Ordering::Relaxed);
             let started = Instant::now();
-            let result = simulate_oracle(workload, batch, page_size, npu).map(Arc::new);
+            let result = simulate().map(Arc::new);
             simulated = Some(started.elapsed());
             result
         });
@@ -128,6 +183,25 @@ impl OracleCache {
             }
         }
         result.clone()
+    }
+
+    /// Returns the memoized result of `simulate` for a scenario-tagged key
+    /// (the multi-tenant family's isolated tenant baselines), running it on
+    /// the first request for the key and sharing the result afterwards —
+    /// exactly-once semantics identical to [`OracleCache::oracle_result_with`].
+    /// `on_simulated` fires with the wall-clock duration only when this call
+    /// actually simulated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (the error is also memoized).
+    pub fn tenant_baseline_with(
+        &self,
+        key: OracleKey,
+        simulate: impl FnOnce() -> Result<TenantStats, SimError>,
+        on_simulated: impl FnOnce(Duration),
+    ) -> Result<Arc<TenantStats>, SimError> {
+        self.memoized(&self.tenant_slots, key, simulate, on_simulated)
     }
 
     /// Number of oracle simulations actually executed.
@@ -142,10 +216,16 @@ impl OracleCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct keys resident in the cache.
+    /// Number of distinct keys resident in the cache (oracle baselines plus
+    /// scenario-tagged tenant baselines).
     #[must_use]
     pub fn len(&self) -> usize {
         self.slots.lock().expect("oracle cache poisoned").len()
+            + self
+                .tenant_slots
+                .lock()
+                .expect("oracle cache poisoned")
+                .len()
     }
 
     /// True if no baseline has been requested yet.
@@ -208,6 +288,47 @@ mod tests {
         assert_eq!(cache.simulations(), 3);
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn scenario_tagged_tenant_baselines_memoize_exactly_once() {
+        use crate::multi_tenant::{MultiTenantConfig, TenantScheduler, TenantSpec};
+        use neummu_mmu::MmuConfig;
+
+        let cache = OracleCache::new();
+        let npu = NpuConfig::tpu_like();
+        let config = MultiTenantConfig::with_mmu(MmuConfig::neummu()).isolated();
+        let key = || {
+            OracleKey::for_scenario(
+                WorkloadId::Cnn1,
+                1,
+                PageSize::Size4K,
+                &npu,
+                format!(
+                    "mt-isolated/{:?}/burst{}",
+                    config.mmu, config.burst_transactions
+                ),
+            )
+        };
+        let simulate = || {
+            TenantScheduler::new(config)
+                .run(&[TenantSpec::new(WorkloadId::Cnn1, 1)])
+                .map(|r| r.stats[0])
+        };
+        let a = cache.tenant_baseline_with(key(), simulate, |_| {}).unwrap();
+        let b = cache
+            .tenant_baseline_with(key(), || panic!("second request must hit"), |_| {})
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.simulations(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+        // A scenario-tagged key never aliases the untagged oracle namespace.
+        cache
+            .oracle_result(WorkloadId::Cnn1, 1, PageSize::Size4K, npu)
+            .unwrap();
+        assert_eq!(cache.simulations(), 2);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

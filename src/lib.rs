@@ -9,6 +9,8 @@
 //! assert!(cfg.num_ptws >= 1);
 //! ```
 
+#![deny(missing_docs)]
+
 pub use neummu_energy as energy;
 pub use neummu_mem as mem;
 pub use neummu_mmu as mmu;
@@ -64,6 +66,13 @@ mod workspace_sanity {
         let _dram = crate::mem::DramModel::tpu_like();
         let _interconnect = crate::mem::interconnect::InterconnectConfig::table1();
         let _page_size = crate::vmem::PageSize::Size4K;
+        let _asid = crate::vmem::Asid::GLOBAL;
+        let _registry = crate::vmem::AddressSpaceRegistry::new();
+        let _scheduler: fn() -> crate::sim::TenantScheduler = || {
+            crate::sim::TenantScheduler::new(crate::sim::MultiTenantConfig::with_mmu(
+                crate::mmu::MmuConfig::neummu(),
+            ))
+        };
         let _ncf = crate::workloads::EmbeddingModel::ncf();
         let _dlrm = crate::workloads::EmbeddingModel::dlrm();
         let _meter = crate::energy::EnergyMeter::default();
