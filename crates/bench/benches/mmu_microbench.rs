@@ -214,6 +214,37 @@ fn bench_translation_engine_burst(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_run_coalesced_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("translation_engine");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let pages = 2048u64;
+    let pt = streaming_table(pages);
+    // The same 8-transactions-per-page DMA stream as the per-request
+    // `neummu` bench above, consumed through the run-coalesced path: one
+    // `translate_run` resolves a page's walk and replays the burst's seven
+    // merges arithmetically. The gap between this ns/req figure and
+    // `translation_engine/neummu` is the per-request overhead PR 5 removed.
+    group.throughput(Throughput::Elements(pages * 8));
+    group.bench_function("run_coalesced_burst", |b| {
+        b.iter(|| {
+            let mut engine = TranslationEngine::new(MmuConfig::neummu());
+            let mut cycle = 0u64;
+            for page in 0..pages {
+                let va = VirtAddr::new(0x10_0000_0000 + page * 4096);
+                let mut remaining = 8u64;
+                while remaining > 0 {
+                    let out = engine.translate_run(&pt, black_box(va), remaining, cycle);
+                    cycle = out.last_accept() + 1;
+                    remaining -= out.consumed;
+                }
+            }
+            engine.stats().walks
+        })
+    });
+    group.finish();
+}
+
 fn bench_multi_tenant_translation(c: &mut Criterion) {
     let mut group = c.benchmark_group("translation_engine");
     group.warm_up_time(Duration::from_millis(500));
@@ -267,6 +298,7 @@ criterion_group!(
     bench_walker_pool,
     bench_mmu_caches,
     bench_translation_engine_burst,
+    bench_run_coalesced_burst,
     bench_multi_tenant_translation
 );
 criterion_main!(benches);

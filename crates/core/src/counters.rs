@@ -30,6 +30,10 @@ static RETRY_REPROBES_SAVED: AtomicU64 = AtomicU64::new(0);
 static ORACLE_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
 static RETIRE_FAST_EXITS: AtomicU64 = AtomicU64::new(0);
 static DMA_FETCHES_STREAMED: AtomicU64 = AtomicU64::new(0);
+static RUNS_COALESCED: AtomicU64 = AtomicU64::new(0);
+static REPLAYED_HITS: AtomicU64 = AtomicU64::new(0);
+static REPLAYED_MERGES: AtomicU64 = AtomicU64::new(0);
+static REPLAYED_WALKS: AtomicU64 = AtomicU64::new(0);
 
 #[inline]
 fn add(counter: &AtomicU64, n: u64) {
@@ -52,6 +56,22 @@ pub(crate) fn add_oracle_memo_hits(n: u64) {
 
 pub(crate) fn add_retire_fast_exits(n: u64) {
     add(&RETIRE_FAST_EXITS, n);
+}
+
+pub(crate) fn add_runs_coalesced(n: u64) {
+    add(&RUNS_COALESCED, n);
+}
+
+pub(crate) fn add_replayed_hits(n: u64) {
+    add(&REPLAYED_HITS, n);
+}
+
+pub(crate) fn add_replayed_merges(n: u64) {
+    add(&REPLAYED_MERGES, n);
+}
+
+pub(crate) fn add_replayed_walks(n: u64) {
+    add(&REPLAYED_WALKS, n);
 }
 
 /// Records `fetches` DMA tile fetches whose transactions were streamed from
@@ -81,18 +101,35 @@ pub struct HotPathCounters {
     /// DMA tile fetches whose transactions were streamed from the iterator
     /// (one avoided `Vec<MemTransaction>` per fetch).
     pub dma_fetches_streamed: u64,
+    /// Same-page bursts that took the run-coalesced translation path: one
+    /// real TLB interaction for the whole run instead of one per request.
+    pub runs_coalesced: u64,
+    /// Translation requests replayed arithmetically as TLB hits by the run
+    /// path (each one a full set probe, LRU touch and stats update avoided).
+    pub replayed_hits: u64,
+    /// Translation requests replayed arithmetically as PTS/PRMB merges by
+    /// the run path (each one a set probe and a PTS lookup avoided).
+    pub replayed_merges: u64,
+    /// Translation requests replayed as redundant same-page walks on
+    /// merging-disabled engines (each one a set probe and a page-table probe
+    /// avoided; the walk itself still runs on the real walker machinery).
+    pub replayed_walks: u64,
 }
 
 impl HotPathCounters {
     /// The counters as `(label, value)` pairs, for report tables.
     #[must_use]
-    pub fn named(&self) -> [(&'static str, u64); 5] {
+    pub fn named(&self) -> [(&'static str, u64); 9] {
         [
             ("hot/page_table_probes", self.page_table_probes),
             ("hot/retry_reprobes_saved", self.retry_reprobes_saved),
             ("hot/oracle_memo_hits", self.oracle_memo_hits),
             ("hot/retire_fast_exits", self.retire_fast_exits),
             ("hot/dma_fetches_streamed", self.dma_fetches_streamed),
+            ("hot/runs_coalesced", self.runs_coalesced),
+            ("hot/replayed_hits", self.replayed_hits),
+            ("hot/replayed_merges", self.replayed_merges),
+            ("hot/replayed_walks", self.replayed_walks),
         ]
     }
 
@@ -116,6 +153,10 @@ impl HotPathCounters {
             dma_fetches_streamed: self
                 .dma_fetches_streamed
                 .saturating_sub(earlier.dma_fetches_streamed),
+            runs_coalesced: self.runs_coalesced.saturating_sub(earlier.runs_coalesced),
+            replayed_hits: self.replayed_hits.saturating_sub(earlier.replayed_hits),
+            replayed_merges: self.replayed_merges.saturating_sub(earlier.replayed_merges),
+            replayed_walks: self.replayed_walks.saturating_sub(earlier.replayed_walks),
         }
     }
 }
@@ -130,6 +171,10 @@ pub fn snapshot() -> HotPathCounters {
         oracle_memo_hits: ORACLE_MEMO_HITS.load(Ordering::Relaxed),
         retire_fast_exits: RETIRE_FAST_EXITS.load(Ordering::Relaxed),
         dma_fetches_streamed: DMA_FETCHES_STREAMED.load(Ordering::Relaxed),
+        runs_coalesced: RUNS_COALESCED.load(Ordering::Relaxed),
+        replayed_hits: REPLAYED_HITS.load(Ordering::Relaxed),
+        replayed_merges: REPLAYED_MERGES.load(Ordering::Relaxed),
+        replayed_walks: REPLAYED_WALKS.load(Ordering::Relaxed),
     }
 }
 
@@ -147,6 +192,10 @@ mod tests {
         add_oracle_memo_hits(1);
         add_retire_fast_exits(1);
         add_dma_fetches_streamed(3);
+        add_runs_coalesced(2);
+        add_replayed_hits(7);
+        add_replayed_merges(5);
+        add_replayed_walks(4);
         // Zero adds are free and must not disturb anything.
         add_probes(0);
         add_dma_fetches_streamed(0);
@@ -156,7 +205,11 @@ mod tests {
         assert!(delta.oracle_memo_hits >= 1);
         assert!(delta.retire_fast_exits >= 1);
         assert!(delta.dma_fetches_streamed >= 3);
-        assert_eq!(delta.named().len(), 5);
+        assert!(delta.runs_coalesced >= 2);
+        assert!(delta.replayed_hits >= 7);
+        assert!(delta.replayed_merges >= 5);
+        assert!(delta.replayed_walks >= 4);
+        assert_eq!(delta.named().len(), 9);
         assert_eq!(delta.named()[0].0, "hot/page_table_probes");
     }
 }

@@ -61,6 +61,108 @@ pub struct TranslationOutcome {
     pub fault: bool,
 }
 
+/// The outcome of a run-coalesced burst of same-page translation requests
+/// (see [`AddressTranslator::translate_run`]).
+///
+/// The first request of the run resolves through the full translation path
+/// and its outcome is reported verbatim in `first`. The remaining
+/// `consumed - 1` requests were *replayed* arithmetically: request `j`
+/// (0-based within the run) was accepted at `first.accept_cycle + j` and
+/// completed at `first.complete_cycle + j * complete_stride` — a stride of 1
+/// for replayed TLB hits (each hit completes a fixed TLB latency after its
+/// own accept) and 0 for replayed PRMB merges (every merged request completes
+/// when the shared walk retires). A run outcome never hides information: the
+/// per-request [`TranslationOutcome`]s reconstructed by
+/// [`RunOutcome::outcome`] are bit-identical to what `consumed` individual
+/// `translate` calls would have returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// Outcome of the run's first request (full translation path).
+    pub first: TranslationOutcome,
+    /// How many of the run's requests this call resolved (at least 1, at
+    /// most the requested count). When smaller than the requested count, the
+    /// replay hit a non-arithmetic event (PRMB exhaustion, an eviction, a
+    /// fault) and the caller re-issues the remainder with another
+    /// `translate_run` call, whose first request takes the full path —
+    /// exactly like the per-transaction sequence.
+    pub consumed: u64,
+    /// Completion stride of the replayed requests: 1 for TLB-hit replays,
+    /// 0 for merge replays (and for an unreplayed single).
+    pub complete_stride: u64,
+    /// How each replayed request was satisfied.
+    pub replay_source: TranslationSource,
+    /// Fault flag of every replayed request (the oracle replays faulting
+    /// bursts; the cycle-accounted engine never replays past a fault).
+    pub replay_fault: bool,
+}
+
+impl RunOutcome {
+    /// A run outcome that resolved only its first request.
+    #[must_use]
+    pub fn single(first: TranslationOutcome) -> Self {
+        RunOutcome {
+            first,
+            consumed: 1,
+            complete_stride: 0,
+            replay_source: first.source,
+            replay_fault: first.fault,
+        }
+    }
+
+    /// Number of requests replayed arithmetically (`consumed - 1`).
+    #[must_use]
+    pub fn replayed(&self) -> u64 {
+        self.consumed - 1
+    }
+
+    /// Accept cycle of the `index`-th request of the run.
+    #[must_use]
+    pub fn accept(&self, index: u64) -> u64 {
+        debug_assert!(index < self.consumed);
+        self.first.accept_cycle + index
+    }
+
+    /// Completion cycle of the `index`-th request of the run.
+    #[must_use]
+    pub fn complete(&self, index: u64) -> u64 {
+        debug_assert!(index < self.consumed);
+        if index == 0 {
+            self.first.complete_cycle
+        } else {
+            self.first.complete_cycle + index * self.complete_stride
+        }
+    }
+
+    /// Accept cycle of the run's last resolved request (the requester may
+    /// issue its next request no earlier than one cycle later).
+    #[must_use]
+    pub fn last_accept(&self) -> u64 {
+        self.accept(self.consumed - 1)
+    }
+
+    /// Completion cycle of the run's last resolved request. Completions are
+    /// non-decreasing across the run, so this is also the run's maximum.
+    #[must_use]
+    pub fn last_complete(&self) -> u64 {
+        self.complete(self.consumed - 1)
+    }
+
+    /// The full per-request outcome of the `index`-th request, bit-identical
+    /// to what an individual `translate` call would have returned.
+    #[must_use]
+    pub fn outcome(&self, index: u64) -> TranslationOutcome {
+        if index == 0 {
+            return self.first;
+        }
+        TranslationOutcome {
+            accept_cycle: self.accept(index),
+            complete_cycle: self.complete(index),
+            source: self.replay_source,
+            fault: self.replay_fault,
+        }
+    }
+}
+
 /// Common interface of the oracular MMU and the cycle-accounted engines.
 ///
 /// The trait requires `Send` so that boxed translators — and any per-point
@@ -100,6 +202,47 @@ pub trait AddressTranslator: Send {
     /// state untouched. Stateless translators need not do anything.
     fn flush_asid(&mut self, asid: Asid) {
         let _ = asid;
+    }
+
+    /// Translates a run of `count` back-to-back same-page requests, the
+    /// first at address `va` issued at `cycle`, each subsequent request
+    /// issued one cycle after the previous one was accepted — the exact
+    /// issue pattern of a DMA burst. Every address of the run must lie on
+    /// the same [`AddressTranslator::page_size`] page as `va`.
+    ///
+    /// Implementations resolve the first request through the full
+    /// translation path and may *replay* as many of the remaining requests
+    /// as behave arithmetically (see [`RunOutcome`]); the sequence of
+    /// outcomes and every statistic are bit-identical to `count` individual
+    /// [`AddressTranslator::translate`] calls. The default implementation
+    /// coalesces nothing: it resolves the first request and returns
+    /// `consumed == 1`, which is always correct.
+    ///
+    /// Equivalent to [`AddressTranslator::translate_run_tagged`] in the
+    /// [`Asid::GLOBAL`] context.
+    fn translate_run(
+        &mut self,
+        page_table: &PageTable,
+        va: VirtAddr,
+        count: u64,
+        cycle: u64,
+    ) -> RunOutcome {
+        debug_assert!(count >= 1, "a run has at least one request");
+        RunOutcome::single(self.translate(page_table, va, cycle))
+    }
+
+    /// [`AddressTranslator::translate_run`] in the tenant context `asid`.
+    /// The default resolves the first request and coalesces nothing.
+    fn translate_run_tagged(
+        &mut self,
+        page_table: &PageTable,
+        asid: Asid,
+        va: VirtAddr,
+        count: u64,
+        cycle: u64,
+    ) -> RunOutcome {
+        debug_assert!(count >= 1, "a run has at least one request");
+        RunOutcome::single(self.translate_tagged(page_table, asid, va, cycle))
     }
 
     /// Statistics accumulated so far.
@@ -161,6 +304,10 @@ struct HotTally {
     retry_reprobes_saved: u64,
     memo_hits: u64,
     retire_fast_exits: u64,
+    runs_coalesced: u64,
+    replayed_hits: u64,
+    replayed_merges: u64,
+    replayed_walks: u64,
 }
 
 impl HotTally {
@@ -170,6 +317,10 @@ impl HotTally {
         counters::add_retry_reprobes_saved(self.retry_reprobes_saved);
         counters::add_oracle_memo_hits(self.memo_hits);
         counters::add_retire_fast_exits(self.retire_fast_exits);
+        counters::add_runs_coalesced(self.runs_coalesced);
+        counters::add_replayed_hits(self.replayed_hits);
+        counters::add_replayed_merges(self.replayed_merges);
+        counters::add_replayed_walks(self.replayed_walks);
         *self = HotTally::default();
     }
 }
@@ -274,6 +425,65 @@ impl AddressTranslator for OracleTranslator {
         }
     }
 
+    fn translate_run(
+        &mut self,
+        page_table: &PageTable,
+        va: VirtAddr,
+        count: u64,
+        cycle: u64,
+    ) -> RunOutcome {
+        debug_assert!(count >= 1, "a run has at least one request");
+        let first = self.translate(page_table, va, cycle);
+        let mut out = RunOutcome::single(first);
+        if count <= 1 {
+            return out;
+        }
+        // The run's addresses may arrive in any order within the page (the
+        // embedding gather coalesces same-page lookups of random rows), so
+        // the replay is valid only if the memo covers the *whole* page: then
+        // every request of the run is answered by the memo exactly as the
+        // per-request path would answer it. When the mapped leaf is smaller
+        // than the translation page this check fails and the run simply
+        // stays uncoalesced — correct, just slower.
+        let page_start = va.page_base(self.page_size);
+        let page_last = VirtAddr::new(page_start.raw() + self.page_size.bytes() - 1);
+        let stamp = page_table.revision();
+        let covered = self
+            .memo
+            .is_some_and(|memo| memo.covers(stamp, page_start) && memo.covers(stamp, page_last));
+        if !covered {
+            return out;
+        }
+        let replays = count - 1;
+        self.stats.requests += replays;
+        self.stats.tlb_hits += replays;
+        if first.fault {
+            self.stats.faults += replays;
+        }
+        self.stats.last_completion_cycle = self.stats.last_completion_cycle.max(cycle + replays);
+        self.hot.memo_hits += replays;
+        self.hot.runs_coalesced += 1;
+        self.hot.replayed_hits += replays;
+        out.consumed = count;
+        out.complete_stride = 1;
+        out
+    }
+
+    fn translate_run_tagged(
+        &mut self,
+        page_table: &PageTable,
+        asid: Asid,
+        va: VirtAddr,
+        count: u64,
+        cycle: u64,
+    ) -> RunOutcome {
+        // The oracle is stateless across contexts (its memo is stamped by
+        // the page table's globally unique revision), so the tagged run is
+        // the untagged run.
+        let _ = asid;
+        self.translate_run(page_table, va, count, cycle)
+    }
+
     fn stats(&self) -> &TranslationStats {
         &self.stats
     }
@@ -361,6 +571,25 @@ impl TranslationEngine {
         va.page_number(self.config.page_size)
     }
 
+    /// Retires every walk completed by `cycle`, filling the TLB. Split-borrow
+    /// form shared by the per-request path and the run replays.
+    fn retire_walks(
+        walkers: &mut WalkerPool,
+        tlb: &mut Tlb,
+        energy: &mut EnergyMeter,
+        cycle: u64,
+    ) -> usize {
+        walkers.drain_completed(cycle, |walk| {
+            if walk.mapped {
+                tlb.insert_tagged(walk.asid, walk.page_number);
+                energy.record(EnergyEvent::TlbFill, 1);
+            }
+            if walk.merged_requests > 0 {
+                energy.record(EnergyEvent::PrmbRead, u64::from(walk.merged_requests));
+            }
+        })
+    }
+
     /// Retires completed walks up to `cycle`, filling the TLB.
     fn drain_completions(&mut self, cycle: u64) {
         let TranslationEngine {
@@ -370,18 +599,240 @@ impl TranslationEngine {
             hot,
             ..
         } = self;
-        let retired = walkers.drain_completed(cycle, |walk| {
-            if walk.mapped {
-                tlb.insert_tagged(walk.asid, walk.page_number);
-                energy.record(EnergyEvent::TlbFill, 1);
-            }
-            if walk.merged_requests > 0 {
-                energy.record(EnergyEvent::PrmbRead, u64::from(walk.merged_requests));
-            }
-        });
-        if retired == 0 {
+        if Self::retire_walks(walkers, tlb, energy, cycle) == 0 {
             hot.retire_fast_exits += 1;
         }
+    }
+
+    /// Replays up to `want` same-page requests, one per cycle after
+    /// `first_accept`, each of which hits the TLB entry the run's first
+    /// request just hit. Returns how many were replayed.
+    ///
+    /// Consecutive hits on one LRU entry are idempotent — after the first
+    /// touch the entry is already most-recently-used — so the replay records
+    /// whole hit segments with single batched touches. Walks of *other*
+    /// pages that complete mid-run still retire at exactly the cycles the
+    /// per-request path would retire them (between the hit that precedes
+    /// their completion cycle and the hit that follows it), so TLB insertion
+    /// order, recency order and every eviction decision stay bit-identical.
+    /// If one of those insertions evicts the run's own entry, the replay
+    /// stops at that cycle: per-request, the next lookup would miss.
+    fn replay_hit_run(
+        &mut self,
+        asid: Asid,
+        page_number: u64,
+        first_accept: u64,
+        want: u64,
+    ) -> u64 {
+        let TranslationEngine {
+            config,
+            walkers,
+            tlb,
+            energy,
+            stats,
+            hot,
+        } = self;
+        let last_cycle = first_accept + want;
+        let mut cursor = first_accept;
+        loop {
+            // The next walk retirement splits the remaining cycles into a
+            // pure-hit segment (before it) and the rest.
+            let next = walkers.next_completion();
+            let segment_end = match next {
+                Some(completes) if completes <= last_cycle => completes - 1,
+                _ => last_cycle,
+            };
+            let segment = segment_end - cursor;
+            if segment > 0 {
+                let resident = tlb.record_run_hits(asid, page_number, segment);
+                debug_assert!(resident, "a hit replay requires a resident entry");
+                if !resident {
+                    break;
+                }
+                cursor = segment_end;
+            }
+            match next {
+                Some(completes) if completes <= last_cycle => {
+                    Self::retire_walks(walkers, tlb, energy, completes);
+                    if !tlb.contains_tagged(asid, page_number) {
+                        // The retirement evicted the run's entry: the request
+                        // at `completes` would miss. Stop exactly there.
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let replayed = cursor - first_accept;
+        if replayed > 0 {
+            stats.requests += replayed;
+            stats.tlb_hits += replayed;
+            stats.last_completion_cycle = stats
+                .last_completion_cycle
+                .max(cursor + config.tlb_hit_latency);
+            energy.record(EnergyEvent::TlbLookup, replayed);
+            hot.runs_coalesced += 1;
+            hot.replayed_hits += replayed;
+        }
+        replayed
+    }
+
+    /// Replays up to `want` same-page requests, one per cycle after
+    /// `first_accept`, on an engine whose merging is disabled: exactly like
+    /// the per-request path, each request misses the TLB and spends its own
+    /// walk on the next free walker (the redundant-walk behaviour of the
+    /// baseline IOMMU, Figure 8). Returns how many were replayed.
+    ///
+    /// What the replay skips is only what is provably identical across the
+    /// run: the TLB set scan (every lookup of an in-flight page misses until
+    /// a walk of the page retires — the replay stops the moment that
+    /// happens) and the page-table probe (the page is immutable for the
+    /// duration of the call, so `full_levels`/`mapped` are those of the
+    /// first request). Walker assignment, TPreg probes and fills, heap
+    /// order, retirements and all statistics go through the exact
+    /// per-request machinery, one request at a time; a request that would
+    /// be rejected (no idle walker) is *not* consumed, so the caller's next
+    /// `translate_run` re-issues it through the full stall-retry path.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_walk_run(
+        &mut self,
+        asid: Asid,
+        page_number: u64,
+        tag: PathTag,
+        full_levels: u32,
+        mapped: bool,
+        first_accept: u64,
+        want: u64,
+    ) -> u64 {
+        let TranslationEngine {
+            config,
+            walkers,
+            tlb,
+            energy,
+            stats,
+            hot,
+        } = self;
+        debug_assert!(
+            !config.tpreg_enabled,
+            "walk replays require constant per-walk levels (no TPreg)"
+        );
+        let last_cycle = first_accept + want;
+        let mut cursor = first_accept;
+        while cursor < last_cycle {
+            let cycle = cursor + 1;
+            if walkers.next_completion().is_some_and(|c| c <= cycle) {
+                Self::retire_walks(walkers, tlb, energy, cycle);
+                if tlb.contains_tagged(asid, page_number) {
+                    // A walk of this page retired: the request at `cycle`
+                    // would hit. Stop; the caller's next call replays hits.
+                    break;
+                }
+            }
+            if !walkers.has_free_walker() {
+                // The request at `cycle` would be rejected and stall.
+                break;
+            }
+            tlb.record_run_misses(1);
+            energy.record(EnergyEvent::TlbLookup, 1);
+            match walkers.start_walk_tagged(asid, cycle, page_number, tag, full_levels, mapped) {
+                WalkAdmission::Started {
+                    completes_at,
+                    levels_read,
+                    ..
+                } => {
+                    stats.requests += 1;
+                    stats.tlb_misses += 1;
+                    stats.walks += 1;
+                    stats.walk_memory_accesses += u64::from(levels_read);
+                    energy.record(EnergyEvent::PageWalkMemoryAccess, u64::from(levels_read));
+                    if !mapped {
+                        stats.faults += 1;
+                    }
+                    stats.last_completion_cycle = stats.last_completion_cycle.max(completes_at);
+                    cursor = cycle;
+                }
+                WalkAdmission::Merged { .. } | WalkAdmission::Rejected { .. } => {
+                    unreachable!("a free walker accepts a walk when merging is disabled")
+                }
+            }
+        }
+        let replayed = cursor - first_accept;
+        if replayed > 0 {
+            hot.runs_coalesced += 1;
+            hot.replayed_walks += replayed;
+        }
+        replayed
+    }
+
+    /// Replays up to `want` same-page requests, one per cycle after
+    /// `first_accept`, each of which merges into the in-flight walk the
+    /// run's first request started or merged into. Returns how many were
+    /// replayed.
+    ///
+    /// Merged requests touch no TLB entry (their lookups miss), so walks of
+    /// other pages that complete mid-run retire in completion order exactly
+    /// as the per-request path retires them. The replay stops — leaving the
+    /// remainder to the caller's next `translate_run` call, whose first
+    /// request takes the full path — as soon as anything non-arithmetic
+    /// happens: the PRMB fills up, the shared walk's PTS entry disappears,
+    /// or the run's page lands in the TLB (a duplicate walk retiring, or the
+    /// shared walk itself completing inside the run).
+    fn replay_merge_run(
+        &mut self,
+        asid: Asid,
+        page_number: u64,
+        first_accept: u64,
+        want: u64,
+    ) -> u64 {
+        let TranslationEngine {
+            walkers,
+            tlb,
+            energy,
+            stats,
+            hot,
+            ..
+        } = self;
+        let last_cycle = first_accept + want;
+        let mut cursor = first_accept;
+        loop {
+            let next = walkers.next_completion();
+            let segment_end = match next {
+                Some(completes) if completes <= last_cycle => completes - 1,
+                _ => last_cycle,
+            };
+            let segment = segment_end - cursor;
+            if segment > 0 {
+                let merged = walkers.merge_run_tagged(asid, page_number, segment);
+                tlb.record_run_misses(merged);
+                cursor += merged;
+                if merged < segment {
+                    break;
+                }
+            }
+            match next {
+                Some(completes) if completes <= last_cycle => {
+                    Self::retire_walks(walkers, tlb, energy, completes);
+                    if tlb.contains_tagged(asid, page_number) {
+                        // The page's translation just landed: the request at
+                        // `completes` would hit, not merge.
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let replayed = cursor - first_accept;
+        if replayed > 0 {
+            stats.requests += replayed;
+            stats.tlb_misses += replayed;
+            stats.merged += replayed;
+            energy.record(EnergyEvent::TlbLookup, replayed);
+            energy.record(EnergyEvent::PtsLookup, replayed);
+            energy.record(EnergyEvent::PrmbWrite, replayed);
+            hot.runs_coalesced += 1;
+            hot.replayed_merges += replayed;
+        }
+        replayed
     }
 }
 
@@ -538,6 +989,84 @@ impl AddressTranslator for TranslationEngine {
                 }
             }
         }
+    }
+
+    fn translate_run(
+        &mut self,
+        page_table: &PageTable,
+        va: VirtAddr,
+        count: u64,
+        cycle: u64,
+    ) -> RunOutcome {
+        self.translate_run_tagged(page_table, Asid::GLOBAL, va, count, cycle)
+    }
+
+    fn translate_run_tagged(
+        &mut self,
+        page_table: &PageTable,
+        asid: Asid,
+        va: VirtAddr,
+        count: u64,
+        cycle: u64,
+    ) -> RunOutcome {
+        debug_assert!(count >= 1, "a run has at least one request");
+        let first = self.translate_tagged(page_table, asid, va, cycle);
+        let mut out = RunOutcome::single(first);
+        if count <= 1 || first.fault {
+            return out;
+        }
+        let page_number = self.page_number_of(va);
+        let want = count - 1;
+        match first.source {
+            TranslationSource::TlbHit => {
+                let replayed = self.replay_hit_run(asid, page_number, first.accept_cycle, want);
+                if replayed > 0 {
+                    out.consumed += replayed;
+                    out.complete_stride = 1;
+                    out.replay_source = TranslationSource::TlbHit;
+                    out.replay_fault = false;
+                }
+            }
+            TranslationSource::Merged | TranslationSource::PageWalk { .. }
+                if self.config.merging_enabled() =>
+            {
+                let replayed = self.replay_merge_run(asid, page_number, first.accept_cycle, want);
+                if replayed > 0 {
+                    out.consumed += replayed;
+                    out.complete_stride = 0;
+                    out.replay_source = TranslationSource::Merged;
+                    out.replay_fault = false;
+                }
+            }
+            TranslationSource::PageWalk { levels_read } if !self.config.tpreg_enabled => {
+                // Merging disabled and no TPreg (the baseline-IOMMU shape):
+                // every request of the run spends its own full walk, reading
+                // the same number of levels — so the replayed walks complete
+                // on the same one-cycle stride their accepts advance on.
+                // (With a TPreg, later walks skip levels the first one read
+                // and completions stop being arithmetic: no replay.)
+                let tag = PathTag::of(va);
+                let replayed = self.replay_walk_run(
+                    asid,
+                    page_number,
+                    tag,
+                    levels_read,
+                    true,
+                    first.accept_cycle,
+                    want,
+                );
+                if replayed > 0 {
+                    out.consumed += replayed;
+                    out.complete_stride = 1;
+                    out.replay_source = TranslationSource::PageWalk { levels_read };
+                    out.replay_fault = false;
+                }
+            }
+            // An oracle source (which the engine never produces) or a
+            // TPreg-accelerated unmerged walk: nothing replays arithmetically.
+            _ => {}
+        }
+        out
     }
 
     fn stats(&self) -> &TranslationStats {
@@ -1085,6 +1614,197 @@ mod tests {
         let mut engine = TranslationEngine::for_config(MmuConfig::neummu());
         let out = engine.translate(&pt, VirtAddr::new(0xc00_0000), 7);
         assert!(matches!(out.source, TranslationSource::PageWalk { .. }));
+    }
+
+    /// Drives the same DMA-shaped burst stream (runs of `txns_per_page`
+    /// requests per page, one request per cycle after the previous accept)
+    /// through a per-request engine and a run-coalesced engine, asserting
+    /// bit-identical outcomes, statistics, energy and TLB counters.
+    fn assert_run_path_matches_per_request(
+        config: MmuConfig,
+        pt: &PageTable,
+        pages: &[u64],
+        base: u64,
+        txns_per_page: u64,
+        passes: u32,
+    ) {
+        let mut reference = TranslationEngine::new(config);
+        let mut coalesced = TranslationEngine::new(config);
+        let mut ref_cycle = 0u64;
+        let mut run_cycle = 0u64;
+        let page_bytes = config.page_size.bytes();
+        let txn_bytes = page_bytes / txns_per_page;
+        for pass in 0..passes {
+            for &page in pages {
+                let va = VirtAddr::new(base + page * page_bytes);
+                let mut expected = Vec::new();
+                for i in 0..txns_per_page {
+                    let out = reference.translate(pt, va.add(i * txn_bytes), ref_cycle);
+                    ref_cycle = out.accept_cycle + 1;
+                    expected.push(out);
+                }
+                let mut produced = Vec::new();
+                let mut remaining = txns_per_page;
+                while remaining > 0 {
+                    let index = txns_per_page - remaining;
+                    let out = coalesced.translate_run(
+                        pt,
+                        va.add(index * txn_bytes),
+                        remaining,
+                        run_cycle,
+                    );
+                    assert!(out.consumed >= 1 && out.consumed <= remaining);
+                    for j in 0..out.consumed {
+                        produced.push(out.outcome(j));
+                    }
+                    run_cycle = out.last_accept() + 1;
+                    remaining -= out.consumed;
+                }
+                assert_eq!(produced, expected, "pass {pass} page {page:#x}");
+            }
+        }
+        assert_eq!(ref_cycle, run_cycle);
+        assert_eq!(reference.stats(), coalesced.stats());
+        assert_eq!(reference.tlb().lookups(), coalesced.tlb().lookups());
+        assert_eq!(reference.tlb().hits(), coalesced.tlb().hits());
+        assert_eq!(reference.tlb().fills(), coalesced.tlb().fills());
+        assert_eq!(reference.tlb().occupancy(), coalesced.tlb().occupancy());
+        assert!((reference.energy().total_nj() - coalesced.energy().total_nj()).abs() < 1e-9);
+        for event in [
+            neummu_energy::EnergyEvent::TlbLookup,
+            neummu_energy::EnergyEvent::TlbFill,
+            neummu_energy::EnergyEvent::PtsLookup,
+            neummu_energy::EnergyEvent::PrmbWrite,
+            neummu_energy::EnergyEvent::PrmbRead,
+            neummu_energy::EnergyEvent::PageWalkMemoryAccess,
+        ] {
+            assert_eq!(
+                reference.energy().count(event),
+                coalesced.energy().count(event),
+                "{event:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_path_matches_per_request_for_streaming_merges() {
+        // NeuMMU streaming: every page's first request walks, the other seven
+        // merge. Two passes so the second pass exercises the TLB-hit replay
+        // while earlier walks retire mid-run.
+        let pt = mapped_table(0x100_0000, 64);
+        let pages: Vec<u64> = (0..64).collect();
+        assert_run_path_matches_per_request(MmuConfig::neummu(), &pt, &pages, 0x100_0000, 8, 2);
+    }
+
+    #[test]
+    fn run_path_matches_per_request_when_merging_is_disabled() {
+        // Baseline IOMMU: no PRMB, every request spends its own walk; the run
+        // path must degenerate to the per-request sequence.
+        let pt = mapped_table(0x200_0000, 16);
+        let pages: Vec<u64> = (0..16).collect();
+        assert_run_path_matches_per_request(
+            MmuConfig::baseline_iommu(),
+            &pt,
+            &pages,
+            0x200_0000,
+            8,
+            2,
+        );
+    }
+
+    #[test]
+    fn run_path_matches_per_request_under_prmb_exhaustion() {
+        // One mergeable slot: runs exhaust the PRMB immediately and fall back
+        // mid-run (structural stalls included).
+        let config = MmuConfig::neummu().with_ptws(2).with_prmb_slots(1);
+        let pt = mapped_table(0x300_0000, 16);
+        let pages: Vec<u64> = (0..16).collect();
+        assert_run_path_matches_per_request(config, &pt, &pages, 0x300_0000, 8, 2);
+    }
+
+    #[test]
+    fn run_path_matches_per_request_under_tlb_thrashing() {
+        // A tiny TLB with a working set larger than capacity: hit-regime
+        // replays race against evictions from mid-run retirements.
+        let config = MmuConfig::neummu().with_tlb_entries(4);
+        let pt = mapped_table(0x400_0000, 32);
+        let pages: Vec<u64> = (0..32).collect();
+        assert_run_path_matches_per_request(config, &pt, &pages, 0x400_0000, 8, 3);
+    }
+
+    #[test]
+    fn run_path_matches_per_request_with_2mb_pages() {
+        let mut pt = PageTable::new();
+        for i in 0..4u64 {
+            pt.map(
+                VirtAddr::new(0x4000_0000 + i * (2 << 20)),
+                PageSize::Size2M,
+                PhysFrameNum::new(0x8_0000 + i * 512),
+                MemNode::Npu(0),
+            )
+            .unwrap();
+        }
+        let config = MmuConfig::neummu().with_page_size(PageSize::Size2M);
+        let pages: Vec<u64> = (0..4).collect();
+        // 64 transactions per 2 MB page keeps the test fast while spanning
+        // walk completion inside each run.
+        assert_run_path_matches_per_request(config, &pt, &pages, 0x4000_0000, 64, 2);
+    }
+
+    #[test]
+    fn tagged_run_replays_do_not_cross_contexts() {
+        let pt_a = mapped_table(0x500_0000, 1);
+        let pt_b = mapped_table(0x500_0000, 1);
+        let (a, b) = (Asid::new(1), Asid::new(2));
+        let mut mmu = TranslationEngine::new(MmuConfig::neummu());
+        let run_a = mmu.translate_run_tagged(&pt_a, a, VirtAddr::new(0x500_0000), 8, 0);
+        assert_eq!(run_a.consumed, 8);
+        assert_eq!(run_a.replay_source, TranslationSource::Merged);
+        // Tenant B's run to the same page number cannot merge into A's walk:
+        // its first request starts a fresh walk and its replays merge into
+        // *that* walk only.
+        let run_b = mmu.translate_run_tagged(
+            &pt_b,
+            b,
+            VirtAddr::new(0x500_0000),
+            8,
+            run_a.last_accept() + 1,
+        );
+        assert_eq!(run_b.consumed, 8);
+        assert!(matches!(
+            run_b.first.source,
+            TranslationSource::PageWalk { .. }
+        ));
+        assert_eq!(mmu.stats().walks, 2);
+        assert_eq!(mmu.stats().merged, 14);
+    }
+
+    #[test]
+    fn oracle_run_replays_memoized_bursts_and_partial_faults() {
+        let pt = mapped_table(0x600_0000, 1);
+        let mut oracle = OracleTranslator::default();
+        let run = oracle.translate_run(&pt, VirtAddr::new(0x600_0000), 8, 5);
+        assert_eq!(run.consumed, 8);
+        assert_eq!(run.complete_stride, 1);
+        assert_eq!(run.outcome(7).accept_cycle, 12);
+        assert_eq!(run.outcome(7).complete_cycle, 12);
+        assert!(!run.outcome(7).fault);
+        assert_eq!(oracle.stats().requests, 8);
+        assert_eq!(oracle.stats().last_completion_cycle, 12);
+        // An unmapped page replays its faults from the negative memo.
+        let faulting = oracle.translate_run(&pt, VirtAddr::new(0x900_0000), 4, 20);
+        assert_eq!(faulting.consumed, 4);
+        assert!(faulting.first.fault && faulting.replay_fault);
+        assert_eq!(oracle.stats().faults, 4);
+        // Same totals as four per-request faulting translates.
+        let mut reference = OracleTranslator::default();
+        let mut cycle = 20;
+        for _ in 0..4 {
+            let out = reference.translate(&pt, VirtAddr::new(0x900_0000), cycle);
+            assert!(out.fault);
+            cycle = out.accept_cycle + 1;
+        }
+        assert_eq!(reference.stats().faults, 4);
     }
 
     #[test]

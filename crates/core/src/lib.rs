@@ -66,7 +66,8 @@ pub mod walker;
 pub use config::{MmuConfig, MmuKind};
 pub use counters::HotPathCounters;
 pub use engine::{
-    AddressTranslator, OracleTranslator, TranslationEngine, TranslationOutcome, TranslationSource,
+    AddressTranslator, OracleTranslator, RunOutcome, TranslationEngine, TranslationOutcome,
+    TranslationSource,
 };
 pub use mmu_cache::{MmuCacheKind, TranslationPathCache, UnifiedPageTableCache, WalkCache};
 pub use stats::TranslationStats;
@@ -78,7 +79,7 @@ pub use walker::WalkerPool;
 pub mod prelude {
     pub use crate::config::{MmuConfig, MmuKind};
     pub use crate::engine::{
-        AddressTranslator, OracleTranslator, TranslationEngine, TranslationOutcome,
+        AddressTranslator, OracleTranslator, RunOutcome, TranslationEngine, TranslationOutcome,
         TranslationSource,
     };
     pub use crate::mmu_cache::{

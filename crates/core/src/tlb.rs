@@ -129,6 +129,47 @@ impl Tlb {
         }
     }
 
+    /// Records `hits` back-to-back lookups of one resident entry as a single
+    /// LRU touch — the run-coalesced replay of a same-page burst.
+    ///
+    /// Consecutive hits on one entry are idempotent on true LRU: after the
+    /// first touch the entry is already most-recently-used in its set, so
+    /// `hits` individual lookups and one batched touch leave the replacement
+    /// state in exactly the same relative order. The recency stamp still
+    /// advances by `hits` (as `hits` individual lookups would have advanced
+    /// it), so the set's stamp arithmetic — and therefore every later
+    /// eviction decision — is bit-identical to the per-lookup path.
+    ///
+    /// Returns `false` (recording nothing) if the entry is not resident; the
+    /// caller's run replay is only valid while the entry survives.
+    pub fn record_run_hits(&mut self, asid: Asid, page_number: u64, hits: u64) -> bool {
+        if hits == 0 {
+            return self.contains_tagged(asid, page_number);
+        }
+        let set = self.set_index(page_number);
+        let stamp = self.stamp + hits;
+        let Some(entry) = self.sets[set]
+            .iter_mut()
+            .find(|e| e.matches(asid, page_number))
+        else {
+            return false;
+        };
+        entry.last_used = stamp;
+        self.stamp = stamp;
+        self.lookups += hits;
+        self.hits += hits;
+        true
+    }
+
+    /// Records `misses` lookups that probed a set and found nothing (the
+    /// run-coalesced replay of requests that merged into an in-flight walk):
+    /// the lookup and stamp counters advance exactly as `misses` individual
+    /// missing lookups would have advanced them, without scanning any set.
+    pub fn record_run_misses(&mut self, misses: u64) {
+        self.stamp += misses;
+        self.lookups += misses;
+    }
+
     /// Checks for presence in the [`Asid::GLOBAL`] context without updating
     /// LRU state or statistics.
     #[must_use]
@@ -391,6 +432,44 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_entries_rejected() {
         let _ = Tlb::new(0, 1);
+    }
+
+    #[test]
+    fn run_hit_recording_matches_individual_lookups_bit_for_bit() {
+        // Drive two TLBs through the same traffic, one with per-lookup hits
+        // and one with a batched run record; their externally visible state
+        // (counters, eviction decisions) must be identical.
+        let mut individual = Tlb::new(4, 2);
+        let mut batched = Tlb::new(4, 2);
+        for tlb in [&mut individual, &mut batched] {
+            tlb.insert(0);
+            tlb.insert(2); // same set as 0 in a 2-set TLB
+        }
+        for _ in 0..7 {
+            assert!(individual.lookup(0));
+        }
+        assert!(batched.record_run_hits(Asid::GLOBAL, 0, 7));
+        assert_eq!(individual.lookups(), batched.lookups());
+        assert_eq!(individual.hits(), batched.hits());
+        assert_eq!(individual.fills(), batched.fills());
+        // Both evict the same victim: 2 is LRU after the touches on 0.
+        individual.insert(4);
+        batched.insert(4);
+        assert!(individual.contains(0) && batched.contains(0));
+        assert!(!individual.contains(2) && !batched.contains(2));
+        // Missing entries record nothing.
+        assert!(!batched.record_run_hits(Asid::GLOBAL, 99, 3));
+        // A zero-hit record is presence-check only.
+        assert!(batched.record_run_hits(Asid::GLOBAL, 0, 0));
+    }
+
+    #[test]
+    fn run_miss_recording_advances_lookups_without_hits() {
+        let mut tlb = Tlb::new(8, 2);
+        tlb.record_run_misses(5);
+        assert_eq!(tlb.lookups(), 5);
+        assert_eq!(tlb.hits(), 0);
+        assert_eq!(tlb.occupancy(), 0);
     }
 
     #[test]

@@ -13,11 +13,56 @@
 //! TPreg its characteristic L4/L3 ≫ L2 hit-rate profile (Figure 13).
 
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use serde::{Deserialize, Serialize};
 
 use crate::tpreg::{PathMatch, TranslationPathRegister};
 use neummu_vmem::{Asid, PathTag};
+
+/// A two-multiply mixing hasher for the PTS map.
+///
+/// The PTS is probed on every TLB miss and updated on every walk start and
+/// retirement — the hottest map in the whole engine. Its keys are
+/// `(Asid, page number)` pairs drawn from the simulated address stream, not
+/// from an adversary, so SipHash's collision-attack resistance buys nothing
+/// here while costing a large fraction of each probe. The map is never
+/// iterated, so hash order cannot reach any observable result (statistics,
+/// artifacts, retirement order all flow through the completion heap).
+#[derive(Debug, Clone, Copy, Default)]
+struct PtsHasher(u64);
+
+/// `floor(2^64 / phi)`, the multiplicative-mixing constant of Fibonacci
+/// hashing: consecutive page numbers spread across the whole hash space.
+const PTS_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl Hasher for PtsHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final avalanche so high state bits reach the table index.
+        let mixed = (self.0 ^ (self.0 >> 32)).wrapping_mul(PTS_MIX);
+        mixed ^ (mixed >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(PTS_MIX);
+        }
+    }
+
+    #[inline]
+    fn write_u16(&mut self, value: u16) {
+        self.write_u64(u64::from(value));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, value: u64) {
+        self.0 = (self.0.rotate_left(5) ^ value).wrapping_mul(PTS_MIX);
+    }
+}
+
+type PtsMap = HashMap<(Asid, u64), usize, BuildHasherDefault<PtsHasher>>;
 
 /// The result of asking the pool to start or join a walk.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -118,7 +163,7 @@ pub struct WalkerPool {
     /// PTS: (context, page number) -> in-flight walk slot. Tagging the key
     /// with the ASID keeps one tenant's requests from merging into another
     /// tenant's in-flight walk of the same virtual page.
-    pts: HashMap<(Asid, u64), usize>,
+    pts: PtsMap,
     /// Completion order.
     heap: BinaryHeap<HeapEntry>,
 }
@@ -147,7 +192,7 @@ impl WalkerPool {
             free_walkers: (0..num_walkers).collect(),
             walks: Vec::new(),
             free_slots: Vec::new(),
-            pts: HashMap::new(),
+            pts: PtsMap::default(),
             heap: BinaryHeap::new(),
         }
     }
@@ -162,6 +207,12 @@ impl WalkerPool {
     #[must_use]
     pub fn in_flight(&self) -> usize {
         self.num_walkers - self.free_walkers.len()
+    }
+
+    /// True if a new walk could start right now (a walker is idle).
+    #[must_use]
+    pub fn has_free_walker(&self) -> bool {
+        !self.free_walkers.is_empty()
     }
 
     /// Retires every walk that has completed by `cycle`, invoking `retire`
@@ -241,6 +292,28 @@ impl WalkerPool {
         }
         walk.merged_requests += 1;
         Some((walk.walker, walk.completes_at))
+    }
+
+    /// Merges up to `requests` same-context requests into the in-flight walk
+    /// of `page_number` in one step — the run-coalesced bulk form of
+    /// [`WalkerPool::try_merge_tagged`]. Returns how many requests were
+    /// actually merged: the PRMB budget caps the count exactly as the same
+    /// number of individual `try_merge_tagged` calls would (0 when there is
+    /// no in-flight walk, merging is disabled, or the PRMB is already full).
+    pub fn merge_run_tagged(&mut self, asid: Asid, page_number: u64, requests: u64) -> u64 {
+        if self.prmb_slots == 0 || requests == 0 {
+            return 0;
+        }
+        let Some(&slot) = self.pts.get(&(asid, page_number)) else {
+            return 0;
+        };
+        let walk = self.walks[slot]
+            .as_mut()
+            .expect("PTS entries reference live walks");
+        let free = (self.prmb_slots as u64).saturating_sub(u64::from(walk.merged_requests));
+        let merged = requests.min(free);
+        walk.merged_requests += u32::try_from(merged).expect("PRMB slots fit in u32");
+        merged
     }
 
     /// Starts a new walk at `cycle` for `page_number`, whose full walk would
@@ -425,6 +498,28 @@ mod tests {
         assert!(pool.try_merge(10).is_none());
         let retired = pool.retire_completed(1_000);
         assert_eq!(retired[0].merged_requests, 2);
+    }
+
+    #[test]
+    fn bulk_merges_respect_the_prmb_budget_like_individual_merges() {
+        let mut pool = WalkerPool::new(4, 8, 100, false);
+        start(&mut pool, 0, 9);
+        // Two individual merges, then a bulk request for ten more: only the
+        // six remaining slots are granted.
+        assert!(pool.try_merge(9).is_some());
+        assert!(pool.try_merge(9).is_some());
+        assert_eq!(pool.merge_run_tagged(Asid::GLOBAL, 9, 10), 6);
+        assert_eq!(pool.merge_run_tagged(Asid::GLOBAL, 9, 1), 0);
+        assert!(pool.try_merge(9).is_none());
+        // No in-flight walk, zero requests, disabled merging: all zero.
+        assert_eq!(pool.merge_run_tagged(Asid::GLOBAL, 10, 4), 0);
+        assert_eq!(pool.merge_run_tagged(Asid::GLOBAL, 9, 0), 0);
+        let mut no_merge = WalkerPool::new(4, 0, 100, false);
+        start(&mut no_merge, 0, 9);
+        assert_eq!(no_merge.merge_run_tagged(Asid::GLOBAL, 9, 4), 0);
+        // The retired walk carries the bulk-merged count.
+        let retired = pool.retire_completed(u64::MAX);
+        assert_eq!(retired[0].merged_requests, 8);
     }
 
     #[test]

@@ -81,6 +81,58 @@ impl BandwidthServer {
         Occupancy { start, end }
     }
 
+    /// Schedules a run of back-to-back transfers in one occupancy
+    /// computation, returning the interval the whole run occupies.
+    ///
+    /// Transfer `j` of the run becomes ready at `first_ready +
+    /// j * ready_stride` and moves `bytes(j)` bytes, where `bytes` describes
+    /// the DMA run shape: a possibly short first transfer, full-grain
+    /// interior transfers, and a possibly short last transfer. The result —
+    /// occupancy interval, `busy_until`, byte and busy-cycle totals — is
+    /// bit-identical to scheduling the transfers one
+    /// [`BandwidthServer::schedule`] call at a time, because with
+    /// `ready_stride <= 1` and every transfer at least one cycle long the
+    /// run is fully serialized after its first transfer: transfer `j+1` is
+    /// ready no more than one cycle after transfer `j` was, while the server
+    /// stays busy for at least one more cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `count` is zero, `ready_stride > 1`, or
+    /// any transfer of the run is empty.
+    pub fn schedule_run(
+        &mut self,
+        first_ready: u64,
+        ready_stride: u64,
+        count: u64,
+        first_bytes: u64,
+        interior_bytes: u64,
+        last_bytes: u64,
+    ) -> Occupancy {
+        debug_assert!(count >= 1, "a transfer run has at least one transfer");
+        debug_assert!(
+            ready_stride <= 1,
+            "readiness may advance at most one cycle per transfer"
+        );
+        debug_assert!(first_bytes > 0, "transfers are never empty");
+        debug_assert!(count < 2 || last_bytes > 0, "transfers are never empty");
+        debug_assert!(count < 3 || interior_bytes > 0, "transfers are never empty");
+        if count == 1 {
+            return self.schedule(first_ready, first_bytes);
+        }
+        let interior_count = count - 2;
+        let bytes = first_bytes + interior_count * interior_bytes + last_bytes;
+        let duration = self.serialization_cycles(first_bytes)
+            + interior_count * self.serialization_cycles(interior_bytes)
+            + self.serialization_cycles(last_bytes);
+        let start = first_ready.max(self.busy_until);
+        let end = start + duration;
+        self.busy_until = end;
+        self.total_bytes += bytes;
+        self.busy_cycles += duration;
+        Occupancy { start, end }
+    }
+
     /// Cycle at which the server becomes free (no pending transfer after it).
     #[must_use]
     pub fn busy_until(&self) -> u64 {
@@ -151,6 +203,54 @@ mod tests {
         assert_eq!(late.end, 51);
         assert_eq!(server.busy_cycles(), 2);
         assert!(server.utilization(51) < 0.1);
+    }
+
+    /// The byte length of transfer `j` in a `(first, interior.., last)` run.
+    fn run_bytes(j: u64, count: u64, first: u64, interior: u64, last: u64) -> u64 {
+        if j == 0 {
+            first
+        } else if j == count - 1 {
+            last
+        } else {
+            interior
+        }
+    }
+
+    #[test]
+    fn run_scheduling_matches_individual_transfers_bit_for_bit() {
+        for (bw, first_ready, stride, count, first, interior, last) in [
+            (600.0, 0u64, 1u64, 8u64, 512u64, 512u64, 512u64),
+            (600.0, 1000, 0, 8, 412, 512, 100),
+            (100.0, 0, 1, 2, 1, 1000, 1),
+            (0.5, 7, 0, 5, 3, 4, 2),
+            (600.0, 0, 1, 1, 512, 512, 512),
+        ] {
+            let mut individual = BandwidthServer::new(bw);
+            let mut batched = BandwidthServer::new(bw);
+            // Pre-contend both servers so the run queues behind earlier work.
+            individual.schedule(0, 2000);
+            batched.schedule(0, 2000);
+            let mut last_occ = None;
+            for j in 0..count {
+                let bytes = run_bytes(j, count, first, interior, last);
+                last_occ = Some(individual.schedule(first_ready + j * stride, bytes));
+            }
+            let run_occ = batched.schedule_run(first_ready, stride, count, first, interior, last);
+            assert_eq!(run_occ.end, last_occ.unwrap().end, "bw {bw} count {count}");
+            assert_eq!(individual.busy_until(), batched.busy_until());
+            assert_eq!(individual.total_bytes(), batched.total_bytes());
+            assert_eq!(individual.busy_cycles(), batched.busy_cycles());
+        }
+    }
+
+    #[test]
+    fn run_scheduling_respects_an_idle_gap_before_the_run() {
+        let mut server = BandwidthServer::new(100.0);
+        server.schedule(0, 100); // busy until 1
+        let occ = server.schedule_run(50, 1, 3, 100, 100, 100);
+        assert_eq!(occ.start, 50);
+        assert_eq!(occ.end, 53);
+        assert_eq!(server.busy_cycles(), 4);
     }
 
     #[test]

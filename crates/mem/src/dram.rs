@@ -83,6 +83,39 @@ impl DramModel {
         occupancy.end + self.config.access_latency_cycles
     }
 
+    /// Schedules a run of back-to-back transfers (the data movement of one
+    /// run-coalesced DMA burst) in a single occupancy computation; returns
+    /// the cycle at which the *last* transfer's data has arrived, which is
+    /// also the run's maximum since arrivals are non-decreasing.
+    ///
+    /// Transfer `j` becomes ready at `first_ready + j * ready_stride`
+    /// (stride 1 for replayed TLB hits, 0 for merged requests that all
+    /// complete with their shared walk); byte sizes follow the DMA run shape
+    /// `first_bytes, interior_bytes.., last_bytes`. Every per-transaction
+    /// arrival cycle — and all bandwidth accounting — is bit-identical to
+    /// `count` individual [`DramModel::schedule_transfer`] calls (see
+    /// [`crate::bandwidth::BandwidthServer::schedule_run`] for why the run
+    /// serializes exactly).
+    pub fn schedule_run(
+        &mut self,
+        first_ready: u64,
+        ready_stride: u64,
+        count: u64,
+        first_bytes: u64,
+        interior_bytes: u64,
+        last_bytes: u64,
+    ) -> u64 {
+        let occupancy = self.server.schedule_run(
+            first_ready,
+            ready_stride,
+            count,
+            first_bytes,
+            interior_bytes,
+            last_bytes,
+        );
+        occupancy.end + self.config.access_latency_cycles
+    }
+
     /// Cycle at which the memory system's bandwidth becomes free.
     #[must_use]
     pub fn busy_until(&self) -> u64 {
@@ -151,6 +184,26 @@ mod tests {
         let dram = DramModel::tpu_like();
         let cycles = dram.streaming_cycles(5 * 1024 * 1024);
         assert!(cycles > 8_000 && cycles < 10_000, "got {cycles}");
+    }
+
+    #[test]
+    fn run_transfers_match_individual_transfers() {
+        let mut individual = DramModel::tpu_like();
+        let mut batched = DramModel::tpu_like();
+        // A merged-run shape (stride 0) followed by a hit-run shape (stride 1).
+        let mut last = 0;
+        for j in 0..8u64 {
+            last = individual.schedule_transfer(400, if j == 0 { 412 } else { 512 });
+        }
+        for j in 0..4u64 {
+            last = individual.schedule_transfer(500 + j, 512);
+        }
+        let run1 = batched.schedule_run(400, 0, 8, 412, 512, 512);
+        let run2 = batched.schedule_run(500, 1, 4, 512, 512, 512);
+        assert_eq!(run2, last);
+        assert!(run1 < run2);
+        assert_eq!(individual.busy_until(), batched.busy_until());
+        assert_eq!(individual.total_bytes(), batched.total_bytes());
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod tensor;
 pub mod tiling;
 
 pub use config::{DmaConfig, NpuConfig};
-pub use dma::{DmaEngine, MemTransaction, TransactionIter};
+pub use dma::{DmaEngine, MemTransaction, PageRun, PageRunIter, TransactionIter};
 pub use error::NpuError;
 pub use layer::{GemmDims, Layer, LayerOp};
 pub use scratchpad::Scratchpad;
@@ -60,7 +60,7 @@ pub use tiling::{TileFetch, TileWork, TilingPlan};
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
     pub use crate::config::{DmaConfig, NpuConfig};
-    pub use crate::dma::{DmaEngine, MemTransaction, TransactionIter};
+    pub use crate::dma::{DmaEngine, MemTransaction, PageRun, PageRunIter, TransactionIter};
     pub use crate::error::NpuError;
     pub use crate::layer::{GemmDims, Layer, LayerOp};
     pub use crate::scratchpad::Scratchpad;

@@ -80,9 +80,29 @@ pub struct TranslationTrace {
     /// operand kind is the `Copy` [`TensorKind`] (serialized via its `Display`
     /// labels `IA`/`W`/`OA`), so recording a window never allocates.
     pub tile_va_windows: Vec<(u64, TensorKind, u64, u64)>,
+    /// True if the run produced more tile windows than the
+    /// [`TranslationTrace::WINDOW_CAP`] cap and `tile_va_windows` is
+    /// therefore a silent prefix of the real trace. Off for every workload
+    /// the paper traces; reports surface it so a capped trace is never
+    /// mistaken for a complete one.
+    pub windows_truncated: bool,
 }
 
 impl TranslationTrace {
+    /// Maximum number of per-tile VA windows recorded before the trace stops
+    /// growing (and flags itself truncated).
+    pub const WINDOW_CAP: usize = 4096;
+
+    /// Records one tile fetch's VA window, flagging truncation instead of
+    /// silently dropping windows past the cap.
+    fn record_window(&mut self, tile: u64, kind: TensorKind, start: u64, end: u64) {
+        if self.tile_va_windows.len() < Self::WINDOW_CAP {
+            self.tile_va_windows.push((tile, kind, start, end));
+        } else {
+            self.windows_truncated = true;
+        }
+    }
+
     fn record_issue(&mut self, cycle: u64) {
         if self.window_cycles == 0 {
             return;
@@ -229,6 +249,9 @@ impl DenseSimulator {
         let mut layer_results = Vec::with_capacity(layers.len());
         let mut global_tile_index = 0u64;
         let mut fetches_streamed = 0u64;
+        // Same-page runs are grouped at the translator's page size, so every
+        // address of a run shares one TLB tag.
+        let page_bytes = self.config.mmu.page_size.bytes();
 
         for (layer_index, layer) in layers.iter().enumerate() {
             let plan = TilingPlan::for_layer(layer, &self.config.npu)?;
@@ -272,28 +295,58 @@ impl DenseSimulator {
                 for (fetch, seg_base) in fetches.into_iter().flatten() {
                     tile_pages += dma.translation_demand(fetch).distinct_pages_4k;
                     if let Some(trace) = trace.as_mut() {
-                        if trace.tile_va_windows.len() < 4096 {
-                            let start = seg_base.raw() + fetch.offset;
-                            trace.tile_va_windows.push((
-                                global_tile_index,
-                                fetch.kind,
-                                start,
-                                start + fetch.bytes,
-                            ));
-                        }
+                        let start = seg_base.raw() + fetch.offset;
+                        trace.record_window(
+                            global_tile_index,
+                            fetch.kind,
+                            start,
+                            start + fetch.bytes,
+                        );
                     }
                     fetches_streamed += 1;
-                    for txn in dma.transaction_iter(fetch) {
-                        let va = seg_base.add(txn.offset);
-                        let outcome = translator.translate(space.page_table(), va, issue_cycle);
-                        debug_assert!(!outcome.fault, "dense operands are eagerly mapped");
-                        requests += 1;
-                        if let Some(trace) = trace.as_mut() {
-                            trace.record_issue(outcome.accept_cycle);
+                    // The run-coalesced memory phase: the DMA stream is
+                    // consumed one same-page run at a time. Each
+                    // `translate_run` resolves the run's first request
+                    // through the full translation path and replays the rest
+                    // arithmetically (identical outcomes, one TLB touch);
+                    // the matching data transfers batch into one DRAM
+                    // occupancy computation. A run the translator could not
+                    // fully replay (PRMB exhaustion, an eviction) continues
+                    // from its suffix, so the per-transaction sequence is
+                    // reproduced exactly.
+                    for full_run in dma.page_runs(fetch, seg_base.raw(), page_bytes) {
+                        let mut run = full_run;
+                        loop {
+                            let va = seg_base.add(run.first.offset);
+                            let out = translator.translate_run(
+                                space.page_table(),
+                                va,
+                                run.txn_count,
+                                issue_cycle,
+                            );
+                            debug_assert!(!out.first.fault, "dense operands are eagerly mapped");
+                            requests += out.consumed;
+                            if let Some(trace) = trace.as_mut() {
+                                for j in 0..out.consumed {
+                                    trace.record_issue(out.accept(j));
+                                }
+                            }
+                            issue_cycle = out.last_accept() + 1;
+                            let scheduled = run.prefix(out.consumed);
+                            let data_ready = dram.schedule_run(
+                                out.first.complete_cycle,
+                                out.complete_stride,
+                                scheduled.txn_count,
+                                scheduled.first.bytes,
+                                scheduled.interior_txn_bytes(),
+                                scheduled.txn_len(scheduled.txn_count - 1),
+                            );
+                            mem_end = mem_end.max(data_ready);
+                            if out.consumed == run.txn_count {
+                                break;
+                            }
+                            run = run.suffix(out.consumed);
                         }
-                        issue_cycle = outcome.accept_cycle + 1;
-                        let data_ready = dram.schedule_transfer(outcome.complete_cycle, txn.bytes);
-                        mem_end = mem_end.max(data_ready);
                     }
                 }
                 mem_end = mem_end.max(issue_cycle);

@@ -30,8 +30,27 @@ use neummu_npu::NpuConfig;
 use neummu_vmem::{AddressSpace, MemNode, PhysicalMemory, SegmentOptions};
 use neummu_workloads::EmbeddingModel;
 
+use neummu_mmu::{AddressTranslator, RunOutcome};
+use neummu_vmem::{PageTable, VirtAddr};
+
 use crate::dense::{DenseSimConfig, DenseSimulator};
 use crate::error::SimError;
+
+/// Translates one same-page run of gather lookups and advances the issue
+/// cursor — the single translate-and-advance call site shared by the NUMA
+/// and demand-paging gather strategies (demand paging passes runs of one:
+/// a migration invalidates translation state, so nothing replays across it).
+fn translate_gather_run(
+    translator: &mut dyn AddressTranslator,
+    page_table: &PageTable,
+    va: VirtAddr,
+    count: u64,
+    issue_cycle: &mut u64,
+) -> RunOutcome {
+    let out = translator.translate_run(page_table, va, count, *issue_cycle);
+    *issue_cycle = out.last_accept() + 1;
+    out
+}
 
 /// How remote embeddings are gathered into the local NPU.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -262,8 +281,13 @@ impl EmbeddingSimulator {
 
         // Lookups are streamed straight from the seeded generator — the same
         // `(table, row)` sequence `generate_lookups` would materialize,
-        // without the per-minibatch index buffers.
-        for (table_idx, row) in model.lookup_stream(batch_share, cfg.seed) {
+        // without the per-minibatch index buffers. Consecutive lookups that
+        // land on the same page of the same table form a run for the
+        // coalesced translation path (NUMA gathers only; a demand-paging
+        // migration invalidates translation state mid-run).
+        let page_shift = page_size.bytes().trailing_zeros();
+        let mut stream = model.lookup_stream(batch_share, cfg.seed).peekable();
+        while let Some((table_idx, row)) = stream.next() {
             let (seg, owner, vector_bytes) = &segments[table_idx];
             vectors += 1;
             let va = seg.start().add(row * *vector_bytes);
@@ -289,20 +313,65 @@ impl EmbeddingSimulator {
                     }
                 }
                 GatherStrategy::NumaDirect { link } => {
-                    let outcome = translator.translate(space.page_table(), va, issue_cycle);
-                    issue_cycle = outcome.accept_cycle + 1;
-                    let ready = outcome.complete_cycle;
-                    let done = if is_remote {
-                        interconnect_bytes += *vector_bytes;
-                        copy_engine.numa_access(ready, *vector_bytes, link)
-                    } else {
-                        local_dram.schedule_transfer(ready, *vector_bytes)
-                    };
-                    gather_end = gather_end.max(done);
+                    // Absorb the consecutive lookups sharing this page into
+                    // one run. Later lookups of the run skip their (no-op)
+                    // `ensure_mapped`: the page is mapped by the first one.
+                    let mut count = 1u64;
+                    while let Some(&(next_table, next_row)) = stream.peek() {
+                        if next_table != table_idx {
+                            break;
+                        }
+                        let next_va = seg.start().add(next_row * *vector_bytes);
+                        if next_va.raw() >> page_shift != va.raw() >> page_shift {
+                            break;
+                        }
+                        stream.next();
+                        vectors += 1;
+                        if is_remote {
+                            remote_vectors += 1;
+                        }
+                        count += 1;
+                    }
+                    let mut remaining = count;
+                    while remaining > 0 {
+                        let out = translate_gather_run(
+                            translator.as_mut(),
+                            space.page_table(),
+                            va,
+                            remaining,
+                            &mut issue_cycle,
+                        );
+                        let done = if is_remote {
+                            interconnect_bytes += out.consumed * *vector_bytes;
+                            let mut last = 0;
+                            for j in 0..out.consumed {
+                                last =
+                                    copy_engine.numa_access(out.complete(j), *vector_bytes, link);
+                            }
+                            last
+                        } else {
+                            local_dram.schedule_run(
+                                out.first.complete_cycle,
+                                out.complete_stride,
+                                out.consumed,
+                                *vector_bytes,
+                                *vector_bytes,
+                                *vector_bytes,
+                            )
+                        };
+                        gather_end = gather_end.max(done);
+                        remaining -= out.consumed;
+                    }
                 }
                 GatherStrategy::DemandPaging { link } => {
-                    let outcome = translator.translate(space.page_table(), va, issue_cycle);
-                    issue_cycle = outcome.accept_cycle + 1;
+                    let outcome = translate_gather_run(
+                        translator.as_mut(),
+                        space.page_table(),
+                        va,
+                        1,
+                        &mut issue_cycle,
+                    )
+                    .first;
                     let mut ready = outcome.complete_cycle;
                     let translation = space.translate(va)?;
                     if translation.node != local_node {

@@ -186,7 +186,7 @@ pub fn fig07_translation_bursts_on(
 }
 
 /// Figure 14 result: the virtual-address windows touched by consecutive tiles.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct Fig14Result {
     /// Workload the trace belongs to.
     pub workload: WorkloadId,
@@ -196,15 +196,48 @@ pub struct Fig14Result {
     /// The operand kind serializes via its `Display` labels (`IA`/`W`/`OA`),
     /// keeping the artifact format identical to the historical string form.
     pub windows: Vec<(u64, TensorKind, u64, u64)>,
+    /// True if the simulator's per-tile window trace overflowed its cap
+    /// ([`crate::dense::TranslationTrace::WINDOW_CAP`]) and `windows` is a
+    /// prefix of the real trace. Every workload the paper traces stays under
+    /// the cap; the flag keeps a capped trace from silently passing as
+    /// complete.
+    pub windows_truncated: bool,
+}
+
+/// Hand-written (not derived) so that `windows_truncated` is serialized only
+/// when set: the untruncated artifacts — all of today's — remain byte-
+/// identical to the historical format, while a truncated trace says so in
+/// its JSON.
+impl Serialize for Fig14Result {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("workload".to_owned(), self.workload.to_value()),
+            ("batch".to_owned(), self.batch.to_value()),
+            ("windows".to_owned(), self.windows.to_value()),
+        ];
+        if self.windows_truncated {
+            fields.push((
+                "windows_truncated".to_owned(),
+                self.windows_truncated.to_value(),
+            ));
+        }
+        serde::Value::Object(fields)
+    }
 }
 
 impl Fig14Result {
-    /// Renders the trace as a table.
+    /// Renders the trace as a table, noting in the title when the window
+    /// trace was truncated at the simulator's cap.
     #[must_use]
     pub fn to_table(&self) -> ResultTable {
+        let truncation_note = if self.windows_truncated {
+            " — TRUNCATED at the window cap"
+        } else {
+            ""
+        };
         let mut table = ResultTable::new(
             format!(
-                "Figure 14: virtual addresses of consecutive tiles ({})",
+                "Figure 14: virtual addresses of consecutive tiles ({}){truncation_note}",
                 self.workload.label()
             ),
             &["Tile", "Operand", "VA start", "VA end"],
@@ -277,6 +310,7 @@ pub fn fig14_va_trace_on(
             workload: workload_id,
             batch,
             windows: trace.tile_va_windows,
+            windows_truncated: trace.windows_truncated,
         })
     })?;
     Ok(results.remove(0))
@@ -311,6 +345,25 @@ mod tests {
         assert!(result.peak() > 900, "peak {}", result.peak());
         assert!(result.peak() <= result.window_cycles);
         assert!(result.bursty_fraction() > 0.0);
+    }
+
+    #[test]
+    fn fig14_truncation_is_flagged_loudly_but_only_when_real() {
+        let mut result = fig14_va_trace(WorkloadId::Cnn1, 1).unwrap();
+        // The paper's traces stay under the cap: flag off, and the artifact
+        // JSON is byte-identical to the historical three-field format.
+        assert!(!result.windows_truncated);
+        let json = serde_json::to_string(&result).unwrap();
+        assert!(!json.contains("windows_truncated"));
+        assert!(!result.to_table().title().contains("TRUNCATED"));
+        // A truncated trace says so in both the JSON and the report table.
+        result.windows_truncated = true;
+        let json = serde_json::to_string(&result).unwrap();
+        assert!(
+            json.contains("\"windows_truncated\": true")
+                || json.contains("\"windows_truncated\":true")
+        );
+        assert!(result.to_table().title().contains("TRUNCATED"));
     }
 
     #[test]

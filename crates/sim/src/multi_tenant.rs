@@ -38,7 +38,7 @@ use serde::{Deserialize, Serialize};
 
 use neummu_mem::dram::{DramConfig, DramModel};
 use neummu_mmu::{MmuConfig, MmuKind, TranslationEngine, TranslationSource};
-use neummu_npu::{DmaEngine, NpuConfig, TileFetch, TilingPlan, TransactionIter};
+use neummu_npu::{DmaEngine, NpuConfig, PageRun, PageRunIter, TileFetch, TilingPlan};
 use neummu_vmem::{
     AddressSpaceRegistry, Asid, MemNode, NodeSpec, PhysicalMemory, SegmentOptions, VirtAddr,
 };
@@ -245,30 +245,65 @@ impl MultiTenantResult {
     }
 }
 
-/// One tenant's DMA translation stream: the per-transaction decomposition of
-/// its layers' tile fetches, yielded lazily in program order.
+/// One tenant's DMA translation stream: the page-run decomposition of its
+/// layers' tile fetches, yielded lazily in program order.
+///
+/// The stream hands out [`PageRun`]s clipped to the scheduler's remaining
+/// burst quota, so a run never spans a tenant switch; a run the shared
+/// engine could not fully replay is pushed back and resumes from its suffix.
+/// The transaction sequence this produces is exactly the per-transaction
+/// decomposition the scheduler used to iterate.
 struct TenantStream {
     dma: DmaEngine,
     /// `(segment base, fetch)` for every IA/W fetch of every tile of every
     /// layer, in issue order.
     fetches: Vec<(u64, TileFetch)>,
     next_fetch: usize,
-    current: Option<(u64, TransactionIter)>,
+    current: Option<(u64, PageRunIter)>,
+    /// Remainder of a clipped or partially consumed run (with its base VA).
+    pending: Option<(u64, PageRun)>,
 }
 
 impl TenantStream {
-    fn next_txn(&mut self) -> Option<(VirtAddr, u64)> {
-        loop {
-            if let Some((base, iter)) = self.current.as_mut() {
-                if let Some(txn) = iter.next() {
-                    return Some((VirtAddr::new(*base + txn.offset), txn.bytes));
+    /// The next same-page run of at most `max_txns` transactions, with the
+    /// segment base VA its offsets are relative to.
+    fn next_run(&mut self, max_txns: u64, page_bytes: u64) -> Option<(u64, PageRun)> {
+        let (base, run) = match self.pending.take() {
+            Some(pending) => pending,
+            None => loop {
+                if let Some((base, iter)) = self.current.as_mut() {
+                    if let Some(run) = iter.next() {
+                        break (*base, run);
+                    }
+                    self.current = None;
                 }
-                self.current = None;
-            }
-            let &(base, fetch) = self.fetches.get(self.next_fetch)?;
-            self.next_fetch += 1;
-            self.current = Some((base, self.dma.transaction_iter(&fetch)));
+                let &(base, fetch) = self.fetches.get(self.next_fetch)?;
+                self.next_fetch += 1;
+                self.current = Some((base, self.dma.page_runs(&fetch, base, page_bytes)));
+            },
+        };
+        if run.txn_count > max_txns {
+            self.pending = Some((base, run.suffix(max_txns)));
+            Some((base, run.prefix(max_txns)))
+        } else {
+            Some((base, run))
         }
+    }
+
+    /// Returns the unconsumed tail of a run to the front of the stream.
+    ///
+    /// When the run being returned was itself the clipped prefix of a longer
+    /// run, the clip remainder is still pending; the two are contiguous
+    /// pieces of the same original run, so they are rejoined rather than one
+    /// overwriting the other.
+    fn push_back(&mut self, base: u64, run: PageRun) {
+        self.pending = Some(match self.pending.take() {
+            Some((pending_base, clip_remainder)) => {
+                debug_assert_eq!(base, pending_base, "pieces of one run share a base");
+                (base, run.join(&clip_remainder))
+            }
+            None => (base, run),
+        });
     }
 }
 
@@ -386,6 +421,7 @@ impl TenantScheduler {
                 fetches,
                 next_fetch: 0,
                 current: None,
+                pending: None,
             });
             stats.push(TenantStats::new(asid));
         }
@@ -403,7 +439,13 @@ impl TenantScheduler {
             clocks: vec![0u64; replicas],
         };
 
-        // Round-robin over live tenants, `burst_transactions` per turn.
+        // Round-robin over live tenants, `burst_transactions` per turn. Each
+        // turn consumes its quantum as same-page runs through the
+        // run-coalesced engine path: runs are clipped to the remaining quota
+        // (a run never spans a tenant switch), and a partially replayed run
+        // resumes from its suffix — so the request sequence the shared
+        // engine observes is exactly the old per-transaction interleaving.
+        let page_bytes = config.mmu.page_size.bytes();
         let mut rotation: std::collections::VecDeque<usize> = (0..tenants.len()).collect();
         while let Some(tenant) = rotation.pop_front() {
             use neummu_mmu::AddressTranslator as _;
@@ -412,32 +454,61 @@ impl TenantScheduler {
             let space = registry.get(asid).expect("registered above");
             let page_table = space.page_table();
             let mut exhausted = false;
-            for _ in 0..config.burst_transactions {
-                let Some((va, bytes)) = streams[tenant].next_txn() else {
+            let mut quota = config.burst_transactions;
+            while quota > 0 {
+                let Some((base, run)) = streams[tenant].next_run(quota, page_bytes) else {
                     exhausted = true;
                     break;
                 };
                 let issue = resources.clocks[slot];
-                let outcome = resources.engines[slot].translate_tagged(page_table, asid, va, issue);
+                let va = VirtAddr::new(base + run.first.offset);
+                let out = resources.engines[slot].translate_run_tagged(
+                    page_table,
+                    asid,
+                    va,
+                    run.txn_count,
+                    issue,
+                );
                 let tenant_stats = &mut stats[tenant];
-                tenant_stats.requests += 1;
-                tenant_stats.stall_cycles += outcome.accept_cycle - issue;
-                match outcome.source {
-                    TranslationSource::TlbHit => tenant_stats.tlb_hits += 1,
-                    TranslationSource::Merged => tenant_stats.merged += 1,
-                    TranslationSource::PageWalk { levels_read } => {
-                        tenant_stats.walks += 1;
-                        tenant_stats.walk_levels_read += u64::from(levels_read);
+                tenant_stats.requests += out.consumed;
+                tenant_stats.stall_cycles += out.first.accept_cycle - issue;
+                for (source, requests) in
+                    [(out.first.source, 1), (out.replay_source, out.replayed())]
+                {
+                    if requests == 0 {
+                        continue;
                     }
-                    TranslationSource::Oracle => unreachable!("oracle configs are rejected"),
+                    match source {
+                        TranslationSource::TlbHit => tenant_stats.tlb_hits += requests,
+                        TranslationSource::Merged => tenant_stats.merged += requests,
+                        TranslationSource::PageWalk { levels_read } => {
+                            tenant_stats.walks += requests;
+                            tenant_stats.walk_levels_read += requests * u64::from(levels_read);
+                        }
+                        TranslationSource::Oracle => unreachable!("oracle configs are rejected"),
+                    }
                 }
-                if outcome.fault {
+                if out.first.fault {
                     tenant_stats.faults += 1;
                 }
-                resources.clocks[slot] = outcome.accept_cycle + 1;
-                let data_ready =
-                    resources.drams[slot].schedule_transfer(outcome.complete_cycle, bytes);
+                if out.replay_fault {
+                    tenant_stats.faults += out.replayed();
+                }
+                resources.clocks[slot] = out.last_accept() + 1;
+                let scheduled = run.prefix(out.consumed);
+                let data_ready = resources.drams[slot].schedule_run(
+                    out.first.complete_cycle,
+                    out.complete_stride,
+                    scheduled.txn_count,
+                    scheduled.first.bytes,
+                    scheduled.interior_txn_bytes(),
+                    scheduled.txn_len(scheduled.txn_count - 1),
+                );
                 tenant_stats.completion_cycle = tenant_stats.completion_cycle.max(data_ready);
+                quota -= out.consumed;
+                if out.consumed < run.txn_count {
+                    streams[tenant].push_back(base, run.suffix(out.consumed));
+                }
             }
             if exhausted {
                 stats[tenant].final_tlb_occupancy = resources.engines[resources.index_for(tenant)]
@@ -547,6 +618,34 @@ mod tests {
             let mut expected = solo.stats[0];
             expected.asid = Asid::new(index as u16);
             assert_eq!(interleaved.stats[index], expected, "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn partially_replayed_clipped_runs_lose_no_transactions() {
+        // Regression: a run clipped by the burst quantum whose prefix the
+        // engine then only partially replays (here a 1-slot PRMB exhausts
+        // after the first merge) must resume from the rejoined remainder —
+        // not overwrite it. Per-tenant request totals are invariant under
+        // the burst quantum: burst 1 clips every run to a single
+        // transaction, so it can never hit the partial-replay path and
+        // serves as the reference stream length.
+        let tenants = smoke_tenants(2);
+        let mmu = MmuConfig::neummu().with_ptws(2).with_prmb_slots(1);
+        let reference = TenantScheduler::new(MultiTenantConfig::with_mmu(mmu).with_burst(1))
+            .run(&tenants)
+            .unwrap();
+        for burst in [3u64, 5, 64] {
+            let clipped = TenantScheduler::new(MultiTenantConfig::with_mmu(mmu).with_burst(burst))
+                .run(&tenants)
+                .unwrap();
+            for (tenant, (c, r)) in clipped.stats.iter().zip(&reference.stats).enumerate() {
+                assert_eq!(
+                    c.requests, r.requests,
+                    "tenant {tenant} lost transactions at burst {burst}"
+                );
+                assert_eq!(c.tlb_hits + c.merged + c.walks, c.requests);
+            }
         }
     }
 

@@ -1,15 +1,16 @@
 #!/usr/bin/env bash
 # Records the perf trajectory of the translation hot path into a JSON file
-# (default BENCH_PR4.json): per-request translate latency from the
+# (default BENCH_PR5.json): per-request translate latency from the
 # mmu_microbench Criterion targets — including the ASID-tagged multi-tenant
-# burst stream — plus the wall-clock time of a full-scale serial artifact
-# regeneration.
+# burst stream and the run-coalesced burst path (one TLB touch per distinct
+# page) next to its per-transaction counterpart — plus the wall-clock time of
+# a full-scale serial artifact regeneration.
 #
 # Usage: scripts/record_bench.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 
 echo "building release binaries..." >&2
 cargo build --release >&2
@@ -36,6 +37,7 @@ probe_ns="$(ns_per_elem 'page_table/probe_4k_mapped')"
 walk_ns="$(ns_per_elem 'page_table/walk_4k_mapped')"
 oracle_ns="$(ns_per_elem 'oracle/memoized_burst_stream')"
 multi_tenant_ns="$(ns_per_elem 'translation_engine/multi_tenant_4asid_burst64')"
+run_coalesced_ns="$(ns_per_elem 'translation_engine/run_coalesced_burst')"
 
 echo "running full-scale serial regeneration..." >&2
 regen_out="$(mktemp -d)"
@@ -50,6 +52,7 @@ cat > "$out" <<EOF
   "recorded_at": "$(date -u +%Y-%m-%dT%H:%M:%SZ)",
   "translate_ns_per_req": {
     "neummu": ${translate_neummu_ns},
+    "neummu_run_coalesced": ${run_coalesced_ns},
     "baseline_iommu": ${translate_iommu_ns},
     "multi_tenant_4asid_burst64": ${multi_tenant_ns}
   },

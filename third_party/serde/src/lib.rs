@@ -169,7 +169,7 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
     }
 }
 
-impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
     fn to_value(&self) -> Value {
         let mut pairs: Vec<(String, Value)> = self
             .iter()
