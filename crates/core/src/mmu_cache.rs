@@ -17,8 +17,6 @@
 //! more effective at capturing NPU translation locality and eliminates more
 //! walks than UPTC).
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use neummu_vmem::{PathTag, VirtAddr, WalkIndexLevel, WalkPath};
@@ -58,45 +56,72 @@ pub trait WalkCache {
 }
 
 /// Least-recently-used bookkeeping shared by both cache models.
+///
+/// Entries live in parallel vectors rather than a hash map: the capacities
+/// modelled here are tiny (the study sweep uses 16 entries, the TPreg one),
+/// linear probes are cheaper than hashing at that size, and — the property
+/// `neummu_lint` rule D001 enforces — every traversal visits entries in a
+/// deterministic order instead of `RandomState` hash order. Eviction picks
+/// the unique stamp minimum, so victims are identical to the previous
+/// hash-map implementation's.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
-struct LruCore<K: std::hash::Hash + Eq + Clone> {
-    entries: HashMap<K, u64>,
+struct LruCore<K: PartialEq + Clone> {
+    keys: Vec<K>,
+    stamps: Vec<u64>,
     capacity: usize,
     stamp: u64,
 }
 
-impl<K: std::hash::Hash + Eq + Clone> LruCore<K> {
+impl<K: PartialEq + Clone> LruCore<K> {
     fn new(capacity: usize) -> Self {
         LruCore {
-            entries: HashMap::new(),
+            keys: Vec::new(),
+            stamps: Vec::new(),
             capacity,
             stamp: 0,
         }
     }
 
+    fn position(&self, key: &K) -> Option<usize> {
+        self.keys.iter().position(|k| k == key)
+    }
+
+    fn touch_at(&mut self, index: usize) {
+        self.stamp += 1;
+        self.stamps[index] = self.stamp;
+    }
+
     fn contains_and_touch(&mut self, key: &K) -> bool {
         self.stamp += 1;
-        if let Some(v) = self.entries.get_mut(key) {
-            *v = self.stamp;
-            true
-        } else {
-            false
+        match self.position(key) {
+            Some(i) => {
+                self.stamps[i] = self.stamp;
+                true
+            }
+            None => false,
         }
     }
 
     fn insert(&mut self, key: K) {
         self.stamp += 1;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+        if let Some(i) = self.position(&key) {
+            self.stamps[i] = self.stamp;
+            return;
+        }
+        if self.keys.len() >= self.capacity {
             if let Some(victim) = self
-                .entries
+                .stamps
                 .iter()
+                .enumerate()
                 .min_by_key(|(_, stamp)| **stamp)
-                .map(|(k, _)| k.clone())
+                .map(|(i, _)| i)
             {
-                self.entries.remove(&victim);
+                self.keys.swap_remove(victim);
+                self.stamps.swap_remove(victim);
             }
         }
-        self.entries.insert(key, self.stamp);
+        self.keys.push(key);
+        self.stamps.push(self.stamp);
     }
 }
 
@@ -206,7 +231,8 @@ impl TranslationPathCache {
     fn best_match(&mut self, tag: PathTag) -> u32 {
         // Probe the cache for the longest matching prefix among its entries.
         let mut best = 0u32;
-        for (key, _) in self.lru.entries.clone() {
+        let mut full_match = None;
+        for (i, key) in self.lru.keys.iter().enumerate() {
             let l4 = key.0 == tag.l4;
             let l3 = l4 && key.1 == tag.l3;
             let l2 = l3 && key.2 == tag.l2;
@@ -215,10 +241,13 @@ impl TranslationPathCache {
                 best = depth;
             }
             if best == 3 {
-                // Touch the fully matching entry to keep it resident.
-                self.lru.contains_and_touch(&key);
+                full_match = Some(i);
                 break;
             }
+        }
+        if let Some(i) = full_match {
+            // Touch the fully matching entry to keep it resident.
+            self.lru.touch_at(i);
         }
         best
     }

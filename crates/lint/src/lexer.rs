@@ -1,0 +1,399 @@
+//! A hand-rolled token-level Rust lexer.
+//!
+//! The linter's rules are token-pattern checks, so the lexer only has to get
+//! the *boundaries* right: comments and string/char literals must never leak
+//! braces or identifiers into the token stream (brace matching and banned-call
+//! scans would otherwise misfire), and every token must carry its source line
+//! for reporting. It deliberately does not build an AST — the same offline
+//! constraint that led to the vendored `serde_derive` rules out `syn`/`quote`.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `HashMap`, `translate_run`, ...).
+    Ident,
+    /// A single punctuation character (`{`, `.`, `:`, `!`, ...).
+    Punct,
+    /// A string, raw-string, byte-string, char or numeric literal.
+    Literal,
+    /// A lifetime such as `'a` (distinguished from char literals).
+    Lifetime,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokenKind,
+    /// The token text. For [`TokenKind::Punct`] this is a single character;
+    /// for literals it is the raw source text including quotes.
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if the token is the identifier `word`.
+    #[must_use]
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == word
+    }
+
+    /// True if the token is the punctuation character `ch`.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// Lexes `source` into a flat token stream, discarding comments and
+/// whitespace. Never fails: unrecognized bytes are emitted as punctuation so
+/// that downstream brace matching stays conservative.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.skip_line_comment(),
+                '/' if self.peek(1) == Some('*') => self.skip_block_comment(),
+                '"' => self.lex_string(),
+                '\'' => self.lex_quote(),
+                'r' | 'b' if self.starts_string_prefix() => self.lex_prefixed_string(),
+                c if c.is_alphabetic() || c == '_' => self.lex_ident(),
+                c if c.is_ascii_digit() => self.lex_number(),
+                c => {
+                    self.push(TokenKind::Punct, c.to_string());
+                    self.pos += 1;
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String) {
+        self.tokens.push(Token {
+            kind,
+            text,
+            line: self.line,
+        });
+    }
+
+    fn bump_counting_lines(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn skip_block_comment(&mut self) {
+        // Rust block comments nest.
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.pos += 2;
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump_counting_lines();
+            }
+        }
+    }
+
+    /// True if the cursor sits on a string prefix: `r"`, `r#"`, `b"`, `b'`,
+    /// `br"`, `br#"` (otherwise `r`/`b` begin an ordinary identifier).
+    fn starts_string_prefix(&self) -> bool {
+        let mut i = 1;
+        if self.peek(0) == Some('b') && self.peek(1) == Some('r') {
+            i = 2;
+        }
+        loop {
+            match self.peek(i) {
+                Some('#') => i += 1,
+                Some('"') => return true,
+                Some('\'') => return i == 1 && self.peek(0) == Some('b'),
+                _ => return false,
+            }
+        }
+    }
+
+    fn lex_prefixed_string(&mut self) {
+        let start_line = self.line;
+        let mut text = String::new();
+        let raw = {
+            let mut raw = false;
+            while let Some(c) = self.peek(0) {
+                if c == 'r' {
+                    raw = true;
+                }
+                if c == 'r' || c == 'b' {
+                    text.push(c);
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            raw
+        };
+        if self.peek(0) == Some('\'') {
+            // A byte char literal `b'x'`.
+            self.lex_quote();
+            return;
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                hashes += 1;
+                text.push('#');
+                self.pos += 1;
+            }
+            text.push('"');
+            self.pos += 1; // opening quote
+            loop {
+                match self.bump_counting_lines() {
+                    None => break,
+                    Some('"') => {
+                        text.push('"');
+                        let mut close = 0usize;
+                        while close < hashes && self.peek(0) == Some('#') {
+                            close += 1;
+                            text.push('#');
+                            self.pos += 1;
+                        }
+                        if close == hashes {
+                            break;
+                        }
+                    }
+                    Some(c) => text.push(c),
+                }
+            }
+        } else {
+            self.lex_string_into(&mut text);
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Literal,
+            text,
+            line: start_line,
+        });
+    }
+
+    fn lex_string(&mut self) {
+        let start_line = self.line;
+        let mut text = String::new();
+        self.lex_string_into(&mut text);
+        self.tokens.push(Token {
+            kind: TokenKind::Literal,
+            text,
+            line: start_line,
+        });
+    }
+
+    /// Consumes a `"..."` string (cursor on the opening quote), appending the
+    /// raw text (quotes included) to `text`. Handles `\"` and `\\` escapes.
+    fn lex_string_into(&mut self, text: &mut String) {
+        text.push('"');
+        self.pos += 1;
+        while let Some(c) = self.bump_counting_lines() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(escaped) = self.bump_counting_lines() {
+                        text.push(escaped);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// A `'` is either a lifetime (`'a`, `'static`) or a char literal
+    /// (`'x'`, `'\n'`, `'}'`). Distinguishing them matters: a char literal
+    /// `'{'` leaking a brace would corrupt brace matching.
+    fn lex_quote(&mut self) {
+        let start_line = self.line;
+        let mut text = String::new();
+        if self.peek(0) == Some('b') {
+            text.push('b');
+            self.pos += 1;
+        }
+        text.push('\'');
+        self.pos += 1;
+        let first = self.peek(0);
+        let second = self.peek(1);
+        let is_lifetime =
+            matches!(first, Some(c) if c.is_alphabetic() || c == '_') && second != Some('\'');
+        if is_lifetime {
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+            self.tokens.push(Token {
+                kind: TokenKind::Lifetime,
+                text,
+                line: start_line,
+            });
+            return;
+        }
+        // Char literal: consume up to the closing quote, honoring escapes.
+        while let Some(c) = self.bump_counting_lines() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(escaped) = self.bump_counting_lines() {
+                        text.push(escaped);
+                    }
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Literal,
+            text,
+            line: start_line,
+        });
+    }
+
+    fn lex_ident(&mut self) {
+        let start_line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Ident,
+            text,
+            line: start_line,
+        });
+    }
+
+    fn lex_number(&mut self) {
+        let start_line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.pos += 1;
+            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                // `1.5` continues the number; `0..10` and `1.max(2)` do not.
+                text.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.tokens.push(Token {
+            kind: TokenKind::Literal,
+            text,
+            line: start_line,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let tokens = lex("fn main() {\n  x.y();\n}");
+        assert!(tokens[0].is_ident("fn"));
+        assert!(tokens[1].is_ident("main"));
+        let closing = tokens.last().unwrap();
+        assert!(closing.is_punct('}'));
+        assert_eq!(closing.line, 3);
+    }
+
+    #[test]
+    fn char_literals_do_not_leak_braces() {
+        let tokens = lex("let b = '{'; let l: &'a str = \"}{\";");
+        let braces: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.is_punct('{') || t.is_punct('}'))
+            .collect();
+        assert!(braces.is_empty(), "braces leaked: {braces:?}");
+        assert!(tokens.iter().any(|t| t.kind == TokenKind::Lifetime));
+    }
+
+    #[test]
+    fn comments_and_raw_strings_are_opaque_and_lines_tracked() {
+        let src = "a /* {{ \n nested /* deeper */ }} */ b // {\nc r#\"fake \" }\"# d";
+        let tokens = lex(src);
+        let idents: Vec<_> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(idents, vec![("a", 1), ("b", 2), ("c", 3), ("d", 3)]);
+        assert!(!tokens.iter().any(|t| t.is_punct('{')));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_operators() {
+        assert_eq!(texts("0..10"), vec!["0", ".", ".", "10"]);
+        assert_eq!(texts("1.5e3"), vec!["1.5e3"]);
+        assert_eq!(texts("1.max(2)"), vec!["1", ".", "max", "(", "2", ")"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let tokens = lex("b\"{\" b'}' br#\"{\"#");
+        assert!(tokens.iter().all(|t| t.kind == TokenKind::Literal));
+        assert_eq!(tokens.len(), 3);
+    }
+}

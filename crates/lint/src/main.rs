@@ -1,0 +1,149 @@
+//! CLI driver for the workspace lint pass.
+//!
+//! ```text
+//! neummu_lint --workspace [--root DIR] [--config FILE] [--json]
+//! neummu_lint [--root DIR] [--config FILE] [--json] FILE...
+//! ```
+//!
+//! Exit codes: `0` clean, `1` live findings, `2` configuration/usage error.
+
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use neummu_lint::config::Config;
+use neummu_lint::workspace::{self, SourceFile};
+use neummu_lint::{lint_files, lint_workspace};
+
+const USAGE: &str = "\
+usage: neummu_lint [--workspace] [--root DIR] [--config FILE] [--json] [FILE...]
+
+  --workspace    lint every workspace member's src/ tree under the root
+  --root DIR     workspace root (default: current directory)
+  --config FILE  lint configuration (default: <root>/lint.toml)
+  --json         emit machine-readable JSON instead of the table
+  FILE...        lint specific files instead of the whole workspace
+
+exit codes: 0 clean, 1 findings, 2 configuration or usage error";
+
+struct Cli {
+    workspace: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        workspace: false,
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+        files: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--workspace" => cli.workspace = true,
+            "--json" => cli.json = true,
+            "--root" => {
+                cli.root = iter
+                    .next()
+                    .map(PathBuf::from)
+                    .ok_or("--root requires a directory argument")?;
+            }
+            "--config" => {
+                cli.config = Some(
+                    iter.next()
+                        .map(PathBuf::from)
+                        .ok_or("--config requires a file argument")?,
+                );
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            file => cli.files.push(PathBuf::from(file)),
+        }
+    }
+    if !cli.workspace && cli.files.is_empty() {
+        return Err("nothing to lint: pass --workspace or explicit files".to_string());
+    }
+    Ok(cli)
+}
+
+/// Loads the explicitly listed files, attributing each to the crate whose
+/// `crates/<member>/Cargo.toml` it sits under (or `adhoc` otherwise).
+fn load_explicit_files(cli: &Cli) -> std::io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for path in &cli.files {
+        let rel = workspace::rel_path(&cli.root, path);
+        let crate_name = rel
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split('/').next())
+            .and_then(|member| {
+                workspace::package_name(&cli.root.join("crates").join(member).join("Cargo.toml"))
+            })
+            .unwrap_or_else(|| "adhoc".to_string());
+        files.push(SourceFile {
+            rel_path: rel,
+            crate_name,
+            source: std::fs::read_to_string(path)?,
+        });
+    }
+    Ok(files)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("neummu_lint: {message}");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let config_path = cli
+        .config
+        .clone()
+        .unwrap_or_else(|| cli.root.join("lint.toml"));
+    let config = match Config::load(&config_path) {
+        Ok(config) => config,
+        Err(error) => {
+            eprintln!("neummu_lint: {error}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = if cli.workspace {
+        match lint_workspace(&cli.root, &config) {
+            Ok(report) => report,
+            Err(error) => {
+                eprintln!("neummu_lint: workspace walk failed: {error}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match load_explicit_files(&cli) {
+            Ok(files) => lint_files(&files, &config),
+            Err(error) => {
+                eprintln!("neummu_lint: cannot read input: {error}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    if cli.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_table());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,22 @@
+//! C001 fixture: a `HotTally` owner with no flushing `Drop`.
+pub struct HotTally {
+    hits: u64,
+}
+
+impl HotTally {
+    pub fn flush(&mut self) {
+        self.hits = 0;
+    }
+}
+
+pub struct Engine {
+    hot: HotTally,
+    cycles: u64,
+}
+
+impl Engine {
+    pub fn tick(&mut self) {
+        self.cycles += 1;
+        self.hot.hits += 1;
+    }
+}

@@ -1,0 +1,31 @@
+//! C001 fixture twin: the compliant shape — `Drop` flushes the tally —
+//! plus a waivable offender to exercise the waiver path.
+pub struct HotTally {
+    hits: u64,
+}
+
+impl HotTally {
+    pub fn flush(&mut self) {
+        self.hits = 0;
+    }
+}
+
+pub struct Engine {
+    hot: HotTally,
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.hot.flush();
+    }
+}
+
+pub struct ScratchProbe {
+    hot: HotTally, // waived: probe is reset explicitly, never dropped live
+}
+
+impl ScratchProbe {
+    pub fn reset(&mut self) {
+        self.hot.flush();
+    }
+}

@@ -1,0 +1,25 @@
+//! D001 fixture: default-hashed declaration AND hash-order iteration.
+use std::collections::HashMap;
+
+pub struct Tracker {
+    counts: HashMap<u64, u64>,
+}
+
+impl Tracker {
+    pub fn total(&self) -> u64 {
+        // Iterating a hash map: visit order is per-process random.
+        let mut sum = 0;
+        for (_page, count) in self.counts.iter() {
+            sum += count;
+        }
+        sum
+    }
+
+    pub fn bare_for_loop(&self) -> usize {
+        let mut n = 0;
+        for _ in &self.counts {
+            n += 1;
+        }
+        n
+    }
+}

@@ -1,0 +1,8 @@
+//! D002 fixture: wall-clock and environment reads in simulation code.
+use std::time::Instant;
+
+pub fn simulate_step() -> u64 {
+    let started = Instant::now();
+    let budget = std::env::var("SIM_BUDGET").unwrap_or_default();
+    started.elapsed().as_nanos() as u64 + budget.len() as u64
+}

@@ -1,0 +1,7 @@
+//! D002 fixture twin: the same clock read, waived as profiling-only.
+use std::time::Instant;
+
+pub fn profile_step() -> u64 {
+    let started = Instant::now(); // waived: progress reporting only
+    started.elapsed().as_nanos() as u64
+}

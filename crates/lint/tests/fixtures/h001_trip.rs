@@ -1,0 +1,18 @@
+//! H001 fixture: a registered hot function that allocates.
+pub struct Engine {
+    scratch: u64,
+}
+
+impl Engine {
+    pub fn translate(&mut self, va: u64) -> u64 {
+        let pages: Vec<u64> = (0..4).map(|i| va + i).collect();
+        let label = format!("va={va}");
+        self.scratch += label.len() as u64;
+        pages.iter().sum()
+    }
+
+    pub fn cold_path(&mut self) -> Vec<u64> {
+        // Not registered: allocation here is fine.
+        Vec::new()
+    }
+}

@@ -1,0 +1,16 @@
+//! H001 fixture twin: the same registered hot function, with its one
+//! allocation waived (e.g. a cold error branch).
+pub struct Engine {
+    scratch: u64,
+}
+
+impl Engine {
+    pub fn translate(&mut self, va: u64) -> u64 {
+        if va == u64::MAX {
+            let label = format!("bad va {va}"); // waived: cold error branch
+            return label.len() as u64;
+        }
+        self.scratch += 1;
+        va >> 12
+    }
+}

@@ -184,6 +184,12 @@ pub struct AddressSpace {
     page_table: PageTable,
     segments: HashMap<String, Segment>,
     segment_order: Vec<String>,
+    /// `(base VA, name)` pairs sorted by base VA: the deterministic lookup
+    /// index behind [`AddressSpace::segment_containing`]. The `segments` map
+    /// itself is only ever queried by name — resolving a VA through the map
+    /// would make the answer depend on `RandomState` iteration order the
+    /// moment two segments claimed the same address.
+    by_base: Vec<(u64, String)>,
     next_va: VirtAddr,
     stats: SpaceStats,
 }
@@ -197,6 +203,7 @@ impl AddressSpace {
             page_table: PageTable::new(),
             segments: HashMap::new(),
             segment_order: Vec::new(),
+            by_base: Vec::new(),
             next_va: VirtAddr::new(SEGMENT_BASE),
             stats: SpaceStats::default(),
         }
@@ -247,9 +254,45 @@ impl AddressSpace {
         if options.population == Population::Eager {
             self.populate_range(&segment, 0, size, memory)?;
         }
-        self.segments.insert(name.clone(), segment.clone());
-        self.segment_order.push(name);
+        self.add_segment(segment.clone());
         Ok(segment)
+    }
+
+    /// Registers a segment in the name map and the base-VA-sorted index.
+    ///
+    /// In debug builds the insertion position is checked against both
+    /// neighbours: a new segment overlapping an existing one would make
+    /// `segment_containing` ambiguous, so the invariant is asserted here
+    /// rather than silently resolved by lookup order.
+    fn add_segment(&mut self, segment: Segment) {
+        let at = self
+            .by_base
+            .partition_point(|(base, _)| *base < segment.start.raw());
+        #[cfg(debug_assertions)]
+        {
+            if let Some((_, prev)) = at.checked_sub(1).and_then(|i| self.by_base.get(i)) {
+                let prev = &self.segments[prev];
+                debug_assert!(
+                    prev.end() <= segment.start,
+                    "segment `{}` overlaps `{}`",
+                    segment.name,
+                    prev.name
+                );
+            }
+            if let Some((_, next)) = self.by_base.get(at) {
+                let next = &self.segments[next];
+                debug_assert!(
+                    segment.end() <= next.start,
+                    "segment `{}` overlaps `{}`",
+                    segment.name,
+                    next.name
+                );
+            }
+        }
+        let name = segment.name.clone();
+        self.by_base.insert(at, (segment.start.raw(), name.clone()));
+        self.segments.insert(name.clone(), segment);
+        self.segment_order.push(name);
     }
 
     fn populate_range(
@@ -286,9 +329,17 @@ impl AddressSpace {
     }
 
     /// The segment containing `va`, if any.
+    ///
+    /// Resolved through the base-VA-sorted index: the candidate is the
+    /// segment with the greatest base at or below `va` (segments never
+    /// overlap, so at most one can contain the address). This keeps the
+    /// answer independent of the name map's hash order.
     #[must_use]
     pub fn segment_containing(&self, va: VirtAddr) -> Option<&Segment> {
-        self.segments.values().find(|s| s.contains(va))
+        let at = self.by_base.partition_point(|(base, _)| *base <= va.raw());
+        let (_, name) = at.checked_sub(1).and_then(|i| self.by_base.get(i))?;
+        let segment = &self.segments[name];
+        segment.contains(va).then_some(segment)
     }
 
     /// Translates a virtual address.
@@ -503,6 +554,46 @@ mod tests {
             space.segment_containing(a.addr_at(100)).unwrap().name(),
             "a"
         );
+    }
+
+    #[test]
+    fn segment_containing_resolves_through_the_sorted_index() {
+        let mut mem = memory();
+        let mut space = AddressSpace::new("npu0");
+        // Enough segments that a hash-ordered `.values().find()` would visit
+        // them in an arbitrary order; the sorted index must find the owner of
+        // every boundary address regardless.
+        let mut segs = Vec::new();
+        for i in 0..32u64 {
+            let seg = space
+                .alloc_segment(
+                    format!("seg{i}"),
+                    4096 * (1 + i % 5),
+                    SegmentOptions::new(MemNode::Npu(0), PageSize::Size4K),
+                    &mut mem,
+                )
+                .unwrap();
+            segs.push(seg);
+        }
+        for seg in &segs {
+            assert_eq!(
+                space.segment_containing(seg.start()).unwrap().name(),
+                seg.name()
+            );
+            let last_byte = seg.start().add(seg.size() - 1);
+            assert_eq!(
+                space.segment_containing(last_byte).unwrap().name(),
+                seg.name()
+            );
+            // One-past-the-end belongs to the 2 MB alignment gap, not `seg`.
+            assert_ne!(
+                space.segment_containing(seg.end()).map(Segment::name),
+                Some(seg.name())
+            );
+        }
+        assert!(space
+            .segment_containing(VirtAddr::new(SEGMENT_BASE - 1))
+            .is_none());
     }
 
     #[test]

@@ -230,7 +230,11 @@ impl PhysicalMemory {
     /// configured node window.
     pub fn owner_of(&self, frame: PhysFrameNum) -> Result<MemNode, VmemError> {
         let frames_per_window = NODE_WINDOW_BYTES >> PAGE_SHIFT_4K;
-        for (node, state) in &self.nodes {
+        // Walk the declaration-order node list, not the map: the windows are
+        // disjoint so at most one node matches either way, but iterating the
+        // map would be a hash-order traversal for the linter to prove benign.
+        for node in &self.node_order {
+            let state = &self.nodes[node];
             if frame.raw() >= state.base_frame && frame.raw() < state.base_frame + frames_per_window
             {
                 return Ok(*node);

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Runs the workspace determinism/hot-path lint pass (same invocation as the
+# CI gate). Pass --json for machine-readable output, or extra args verbatim.
+#
+#   ./scripts/lint.sh            # human table, exit 1 on findings
+#   ./scripts/lint.sh --json     # JSON document for tooling
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run -q -p neummu_lint -- --workspace "$@"
