@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! neummu-experiments [--quick] [--out <dir>] [--only <exp>[,<exp>...]]
-//!                    [--threads <n>]
+//!                    [--threads <n>] [--profile-trace <file>]
 //! ```
 //!
 //! * `--quick` runs the reduced (smoke) suite instead of the full benchmark
@@ -18,6 +18,12 @@
 //!   (default: the machine's available parallelism; `1` forces the serial
 //!   reference schedule). Artifacts are byte-identical for every thread
 //!   count — parallelism only changes wall-clock time.
+//! * `--profile-trace` writes a cycle-resolved binary event trace of the run
+//!   to the given file (decode it with `neummu_profile`). Off by default:
+//!   with no sink installed every emission site is a dead branch and the run
+//!   is byte-for-byte the untraced run. Trace *content* (the decoded event
+//!   multiset, minus the runner's nondeterministic `wall/` kinds) is the
+//!   same for every thread count.
 //!
 //! Every experiment writes a Markdown table, a CSV file and a JSON dump into
 //! the artifact directory and prints the Markdown to stdout. After the run a
@@ -43,6 +49,7 @@ struct Options {
     out_dir: String,
     only: Option<BTreeSet<String>>,
     threads: usize,
+    profile_trace: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -50,6 +57,7 @@ fn parse_args() -> Result<Options, String> {
     let mut out_dir = "results".to_string();
     let mut only = None;
     let mut threads = 0usize; // 0 = available parallelism
+    let mut profile_trace = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -72,9 +80,15 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--threads requires a count of at least 1".to_string());
                 }
             }
+            "--profile-trace" => {
+                profile_trace = Some(
+                    args.next()
+                        .ok_or("--profile-trace requires a file argument")?,
+                );
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: neummu-experiments [--quick] [--out <dir>] [--only <exp>[,<exp>...]] [--threads <n>]"
+                    "usage: neummu-experiments [--quick] [--out <dir>] [--only <exp>[,<exp>...]] [--threads <n>] [--profile-trace <file>]"
                 );
                 std::process::exit(0);
             }
@@ -86,6 +100,7 @@ fn parse_args() -> Result<Options, String> {
         out_dir,
         only,
         threads,
+        profile_trace,
     })
 }
 
@@ -308,7 +323,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run_all(&options) {
+    // Install the process-wide trace sink before any engine or profile is
+    // constructed, so every emission site sees it from the start.
+    if let Some(path) = &options.profile_trace {
+        let sink = match neummu_trace::TraceSink::to_file(path) {
+            Ok(sink) => sink,
+            Err(error) => {
+                eprintln!("error: cannot create trace file `{path}`: {error}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if neummu_trace::install(sink).is_none() {
+            eprintln!("error: a trace sink is already installed in this process");
+            return ExitCode::FAILURE;
+        }
+    }
+    let outcome = run_all(&options);
+    if let (Some(path), Some(sink)) = (&options.profile_trace, neummu_trace::global()) {
+        match sink.finish() {
+            Ok(events) => println!("wrote {events} trace events to `{path}`"),
+            Err(error) => {
+                eprintln!("error: failed to finalize trace `{path}`: {error}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match outcome {
         Ok(()) => ExitCode::SUCCESS,
         Err(error) => {
             eprintln!("error: {error}");

@@ -1,0 +1,190 @@
+//! Decodes a binary event trace written by `neummu-experiments
+//! --profile-trace` and renders where the run spent its time — the
+//! `analyzeme` half of the tracing subsystem.
+//!
+//! Usage:
+//!
+//! ```text
+//! neummu-profile <trace-file> [--top <n>] [--dump]
+//! ```
+//!
+//! Prints four Markdown tables:
+//!
+//! 1. **Wall-clock phases** — the runner's `wall/job/<phase>` spans: jobs,
+//!    total/mean/p99/max per-job wall time. Matches the self-profile table
+//!    the run printed, plus percentiles the aggregate table cannot show.
+//! 2. **Hottest event kinds** — simulated-cycle kinds sorted by total span,
+//!    clipped to `--top <n>` (default 20). Engine kinds are binned, so
+//!    `Weight` (the payload sum) is the number of underlying requests.
+//! 3. **Per-tenant activity** — cycle-span events grouped by ASID; in
+//!    multi-tenant runs this splits engine time by tenant.
+//! 4. **Counters** — `count/<name>` payload totals.
+//!
+//! `--dump` instead prints the trace's canonical content lines (sorted,
+//! `wall/` kinds excluded) — the exact byte stream CI diffs across thread
+//! counts to check trace determinism.
+
+use std::process::ExitCode;
+
+use neummu_sim::ResultTable;
+use neummu_trace::{kind_breakdown, tenant_breakdown, EventClass, Trace};
+
+struct Options {
+    trace_path: String,
+    top: usize,
+    dump: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut trace_path = None;
+    let mut top = 20usize;
+    let mut dump = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" => {
+                let value = args.next().ok_or("--top requires a count argument")?;
+                top = value
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --top count `{value}`"))?;
+            }
+            "--dump" => dump = true,
+            "--help" | "-h" => {
+                println!("usage: neummu-profile <trace-file> [--top <n>] [--dump]");
+                std::process::exit(0);
+            }
+            other if trace_path.is_none() && !other.starts_with('-') => {
+                trace_path = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Options {
+        trace_path: trace_path.ok_or("a trace file argument is required")?,
+        top,
+        dump,
+    })
+}
+
+fn ms(nanos: u64) -> String {
+    format!("{:.2}", nanos as f64 / 1e6)
+}
+
+fn report(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
+    let trace = Trace::load(&options.trace_path)?;
+
+    if options.dump {
+        // Canonical content: what must match across thread counts.
+        print!("{}", trace.canonical_lines());
+        return Ok(());
+    }
+
+    println!(
+        "trace `{}`: {} events across {} kinds\n",
+        options.trace_path,
+        trace.events().len(),
+        trace.labels().len()
+    );
+    let kinds = kind_breakdown(&trace);
+
+    let mut phases = ResultTable::new(
+        "Wall-clock phases (runner jobs)",
+        &[
+            "Phase",
+            "Jobs",
+            "Total (ms)",
+            "Mean (ms)",
+            "P99 (ms)",
+            "Max (ms)",
+        ],
+    );
+    for stat in kinds.iter().filter(|s| s.class == EventClass::Wall) {
+        let phase = stat.label.strip_prefix("wall/job/").unwrap_or(&stat.label);
+        phases.push_row(&[
+            phase.to_string(),
+            stat.events.to_string(),
+            ms(stat.span_total),
+            ms(stat.span_mean()),
+            ms(stat.span_p99),
+            ms(stat.span_max),
+        ]);
+    }
+    println!("{}", phases.to_markdown());
+
+    let mut hottest = ResultTable::new(
+        "Hottest event kinds (simulated cycles)",
+        &[
+            "Kind",
+            "Events",
+            "Weight",
+            "Total cycles",
+            "Mean",
+            "P99",
+            "Max",
+        ],
+    );
+    let cycle_kinds: Vec<_> = kinds
+        .iter()
+        .filter(|s| s.class == EventClass::Cycle)
+        .collect();
+    let shown = cycle_kinds.len().min(options.top);
+    for stat in &cycle_kinds[..shown] {
+        hottest.push_row(&[
+            stat.label.clone(),
+            stat.events.to_string(),
+            stat.payload_total.to_string(),
+            stat.span_total.to_string(),
+            stat.span_mean().to_string(),
+            stat.span_p99.to_string(),
+            stat.span_max.to_string(),
+        ]);
+    }
+    println!("{}", hottest.to_markdown());
+    if shown < cycle_kinds.len() {
+        println!(
+            "({} more cycle kinds below the --top {} cut)\n",
+            cycle_kinds.len() - shown,
+            options.top
+        );
+    }
+
+    let mut tenants = ResultTable::new(
+        "Per-tenant activity (cycle-span events by ASID)",
+        &["ASID", "Events", "Weight", "Total cycles"],
+    );
+    for tenant in tenant_breakdown(&trace) {
+        tenants.push_row(&[
+            tenant.asid.to_string(),
+            tenant.events.to_string(),
+            tenant.payload_total.to_string(),
+            tenant.span_total.to_string(),
+        ]);
+    }
+    println!("{}", tenants.to_markdown());
+
+    let mut counters = ResultTable::new("Counters", &["Counter", "Value"]);
+    for stat in kinds.iter().filter(|s| s.class == EventClass::Counter) {
+        let name = stat.label.strip_prefix("count/").unwrap_or(&stat.label);
+        counters.push_row(&[name.to_string(), stat.payload_total.to_string()]);
+    }
+    println!("{}", counters.to_markdown());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("usage: neummu-profile <trace-file> [--top <n>] [--dump]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match report(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -17,6 +17,8 @@
 //! (the data fetch may start no earlier). These two numbers are what couple
 //! address translation into the NPU performance model.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use neummu_energy::{EnergyEvent, EnergyMeter};
@@ -325,6 +327,162 @@ impl HotTally {
     }
 }
 
+/// Event-kind indices of the engine's trace tap (into [`TAP_LABELS`] /
+/// [`TAP_CAPS`] / [`EngineTap::bins`]).
+const TAP_TLB_HIT: usize = 0;
+const TAP_MERGE: usize = 1;
+const TAP_WALK: usize = 2;
+const TAP_FAULT: usize = 3;
+const TAP_REPLAY_HITS: usize = 4;
+const TAP_REPLAY_MERGES: usize = 5;
+const TAP_REPLAY_WALKS: usize = 6;
+const TAP_RETIRE: usize = 7;
+const TAP_KIND_COUNT: usize = 8;
+
+/// Trace kind labels, interned once per process against the installed sink.
+const TAP_LABELS: [&str; TAP_KIND_COUNT] = [
+    "engine/tlb_hit",
+    "engine/prmb_merge",
+    "engine/page_walk",
+    "engine/fault",
+    "engine/replay/hits",
+    "engine/replay/merges",
+    "engine/replay/walks",
+    "engine/walk_retire",
+];
+
+/// How many same-kind, same-ASID events accumulate in a bin before it is
+/// emitted as one trace record. Chosen so that a full-scale run (hundreds of
+/// millions of requests) produces a trace of a few million records: frequent
+/// kinds bin coarsely, walks finely enough that their span distribution
+/// survives, and faults are emitted individually.
+const TAP_CAPS: [u32; TAP_KIND_COUNT] = [1024, 1024, 256, 1, 256, 256, 256, 1024];
+
+/// One accumulating bin of the engine's trace tap: `events` same-kind events
+/// of one ASID, covering the cycle span `start..end`, with summed `weight`
+/// (request count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct TraceBin {
+    asid: u16,
+    events: u32,
+    weight: u64,
+    start: u64,
+    end: u64,
+}
+
+/// The engine's connection to the process-wide event-trace sink
+/// (`neummu_trace`), binned so emission stays off the per-request path.
+///
+/// Like [`HotTally`], the tap accumulates locally and flushes on drop/reset;
+/// unlike the tally, a bin flush emits a trace *event* carrying the covered
+/// cycle span. Bins depend only on the deterministic per-engine call
+/// sequence (timestamps are simulated cycles, a bin never spans two ASIDs),
+/// so trace content is identical across runner thread counts. `enabled` is
+/// captured at construction: a sink installed later misses at most the
+/// engines already built, and no sink ever means zero work per event beyond
+/// one predictable branch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct EngineTap {
+    enabled: bool,
+    bins: [TraceBin; TAP_KIND_COUNT],
+}
+
+/// Kind ids for [`TAP_LABELS`], interned against the installed global sink
+/// once per process. Never caches a negative: if no sink is installed yet,
+/// later calls re-check.
+fn tap_kinds() -> Option<&'static [neummu_trace::KindId; TAP_KIND_COUNT]> {
+    static KINDS: OnceLock<[neummu_trace::KindId; TAP_KIND_COUNT]> = OnceLock::new();
+    if let Some(kinds) = KINDS.get() {
+        return Some(kinds);
+    }
+    let sink = neummu_trace::global()?;
+    Some(KINDS.get_or_init(|| TAP_LABELS.map(|label| sink.kind(label))))
+}
+
+impl EngineTap {
+    /// A tap that emits iff a global sink is installed right now.
+    fn new() -> Self {
+        EngineTap {
+            enabled: neummu_trace::enabled(),
+            bins: [TraceBin::default(); TAP_KIND_COUNT],
+        }
+    }
+
+    /// Folds one event into the `idx` bin, emitting the bin when it is full
+    /// or when the ASID changes (a bin never mixes tenants).
+    #[inline]
+    fn record(&mut self, idx: usize, asid: Asid, start: u64, end: u64, weight: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.record_enabled(idx, asid.raw(), start, end, weight);
+    }
+
+    /// The common case — same ASID, bin not yet full — is three additions
+    /// and a max; bin turnover (first event, ASID switch, full bin) is
+    /// outlined as the cold path so this inlines into the translate loop.
+    #[inline]
+    fn record_enabled(&mut self, idx: usize, asid: u16, start: u64, end: u64, weight: u64) {
+        let bin = &mut self.bins[idx];
+        if bin.events != 0 && bin.asid == asid && bin.events + 1 < TAP_CAPS[idx] {
+            bin.events += 1;
+            bin.weight += weight;
+            bin.end = bin.end.max(end);
+            return;
+        }
+        self.record_turnover(idx, asid, start, end, weight);
+    }
+
+    /// Bin turnover: flush on ASID change, (re)initialize, emit when full.
+    #[cold]
+    fn record_turnover(&mut self, idx: usize, asid: u16, start: u64, end: u64, weight: u64) {
+        let bin = &mut self.bins[idx];
+        if bin.events > 0 && bin.asid != asid {
+            Self::emit(idx, *bin);
+            *bin = TraceBin::default();
+        }
+        if bin.events == 0 {
+            bin.asid = asid;
+            bin.start = start;
+        }
+        bin.events += 1;
+        bin.weight += weight;
+        bin.end = bin.end.max(end);
+        if bin.events >= TAP_CAPS[idx] {
+            Self::emit(idx, *bin);
+            *bin = TraceBin::default();
+        }
+    }
+
+    /// Emits one bin as a trace event (payload = summed request weight).
+    fn emit(idx: usize, bin: TraceBin) {
+        if let (Some(sink), Some(kinds)) = (neummu_trace::global(), tap_kinds()) {
+            sink.emit(neummu_trace::Event {
+                kind: kinds[idx],
+                asid: bin.asid,
+                start: bin.start,
+                end: bin.end,
+                payload: bin.weight,
+            });
+        }
+    }
+
+    /// Emits every non-empty bin (drop/reset path, mirroring
+    /// [`HotTally::flush`]).
+    fn flush(&mut self) {
+        if !self.enabled {
+            return;
+        }
+        for idx in 0..TAP_KIND_COUNT {
+            let bin = self.bins[idx];
+            if bin.events > 0 {
+                Self::emit(idx, bin);
+                self.bins[idx] = TraceBin::default();
+            }
+        }
+    }
+}
+
 /// The oracular MMU: every translation hits with zero latency.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct OracleTranslator {
@@ -523,6 +681,7 @@ pub struct TranslationEngine {
     stats: TranslationStats,
     energy: EnergyMeter,
     hot: HotTally,
+    tap: EngineTap,
 }
 
 impl TranslationEngine {
@@ -541,6 +700,7 @@ impl TranslationEngine {
             stats: TranslationStats::default(),
             energy: EnergyMeter::default(),
             hot: HotTally::default(),
+            tap: EngineTap::new(),
         }
     }
 
@@ -577,6 +737,7 @@ impl TranslationEngine {
         walkers: &mut WalkerPool,
         tlb: &mut Tlb,
         energy: &mut EnergyMeter,
+        tap: &mut EngineTap,
         cycle: u64,
     ) -> usize {
         walkers.drain_completed(cycle, |walk| {
@@ -587,6 +748,13 @@ impl TranslationEngine {
             if walk.merged_requests > 0 {
                 energy.record(EnergyEvent::PrmbRead, u64::from(walk.merged_requests));
             }
+            tap.record(
+                TAP_RETIRE,
+                walk.asid,
+                walk.completed_at,
+                walk.completed_at,
+                1 + u64::from(walk.merged_requests),
+            );
         })
     }
 
@@ -597,9 +765,10 @@ impl TranslationEngine {
             tlb,
             energy,
             hot,
+            tap,
             ..
         } = self;
-        if Self::retire_walks(walkers, tlb, energy, cycle) == 0 {
+        if Self::retire_walks(walkers, tlb, energy, tap, cycle) == 0 {
             hot.retire_fast_exits += 1;
         }
     }
@@ -631,6 +800,7 @@ impl TranslationEngine {
             energy,
             stats,
             hot,
+            tap,
         } = self;
         let last_cycle = first_accept + want;
         let mut cursor = first_accept;
@@ -653,7 +823,7 @@ impl TranslationEngine {
             }
             match next {
                 Some(completes) if completes <= last_cycle => {
-                    Self::retire_walks(walkers, tlb, energy, completes);
+                    Self::retire_walks(walkers, tlb, energy, tap, completes);
                     if !tlb.contains_tagged(asid, page_number) {
                         // The retirement evicted the run's entry: the request
                         // at `completes` would miss. Stop exactly there.
@@ -673,6 +843,13 @@ impl TranslationEngine {
             energy.record(EnergyEvent::TlbLookup, replayed);
             hot.runs_coalesced += 1;
             hot.replayed_hits += replayed;
+            tap.record(
+                TAP_REPLAY_HITS,
+                asid,
+                first_accept + 1,
+                cursor + config.tlb_hit_latency,
+                replayed,
+            );
         }
         replayed
     }
@@ -711,6 +888,7 @@ impl TranslationEngine {
             energy,
             stats,
             hot,
+            tap,
         } = self;
         debug_assert!(
             !config.tpreg_enabled,
@@ -721,7 +899,7 @@ impl TranslationEngine {
         while cursor < last_cycle {
             let cycle = cursor + 1;
             if walkers.next_completion().is_some_and(|c| c <= cycle) {
-                Self::retire_walks(walkers, tlb, energy, cycle);
+                Self::retire_walks(walkers, tlb, energy, tap, cycle);
                 if tlb.contains_tagged(asid, page_number) {
                     // A walk of this page retired: the request at `cycle`
                     // would hit. Stop; the caller's next call replays hits.
@@ -760,6 +938,7 @@ impl TranslationEngine {
         if replayed > 0 {
             hot.runs_coalesced += 1;
             hot.replayed_walks += replayed;
+            tap.record(TAP_REPLAY_WALKS, asid, first_accept + 1, cursor, replayed);
         }
         replayed
     }
@@ -790,6 +969,7 @@ impl TranslationEngine {
             energy,
             stats,
             hot,
+            tap,
             ..
         } = self;
         let last_cycle = first_accept + want;
@@ -811,7 +991,7 @@ impl TranslationEngine {
             }
             match next {
                 Some(completes) if completes <= last_cycle => {
-                    Self::retire_walks(walkers, tlb, energy, completes);
+                    Self::retire_walks(walkers, tlb, energy, tap, completes);
                     if tlb.contains_tagged(asid, page_number) {
                         // The page's translation just landed: the request at
                         // `completes` would hit, not merge.
@@ -831,6 +1011,7 @@ impl TranslationEngine {
             energy.record(EnergyEvent::PrmbWrite, replayed);
             hot.runs_coalesced += 1;
             hot.replayed_merges += replayed;
+            tap.record(TAP_REPLAY_MERGES, asid, first_accept + 1, cursor, replayed);
         }
         replayed
     }
@@ -873,6 +1054,7 @@ impl AddressTranslator for TranslationEngine {
                 let complete = now + self.config.tlb_hit_latency;
                 self.stats.last_completion_cycle = self.stats.last_completion_cycle.max(complete);
                 self.stats.stall_cycles += now - cycle;
+                self.tap.record(TAP_TLB_HIT, asid, now, complete, 1);
                 return TranslationOutcome {
                     accept_cycle: now,
                     complete_cycle: complete,
@@ -893,6 +1075,7 @@ impl AddressTranslator for TranslationEngine {
                     self.stats.last_completion_cycle =
                         self.stats.last_completion_cycle.max(completes_at);
                     self.stats.stall_cycles += now - cycle;
+                    self.tap.record(TAP_MERGE, asid, now, completes_at, 1);
                     return TranslationOutcome {
                         accept_cycle: now,
                         complete_cycle: completes_at,
@@ -961,6 +1144,10 @@ impl AddressTranslator for TranslationEngine {
                     self.stats.last_completion_cycle =
                         self.stats.last_completion_cycle.max(completes_at);
                     self.stats.stall_cycles += now - cycle;
+                    self.tap.record(TAP_WALK, asid, now, completes_at, 1);
+                    if !mapped {
+                        self.tap.record(TAP_FAULT, asid, now, completes_at, 1);
+                    }
                     return TranslationOutcome {
                         accept_cycle: now,
                         complete_cycle: completes_at,
@@ -974,6 +1161,7 @@ impl AddressTranslator for TranslationEngine {
                     self.stats.tlb_misses += 1;
                     self.stats.merged += 1;
                     self.stats.stall_cycles += now - cycle;
+                    self.tap.record(TAP_MERGE, asid, now, completes_at, 1);
                     return TranslationOutcome {
                         accept_cycle: now,
                         complete_cycle: completes_at,
@@ -1083,6 +1271,7 @@ impl AddressTranslator for TranslationEngine {
 
     fn reset(&mut self) {
         self.hot.flush();
+        self.tap.flush();
         *self = TranslationEngine::new(self.config);
     }
 
@@ -1108,12 +1297,15 @@ impl AddressTranslator for TranslationEngine {
 impl Drop for TranslationEngine {
     fn drop(&mut self) {
         self.hot.flush();
+        self.tap.flush();
     }
 }
 
 /// Hand-written (not derived) for the same reason as
 /// [`OracleTranslator`]'s `Clone`: the tally must not be duplicated, or the
 /// two drop-time flushes would double-count every event up to the clone.
+/// The trace tap resets for the same reason — a copied bin would emit its
+/// pending events once per flush of each copy.
 impl Clone for TranslationEngine {
     fn clone(&self) -> Self {
         TranslationEngine {
@@ -1123,6 +1315,7 @@ impl Clone for TranslationEngine {
             stats: self.stats,
             energy: self.energy.clone(),
             hot: HotTally::default(),
+            tap: EngineTap::new(),
         }
     }
 }

@@ -246,6 +246,9 @@ impl DenseSimulator {
         };
 
         let mut now = 0u64;
+        // One `sim/dense/layer` trace span per layer: the layer's slice of
+        // the simulated timeline, payload = translation requests it issued.
+        let layer_trace = neummu_trace::global().map(|sink| (sink, sink.kind("sim/dense/layer")));
         let mut layer_results = Vec::with_capacity(layers.len());
         let mut global_tile_index = 0u64;
         let mut fetches_streamed = 0u64;
@@ -374,6 +377,16 @@ impl DenseSimulator {
             let repeats = plan.repeats();
             let total_cycles = step_cycles * repeats;
             now = layer_start + total_cycles;
+
+            if let Some((sink, kind)) = layer_trace {
+                sink.emit(neummu_trace::Event {
+                    kind,
+                    asid: 0,
+                    start: layer_start,
+                    end: now,
+                    payload: requests,
+                });
+            }
 
             layer_results.push(LayerResult {
                 layer_name: layer.name().to_string(),

@@ -405,6 +405,18 @@ impl EmbeddingSimulator {
             0
         };
 
+        // One `sim/embed/gather` trace span for the whole gather phase,
+        // payload = vectors gathered.
+        if let Some(sink) = neummu_trace::global() {
+            sink.emit(neummu_trace::Event {
+                kind: sink.kind("sim/embed/gather"),
+                asid: 0,
+                start: 0,
+                end: gather_end,
+                payload: vectors,
+            });
+        }
+
         Ok(EmbeddingPhaseBreakdown {
             gemm_cycles,
             reduction_cycles,

@@ -446,11 +446,16 @@ impl TenantScheduler {
         // resumes from its suffix — so the request sequence the shared
         // engine observes is exactly the old per-transaction interleaving.
         let page_bytes = config.mmu.page_size.bytes();
+        // One `tenant/turn` trace span per scheduler turn: the tenant's slice
+        // of the shared front end, in simulated cycles, with the number of
+        // transactions it got through as the payload.
+        let turn_trace = neummu_trace::global().map(|sink| (sink, sink.kind("tenant/turn")));
         let mut rotation: std::collections::VecDeque<usize> = (0..tenants.len()).collect();
         while let Some(tenant) = rotation.pop_front() {
             use neummu_mmu::AddressTranslator as _;
             let slot = resources.index_for(tenant);
             let asid = stats[tenant].asid;
+            let turn_start = resources.clocks[slot];
             let space = registry.get(asid).expect("registered above");
             let page_table = space.page_table();
             let mut exhausted = false;
@@ -508,6 +513,18 @@ impl TenantScheduler {
                 quota -= out.consumed;
                 if out.consumed < run.txn_count {
                     streams[tenant].push_back(base, run.suffix(out.consumed));
+                }
+            }
+            let consumed = config.burst_transactions - quota;
+            if let Some((sink, kind)) = turn_trace {
+                if consumed > 0 {
+                    sink.emit(neummu_trace::Event {
+                        kind,
+                        asid: asid.raw(),
+                        start: turn_start,
+                        end: resources.clocks[slot],
+                        payload: consumed,
+                    });
                 }
             }
             if exhausted {

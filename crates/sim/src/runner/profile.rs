@@ -2,13 +2,28 @@
 //! every job records its wall-clock duration under a phase label, and the
 //! aggregate report shows where simulation time actually goes.
 //!
-//! Wall-clock numbers are inherently nondeterministic, so the profile is
-//! reported to stdout only and never written into the artifact directory —
-//! artifacts must stay byte-identical between serial and parallel runs.
+//! Since PR 7 the profile is a *view over the event-trace sink*
+//! (`neummu_trace`) rather than a parallel `Mutex<BTreeMap>` accumulator:
+//! each job becomes one `wall/job/<phase>` event and each named counter one
+//! `count/<name>` event, emitted to the process-wide sink when
+//! `--profile-trace` installed one (so the analyzer sees the same jobs the
+//! stdout tables summarize) and to a private in-memory sink otherwise. The
+//! aggregate tables are reconstructed from the sink's per-kind aggregates.
+//!
+//! Wall-clock durations are measured by the *callers* in the runner (the
+//! D002 allowlist); this module itself reads no clock. Job events are placed
+//! on a virtual busy-time line — a monotone counter advanced by each job's
+//! duration — so their spans are exactly the measured durations without
+//! another clock read. Wall-clock numbers are inherently nondeterministic,
+//! so `wall/…` and `count/…` kinds are reported to stdout only, never
+//! written into the artifact directory, and excluded from a trace's
+//! canonical (determinism-checked) content.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+use neummu_trace::{Event, TraceSink};
 
 use crate::report::ResultTable;
 
@@ -26,66 +41,142 @@ pub struct PhaseStats {
 }
 
 impl PhaseStats {
-    fn record(&mut self, elapsed: Duration) {
-        self.min = if self.jobs == 0 {
-            elapsed
-        } else {
-            self.min.min(elapsed)
-        };
-        self.max = self.max.max(elapsed);
-        self.jobs += 1;
-        self.total += elapsed;
-    }
-
     /// Mean wall-clock time per job.
+    ///
+    /// Computed over `u128` nanoseconds: `Duration`'s own division takes a
+    /// `u32` divisor, and truncating the job count to `u32::MAX` — the old
+    /// implementation — silently inflates the mean once a phase exceeds
+    /// 2^32 jobs, exactly the regime per-event tracing enters at full scale.
     #[must_use]
     pub fn mean(&self) -> Duration {
         if self.jobs == 0 {
-            Duration::ZERO
-        } else {
-            self.total / u32::try_from(self.jobs).unwrap_or(u32::MAX)
+            return Duration::ZERO;
+        }
+        let nanos = self.total.as_nanos() / u128::from(self.jobs);
+        Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
+    }
+}
+
+/// Where a profile's events go: the process-wide sink when tracing is on,
+/// a private in-memory sink otherwise.
+#[derive(Debug)]
+enum ProfileSink {
+    Global(&'static TraceSink),
+    Private(TraceSink),
+}
+
+impl ProfileSink {
+    fn sink(&self) -> &TraceSink {
+        match self {
+            ProfileSink::Global(sink) => sink,
+            ProfileSink::Private(sink) => sink,
         }
     }
 }
 
 /// Thread-safe accumulator of per-phase wall-clock statistics, plus named
 /// event counters (the hot-path telemetry of `neummu_mmu::counters`, cache
-/// statistics, and anything else worth one number per run).
-#[derive(Debug, Default)]
+/// statistics, and anything else worth one number per run) — all stored as
+/// events in a trace sink (see the module docs).
+#[derive(Debug)]
 pub struct SelfProfile {
-    phases: Mutex<BTreeMap<String, PhaseStats>>,
-    counters: Mutex<BTreeMap<String, u64>>,
+    sink: ProfileSink,
+    /// Virtual busy-time line in nanoseconds: advanced by each job's
+    /// duration, so job events get exact-length spans without this module
+    /// reading a clock.
+    busy_ns: AtomicU64,
 }
 
+impl Default for SelfProfile {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Label prefix of per-job phase events.
+const JOB_PREFIX: &str = "wall/job/";
+/// Label prefix of named counter events.
+const COUNT_PREFIX: &str = "count/";
+
 impl SelfProfile {
-    /// Creates an empty profile.
+    /// Creates an empty profile, bound to the installed process-wide trace
+    /// sink if there is one (events then also land in the trace file) and to
+    /// a private in-memory sink otherwise.
     #[must_use]
     pub fn new() -> Self {
-        Self::default()
+        let sink = match neummu_trace::global() {
+            Some(global) => ProfileSink::Global(global),
+            None => ProfileSink::Private(TraceSink::in_memory()),
+        };
+        SelfProfile {
+            sink,
+            busy_ns: AtomicU64::new(0),
+        }
     }
 
     /// Records one job of `elapsed` wall-clock time under `phase`.
     pub fn record(&self, phase: &str, elapsed: Duration) {
-        let mut phases = self.phases.lock().expect("profile poisoned");
-        phases.entry(phase.to_string()).or_default().record(elapsed);
+        let elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let start = self.busy_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        let sink = self.sink.sink();
+        let kind = sink.kind(&format!("{JOB_PREFIX}{phase}"));
+        sink.emit(Event {
+            kind,
+            asid: 0,
+            start,
+            end: start.saturating_add(elapsed_ns),
+            payload: 1,
+        });
     }
 
-    /// Snapshot of every phase, sorted by label.
+    /// Snapshot of every phase, sorted by label, reconstructed from the
+    /// sink's per-kind aggregates.
     #[must_use]
     pub fn phases(&self) -> BTreeMap<String, PhaseStats> {
-        self.phases.lock().expect("profile poisoned").clone()
+        self.sink
+            .sink()
+            .aggregates()
+            .into_iter()
+            .filter_map(|(label, agg)| {
+                let phase = label.strip_prefix(JOB_PREFIX)?;
+                Some((
+                    phase.to_string(),
+                    PhaseStats {
+                        jobs: agg.events,
+                        total: Duration::from_nanos(agg.span_total),
+                        min: Duration::from_nanos(agg.span_min),
+                        max: Duration::from_nanos(agg.span_max),
+                    },
+                ))
+            })
+            .collect()
     }
 
     /// Adds `value` to the named event counter.
     pub fn add_counter(&self, name: &str, value: u64) {
-        let mut counters = self.counters.lock().expect("profile poisoned");
-        *counters.entry(name.to_string()).or_default() += value;
+        let sink = self.sink.sink();
+        let kind = sink.kind(&format!("{COUNT_PREFIX}{name}"));
+        sink.emit(Event {
+            kind,
+            asid: 0,
+            start: 0,
+            end: 0,
+            payload: value,
+        });
     }
 
     /// Snapshot of every event counter, sorted by name.
     #[must_use]
     pub fn counters(&self) -> BTreeMap<String, u64> {
-        self.counters.lock().expect("profile poisoned").clone()
+        self.sink
+            .sink()
+            .aggregates()
+            .into_iter()
+            .filter_map(|(label, agg)| {
+                let name = label.strip_prefix(COUNT_PREFIX)?;
+                Some((name.to_string(), agg.payload_total))
+            })
+            .collect()
     }
 
     /// Renders the event counters as a table (empty if none were recorded).
@@ -102,12 +193,7 @@ impl SelfProfile {
     /// N threads this exceeds elapsed wall-clock time by up to N×).
     #[must_use]
     pub fn total_busy(&self) -> Duration {
-        self.phases
-            .lock()
-            .expect("profile poisoned")
-            .values()
-            .map(|p| p.total)
-            .sum()
+        self.phases().values().map(|p| p.total).sum()
     }
 
     /// Renders the profile as a table, phases sorted by total time spent,
@@ -195,5 +281,33 @@ mod tests {
         let table = profile.counters_table();
         assert_eq!(table.rows().len(), 2);
         assert_eq!(table.rows()[0], vec!["cache/hits", "1"]);
+    }
+
+    /// The PR 7 regression lock: a phase with more jobs than `u32::MAX` must
+    /// report an exact mean. The old `total / u32::try_from(jobs)
+    /// .unwrap_or(u32::MAX)` divided 8×10⁹ seconds by 2³²−1 ≈ 1.86 s here.
+    #[test]
+    fn mean_is_exact_past_u32_max_jobs() {
+        let jobs = 8_000_000_000u64; // ~2 × u32::MAX
+        let stats = PhaseStats {
+            jobs,
+            total: Duration::from_secs(jobs),
+            min: Duration::from_secs(1),
+            max: Duration::from_secs(1),
+        };
+        assert_eq!(stats.mean(), Duration::from_secs(1));
+        // And the old failure mode stays dead for non-uniform totals too.
+        let stats = PhaseStats {
+            jobs: u64::from(u32::MAX) + 2,
+            total: Duration::from_nanos(3 * (u64::from(u32::MAX) + 2)),
+            min: Duration::from_nanos(3),
+            max: Duration::from_nanos(3),
+        };
+        assert_eq!(stats.mean(), Duration::from_nanos(3));
+    }
+
+    #[test]
+    fn mean_of_empty_phase_is_zero() {
+        assert_eq!(PhaseStats::default().mean(), Duration::ZERO);
     }
 }

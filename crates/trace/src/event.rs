@@ -1,0 +1,153 @@
+//! The fixed-width event record and the on-disk format constants.
+//!
+//! A trace file is:
+//!
+//! ```text
+//! offset 0          one 4096-byte header page (see `sink.rs` for layout)
+//! offset 4096       `event_count` records of EVENT_BYTES bytes each
+//! next page bound   string table: per label, u32 byte length + UTF-8 bytes
+//! ```
+//!
+//! Every multi-byte field is little-endian. The record is 32 bytes so that a
+//! 4 KiB page holds exactly 128 records and a buffered writer never splits a
+//! record across its own flush granularity.
+
+/// Size of one encoded [`Event`] in bytes.
+pub const EVENT_BYTES: usize = 32;
+
+/// Alignment unit of the file format: header size and string-table offset.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Magic bytes at offset 0 of every trace file.
+pub const TRACE_MAGIC: [u8; 8] = *b"NEUMMUTR";
+
+/// Format version written to (and required in) the header.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Identifier of an interned kind label, assigned by
+/// [`TraceSink::kind`](crate::TraceSink::kind) in first-registration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct KindId(u16);
+
+impl KindId {
+    /// Wraps a raw kind index (used by the decoder; sinks assign ids via
+    /// interning).
+    #[must_use]
+    pub const fn from_raw(raw: u16) -> Self {
+        Self(raw)
+    }
+
+    /// The raw index into the trace's string table.
+    #[must_use]
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// The raw index widened for direct slice indexing.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One trace event: a `[start, end]` span of some kind, attributed to an
+/// address space, with a free-form `payload` (request count, counter value,
+/// bytes — whatever the kind defines).
+///
+/// `start`/`end` are simulated cycles for ordinary kinds and nanoseconds
+/// since the profile epoch for `wall/…` kinds; counters use an empty span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Event {
+    /// Which kind of event this is (index into the sink's label table).
+    pub kind: KindId,
+    /// Raw ASID of the address space the event belongs to (0 = global).
+    pub asid: u16,
+    /// Span start (inclusive).
+    pub start: u64,
+    /// Span end (exclusive for durations; `end == start` for point events).
+    pub end: u64,
+    /// Kind-defined payload: request count for binned engine events, the
+    /// increment for `count/…` kinds, job weight for `wall/…` kinds.
+    pub payload: u64,
+}
+
+impl Event {
+    /// Span length, saturating at zero if `end < start`.
+    #[must_use]
+    pub const fn span(&self) -> u64 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Encodes the record into its 32-byte little-endian wire form.
+    /// Bytes 4..8 are reserved and always zero in version 1.
+    #[must_use]
+    pub fn encode(&self) -> [u8; EVENT_BYTES] {
+        let mut out = [0u8; EVENT_BYTES];
+        out[0..2].copy_from_slice(&self.kind.raw().to_le_bytes());
+        out[2..4].copy_from_slice(&self.asid.to_le_bytes());
+        out[8..16].copy_from_slice(&self.start.to_le_bytes());
+        out[16..24].copy_from_slice(&self.end.to_le_bytes());
+        out[24..32].copy_from_slice(&self.payload.to_le_bytes());
+        out
+    }
+
+    /// Decodes a record from its 32-byte wire form. Inverse of
+    /// [`Event::encode`]; reserved bytes are ignored.
+    #[must_use]
+    pub fn decode(bytes: &[u8; EVENT_BYTES]) -> Self {
+        let u16_at = |i: usize| u16::from_le_bytes([bytes[i], bytes[i + 1]]);
+        let u64_at = |i: usize| {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&bytes[i..i + 8]);
+            u64::from_le_bytes(raw)
+        };
+        Self {
+            kind: KindId::from_raw(u16_at(0)),
+            asid: u16_at(2),
+            start: u64_at(8),
+            end: u64_at(16),
+            payload: u64_at(24),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_is_identity() {
+        let event = Event {
+            kind: KindId::from_raw(7),
+            asid: 3,
+            start: 0x0123_4567_89ab_cdef,
+            end: u64::MAX,
+            payload: 42,
+        };
+        assert_eq!(Event::decode(&event.encode()), event);
+    }
+
+    #[test]
+    fn reserved_bytes_stay_zero() {
+        let event = Event {
+            kind: KindId::from_raw(u16::MAX),
+            asid: u16::MAX,
+            start: u64::MAX,
+            end: u64::MAX,
+            payload: u64::MAX,
+        };
+        assert_eq!(&event.encode()[4..8], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn span_saturates() {
+        let event = Event {
+            kind: KindId::from_raw(0),
+            asid: 0,
+            start: 10,
+            end: 4,
+            payload: 0,
+        };
+        assert_eq!(event.span(), 0);
+    }
+}

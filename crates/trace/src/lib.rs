@@ -1,0 +1,49 @@
+//! Cycle-resolved binary event tracing for the NeuMMU simulation stack.
+//!
+//! The shape follows rustc's `measureme`/`analyzeme` split: a compact
+//! fixed-width event record, a buffered per-thread sink that appends records
+//! to a page-aligned binary file with a versioned header and an interned
+//! string table for kind labels, and a separate decoder ([`Trace`]) that the
+//! `neummu_profile` analyzer builds its breakdown tables from.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when disabled.** Tracing is opt-in; emission sites guard on
+//!    a captured `enabled` flag or [`global()`] being `Some`, and artifact
+//!    bytes must be unchanged whether or not a sink is installed.
+//! 2. **No clocks in the sink.** Event timestamps are *supplied by the
+//!    caller*: simulation components pass deterministic simulated-cycle
+//!    spans, and the only wall-clock spans in a trace come from the
+//!    experiment runner, which is already the lint rule D002 allowlist for
+//!    `Instant::now()`. This crate never reads a clock, so trace *content*
+//!    (the decoded event multiset, minus the runner's `wall/`-prefixed
+//!    kinds) is identical across `--threads 1` and `--threads 4`.
+//! 3. **Allocation-free hot path.** [`TraceSink::emit`] appends a 32-byte
+//!    `Copy` record to a pre-sized thread-local buffer; interning, file I/O
+//!    and aggregation happen on buffer drain, label registration, or
+//!    [`TraceSink::finish`].
+//!
+//! # Kind-label namespaces
+//!
+//! Labels are free-form, but three prefixes carry meaning for analysis:
+//!
+//! - `wall/…` — spans measured in wall-clock nanoseconds by the runner.
+//!   Excluded from [`Trace::canonical_lines`], because wall time is
+//!   nondeterministic by nature.
+//! - `count/…` — counters: `payload` holds the increment, the span is empty.
+//! - everything else — spans measured in deterministic simulated cycles.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod analyze;
+mod event;
+mod read;
+mod sink;
+
+pub use analyze::{
+    kind_breakdown, percentile, tenant_breakdown, EventClass, KindStats, TenantStats,
+};
+pub use event::{Event, KindId, EVENT_BYTES, PAGE_BYTES, TRACE_MAGIC, TRACE_VERSION};
+pub use read::{Trace, TraceError};
+pub use sink::{enabled, global, install, KindAggregate, TraceSink};

@@ -1,0 +1,413 @@
+//! The event sink: per-thread buffering, label interning, aggregation, and
+//! the page-aligned on-disk writer.
+//!
+//! One sink may be installed process-wide with [`install`]; only that global
+//! sink uses per-thread buffers. Each thread owns a pre-sized buffer behind
+//! its own mutex — uncontended on the emit path (the only other contender is
+//! a drain pass) — and the sink keeps a registry of every buffer, so
+//! [`TraceSink::finish`] and [`TraceSink::aggregates`] can collect events
+//! from threads that have already exited without depending on thread-local
+//! destructor ordering (which `thread::scope` does not sequence before its
+//! return). Private sinks — e.g. the one `SelfProfile` owns when no trace
+//! file was requested — fold events under their core lock directly, which is
+//! fine at per-job frequency.
+//!
+//! This module never reads a clock (lint rule D002): timestamps arrive in
+//! the [`Event`] from the caller.
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+use crate::event::{Event, KindId, EVENT_BYTES, PAGE_BYTES, TRACE_MAGIC, TRACE_VERSION};
+
+/// Events buffered per thread before the buffer drains into the shared core
+/// (128 KiB of records per thread).
+const LOCAL_BUF_EVENTS: usize = 4096;
+
+/// One thread's event buffer, shared between that thread (emit path) and the
+/// sink's registry (drain path).
+type LocalBuf = Arc<Mutex<Vec<Event>>>;
+
+/// Running per-kind aggregate, folded on every event so that summary tables
+/// (`SelfProfile`, the experiment footer) never need to re-read the file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindAggregate {
+    /// Number of events of this kind.
+    pub events: u64,
+    /// Sum of span lengths.
+    pub span_total: u64,
+    /// Shortest span (0 when `events == 0`).
+    pub span_min: u64,
+    /// Longest span.
+    pub span_max: u64,
+    /// Sum of payloads.
+    pub payload_total: u64,
+}
+
+impl KindAggregate {
+    fn fold(&mut self, event: &Event) {
+        let span = event.span();
+        self.span_min = if self.events == 0 {
+            span
+        } else {
+            self.span_min.min(span)
+        };
+        self.events += 1;
+        self.span_total = self.span_total.saturating_add(span);
+        self.span_max = self.span_max.max(span);
+        self.payload_total = self.payload_total.saturating_add(event.payload);
+    }
+}
+
+/// Shared sink state behind the core mutex.
+#[derive(Debug)]
+struct Core {
+    /// Interned labels in id order; `KindId(i)` names `labels[i]`.
+    labels: Vec<String>,
+    /// Label → id for interning (BTreeMap: D001, no hash-order iteration).
+    ids: BTreeMap<String, u16>,
+    /// Per-kind running aggregates, indexed by kind id.
+    aggregates: Vec<KindAggregate>,
+    /// Total events folded (== records written while the writer is healthy).
+    recorded: u64,
+    /// Backing file, if this sink writes a trace; `None` for in-memory sinks
+    /// and after the first I/O error.
+    writer: Option<BufWriter<File>>,
+    /// First I/O error hit while appending records, surfaced by `finish`.
+    io_error: Option<io::Error>,
+}
+
+impl Core {
+    fn sink_events(&mut self, events: &[Event]) {
+        for event in events {
+            let idx = event.kind.index();
+            if idx >= self.aggregates.len() {
+                self.aggregates.resize(idx + 1, KindAggregate::default());
+            }
+            self.aggregates[idx].fold(event);
+        }
+        self.recorded += events.len() as u64;
+        if self.writer.is_some() {
+            let mut failed = None;
+            if let Some(writer) = self.writer.as_mut() {
+                for event in events {
+                    if let Err(err) = writer.write_all(&event.encode()) {
+                        failed = Some(err);
+                        break;
+                    }
+                }
+            }
+            if let Some(err) = failed {
+                self.io_error.get_or_insert(err);
+                self.writer = None;
+            }
+        }
+    }
+
+    fn finish(&mut self) -> io::Result<u64> {
+        if let Some(err) = self.io_error.take() {
+            self.writer = None;
+            return Err(err);
+        }
+        let Some(mut writer) = self.writer.take() else {
+            return Ok(self.recorded);
+        };
+        write_tail(&mut writer, &self.labels, self.recorded)?;
+        Ok(self.recorded)
+    }
+}
+
+/// Pads to the string-table page boundary, appends the string table, then
+/// seeks back and patches the header with the final counts.
+fn write_tail(writer: &mut BufWriter<File>, labels: &[String], recorded: u64) -> io::Result<()> {
+    const ZERO_PAGE: [u8; PAGE_BYTES as usize] = [0u8; PAGE_BYTES as usize];
+    let events_end = PAGE_BYTES + recorded * EVENT_BYTES as u64;
+    let table_offset = events_end.div_ceil(PAGE_BYTES) * PAGE_BYTES;
+    let pad = (table_offset - events_end) as usize;
+    writer.write_all(&ZERO_PAGE[..pad])?;
+    for label in labels {
+        let len = u32::try_from(label.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "kind label too long"))?;
+        writer.write_all(&len.to_le_bytes())?;
+        writer.write_all(label.as_bytes())?;
+    }
+    writer.flush()?;
+    let file = writer.get_mut();
+    file.seek(SeekFrom::Start(0))?;
+    let mut header = [0u8; 36];
+    header[0..8].copy_from_slice(&TRACE_MAGIC);
+    header[8..12].copy_from_slice(&TRACE_VERSION.to_le_bytes());
+    header[12..16].copy_from_slice(&(EVENT_BYTES as u32).to_le_bytes());
+    header[16..24].copy_from_slice(&recorded.to_le_bytes());
+    header[24..32].copy_from_slice(&table_offset.to_le_bytes());
+    header[32..36].copy_from_slice(
+        &u32::try_from(labels.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "too many kinds"))?
+            .to_le_bytes(),
+    );
+    file.write_all(&header)?;
+    file.flush()
+}
+
+thread_local! {
+    /// The calling thread's buffer for the global sink. Registered with the
+    /// sink on first touch (only the global-emit path ever touches this), so
+    /// the registry keeps it alive and drainable after the thread exits.
+    static LOCAL: LocalBuf = {
+        let buf = Arc::new(Mutex::new(Vec::with_capacity(LOCAL_BUF_EVENTS)));
+        if let Some(sink) = global() {
+            sink.register_local(Arc::clone(&buf));
+        }
+        buf
+    };
+}
+
+/// A trace event sink: interns kind labels, folds per-kind aggregates, and —
+/// when created with [`TraceSink::to_file`] — appends every event to a
+/// page-aligned binary trace readable by [`Trace`](crate::Trace).
+#[derive(Debug)]
+pub struct TraceSink {
+    core: Mutex<Core>,
+    /// Registry of per-thread buffers (global sink only).
+    locals: Mutex<Vec<LocalBuf>>,
+    /// Set by [`install`]; only the installed sink routes [`TraceSink::emit`]
+    /// through the per-thread buffers.
+    is_global: AtomicBool,
+}
+
+impl TraceSink {
+    /// Creates a sink that only maintains in-memory aggregates (no file).
+    #[must_use]
+    pub fn in_memory() -> Self {
+        Self::with_writer(None)
+    }
+
+    /// Creates a sink that writes a binary trace to `path`. The header is
+    /// finalized by [`TraceSink::finish`]; an unfinished file is detected and
+    /// rejected by the decoder (its header page stays zeroed).
+    ///
+    /// # Errors
+    ///
+    /// Returns any error from creating the file or writing the placeholder
+    /// header page.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut writer = BufWriter::new(File::create(path)?);
+        writer.write_all(&[0u8; PAGE_BYTES as usize])?;
+        Ok(Self::with_writer(Some(writer)))
+    }
+
+    fn with_writer(writer: Option<BufWriter<File>>) -> Self {
+        Self {
+            core: Mutex::new(Core {
+                labels: Vec::new(),
+                ids: BTreeMap::new(),
+                aggregates: Vec::new(),
+                recorded: 0,
+                writer,
+                io_error: None,
+            }),
+            locals: Mutex::new(Vec::new()),
+            is_global: AtomicBool::new(false),
+        }
+    }
+
+    /// Interns `label` and returns its stable [`KindId`] (first-registration
+    /// order). Calling again with the same label returns the same id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u16::MAX + 1` distinct kinds are registered.
+    pub fn kind(&self, label: &str) -> KindId {
+        let mut core = self.lock_core();
+        if let Some(&id) = core.ids.get(label) {
+            return KindId::from_raw(id);
+        }
+        let id = u16::try_from(core.labels.len()).expect("more than 65536 distinct event kinds");
+        core.ids.insert(label.to_string(), id);
+        core.labels.push(label.to_string());
+        if core.aggregates.len() <= id as usize {
+            core.aggregates
+                .resize(id as usize + 1, KindAggregate::default());
+        }
+        KindId::from_raw(id)
+    }
+
+    /// Records one event. On the installed global sink this appends to the
+    /// calling thread's pre-sized buffer (uncontended lock, no allocation);
+    /// private sinks fold the event under their core lock immediately.
+    pub fn emit(&self, event: Event) {
+        if !self.is_global.load(Ordering::Relaxed) {
+            self.sink_now(event);
+            return;
+        }
+        let buffered = LOCAL.try_with(|buf| {
+            let mut events = buf.lock().unwrap_or_else(PoisonError::into_inner);
+            events.push(event);
+            if events.len() >= LOCAL_BUF_EVENTS {
+                self.lock_core().sink_events(&events);
+                events.clear();
+            }
+        });
+        if buffered.is_err() {
+            // Thread-local storage already torn down (thread exit path):
+            // fold directly rather than dropping the event.
+            self.sink_now(event);
+        }
+    }
+
+    /// Per-kind aggregates with their labels, in kind-id order. Drains every
+    /// registered thread buffer first, so the result covers all events
+    /// emitted before the call (emitting threads must have quiesced).
+    #[must_use]
+    pub fn aggregates(&self) -> Vec<(String, KindAggregate)> {
+        self.drain_locals();
+        let core = self.lock_core();
+        core.labels
+            .iter()
+            .zip(core.aggregates.iter())
+            .map(|(label, agg)| (label.clone(), *agg))
+            .collect()
+    }
+
+    /// Total events folded so far (drains thread buffers, like
+    /// [`TraceSink::aggregates`]).
+    #[must_use]
+    pub fn events_recorded(&self) -> u64 {
+        self.drain_locals();
+        self.lock_core().recorded
+    }
+
+    /// Drains every thread buffer, writes the string table, patches the
+    /// header, and flushes the file. Returns the number of events recorded.
+    /// Emitting threads must have quiesced (the runner joins its workers
+    /// before this runs).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first I/O error hit while appending records or writing
+    /// the tail.
+    pub fn finish(&self) -> io::Result<u64> {
+        self.drain_locals();
+        self.lock_core().finish()
+    }
+
+    fn register_local(&self, buf: LocalBuf) {
+        self.locals
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(buf);
+    }
+
+    /// Folds the contents of every registered thread buffer into the core.
+    /// Locks are taken buffer-then-core, same order as the emit path.
+    fn drain_locals(&self) {
+        let locals: Vec<LocalBuf> = self
+            .locals
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        for buf in locals {
+            let mut events = buf.lock().unwrap_or_else(PoisonError::into_inner);
+            if events.is_empty() {
+                continue;
+            }
+            self.lock_core().sink_events(&events);
+            events.clear();
+        }
+    }
+
+    fn sink_now(&self, event: Event) {
+        self.lock_core().sink_events(std::slice::from_ref(&event));
+    }
+
+    fn lock_core(&self) -> MutexGuard<'_, Core> {
+        self.core.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+static GLOBAL: OnceLock<TraceSink> = OnceLock::new();
+
+/// Installs `sink` as the process-wide trace sink. Returns `None` (dropping
+/// `sink`) if a sink was already installed; at most one install succeeds per
+/// process.
+pub fn install(sink: TraceSink) -> Option<&'static TraceSink> {
+    sink.is_global.store(true, Ordering::Relaxed);
+    if GLOBAL.set(sink).is_err() {
+        return None;
+    }
+    GLOBAL.get()
+}
+
+/// The installed process-wide sink, if any.
+#[must_use]
+pub fn global() -> Option<&'static TraceSink> {
+    GLOBAL.get()
+}
+
+/// Whether a process-wide sink is installed. Emission sites capture this (or
+/// check it per flush) so that tracing is zero-cost when disabled.
+#[must_use]
+pub fn enabled() -> bool {
+    GLOBAL.get().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(kind: KindId, start: u64, end: u64, payload: u64) -> Event {
+        Event {
+            kind,
+            asid: 0,
+            start,
+            end,
+            payload,
+        }
+    }
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let sink = TraceSink::in_memory();
+        let a = sink.kind("alpha");
+        let b = sink.kind("beta");
+        assert_eq!(a.raw(), 0);
+        assert_eq!(b.raw(), 1);
+        assert_eq!(sink.kind("alpha"), a);
+        assert_eq!(
+            sink.aggregates()
+                .iter()
+                .map(|(l, _)| l.as_str())
+                .collect::<Vec<_>>(),
+            ["alpha", "beta"]
+        );
+    }
+
+    #[test]
+    fn aggregates_fold_span_and_payload() {
+        let sink = TraceSink::in_memory();
+        let k = sink.kind("k");
+        sink.emit(event(k, 10, 30, 2));
+        sink.emit(event(k, 0, 5, 3));
+        let aggs = sink.aggregates();
+        let (_, agg) = &aggs[k.index()];
+        assert_eq!(agg.events, 2);
+        assert_eq!(agg.span_total, 25);
+        assert_eq!(agg.span_min, 5);
+        assert_eq!(agg.span_max, 20);
+        assert_eq!(agg.payload_total, 5);
+        assert_eq!(sink.events_recorded(), 2);
+        assert_eq!(sink.finish().unwrap(), 2);
+    }
+
+    #[test]
+    fn finish_without_file_reports_event_count() {
+        let sink = TraceSink::in_memory();
+        let k = sink.kind("only");
+        sink.emit(event(k, 0, 1, 0));
+        assert_eq!(sink.finish().unwrap(), 1);
+    }
+}

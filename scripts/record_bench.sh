@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # Records the perf trajectory of the translation hot path into a JSON file
-# (default BENCH_PR5.json): per-request translate latency from the
+# (default BENCH_PR7.json): per-request translate latency from the
 # mmu_microbench Criterion targets — including the ASID-tagged multi-tenant
 # burst stream and the run-coalesced burst path (one TLB touch per distinct
 # page) next to its per-transaction counterpart — plus the wall-clock time of
-# a full-scale serial artifact regeneration.
+# a full-scale serial artifact regeneration, run twice (tracing off and
+# `--profile-trace` on) so `trace_overhead_pct` records what the binary
+# event-trace subsystem costs when enabled.
 #
 # Usage: scripts/record_bench.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR5.json}"
+out="${1:-BENCH_PR7.json}"
 
 echo "building release binaries..." >&2
 cargo build --release >&2
@@ -39,13 +41,27 @@ oracle_ns="$(ns_per_elem 'oracle/memoized_burst_stream')"
 multi_tenant_ns="$(ns_per_elem 'translation_engine/multi_tenant_4asid_burst64')"
 run_coalesced_ns="$(ns_per_elem 'translation_engine/run_coalesced_burst')"
 
-echo "running full-scale serial regeneration..." >&2
+echo "running full-scale serial regeneration (tracing off)..." >&2
 regen_out="$(mktemp -d)"
 start_ns="$(date +%s%N)"
 ./target/release/neummu_experiments --threads 1 --out "$regen_out" > /dev/null
 end_ns="$(date +%s%N)"
 regen_s="$(python3 -c "print(f'{(${end_ns} - ${start_ns}) / 1e9:.2f}')")"
-rm -rf "$regen_out" "$bench_log"
+rm -rf "$regen_out"
+
+echo "running full-scale serial regeneration (--profile-trace on)..." >&2
+regen_out="$(mktemp -d)"
+trace_file="$(mktemp -u).trace"
+start_ns="$(date +%s%N)"
+./target/release/neummu_experiments --threads 1 --out "$regen_out" \
+    --profile-trace "$trace_file" > /dev/null
+end_ns="$(date +%s%N)"
+traced_regen_s="$(python3 -c "print(f'{(${end_ns} - ${start_ns}) / 1e9:.2f}')")"
+trace_events="$(./target/release/neummu_profile "$trace_file" --top 0 \
+    | sed -n 's|^trace .*: \([0-9]*\) events .*|\1|p')"
+trace_overhead_pct="$(python3 -c \
+    "print(f'{(${traced_regen_s} / max(${regen_s}, 1e-9) - 1) * 100:.1f}')")"
+rm -rf "$regen_out" "$trace_file" "$bench_log"
 
 cat > "$out" <<EOF
 {
@@ -61,7 +77,10 @@ cat > "$out" <<EOF
     "walk": ${walk_ns}
   },
   "oracle_memoized_ns_per_req": ${oracle_ns},
-  "full_scale_regen_serial_seconds": ${regen_s}
+  "full_scale_regen_serial_seconds": ${regen_s},
+  "full_scale_regen_traced_seconds": ${traced_regen_s},
+  "trace_overhead_pct": ${trace_overhead_pct},
+  "trace_events": ${trace_events:-null}
 }
 EOF
 

@@ -16,6 +16,7 @@ pub use neummu_mem as mem;
 pub use neummu_mmu as mmu;
 pub use neummu_npu as npu;
 pub use neummu_sim as sim;
+pub use neummu_trace as trace;
 pub use neummu_vmem as vmem;
 pub use neummu_workloads as workloads;
 
@@ -73,6 +74,7 @@ mod workspace_sanity {
                 crate::mmu::MmuConfig::neummu(),
             ))
         };
+        let _sink: fn() -> crate::trace::TraceSink = crate::trace::TraceSink::in_memory;
         let _ncf = crate::workloads::EmbeddingModel::ncf();
         let _dlrm = crate::workloads::EmbeddingModel::dlrm();
         let _meter = crate::energy::EnergyMeter::default();
