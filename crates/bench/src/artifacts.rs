@@ -1,4 +1,11 @@
 //! Writing experiment artifacts (Markdown, CSV, JSON) to disk.
+//!
+//! Every write goes through [`neummu_store::atomic::write_atomic`] (temp file
+//! → fsync → atomic rename), so a crash — including the SIGKILL the
+//! crash/resume CI step delivers mid-run — can truncate no artifact: each
+//! file on disk is either absent or complete. [`ExperimentArtifacts::new`]
+//! sweeps up the temp debris a killed predecessor may have left, so a resumed
+//! run's output directory is byte-identical to an uninterrupted one.
 
 use std::fs;
 use std::io;
@@ -7,6 +14,7 @@ use std::path::{Path, PathBuf};
 use serde::Serialize;
 
 use neummu_sim::ResultTable;
+use neummu_store::atomic::{clean_stale_temps, write_atomic};
 
 /// A directory that collects the artifacts of one experiments run.
 #[derive(Debug, Clone)]
@@ -16,14 +24,16 @@ pub struct ExperimentArtifacts {
 }
 
 impl ExperimentArtifacts {
-    /// Creates (if needed) the artifact directory.
+    /// Creates (if needed) the artifact directory and removes any temp
+    /// debris left by a previous crashed run.
     ///
     /// # Errors
     ///
-    /// Returns an I/O error if the directory cannot be created.
+    /// Returns an I/O error if the directory cannot be created or read.
     pub fn new(root: impl Into<PathBuf>) -> io::Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
+        clean_stale_temps(&root)?;
         Ok(ExperimentArtifacts {
             root,
             written: Vec::new(),
@@ -48,13 +58,8 @@ impl ExperimentArtifacts {
     ///
     /// Returns an I/O error if a file cannot be written.
     pub fn table(&mut self, name: &str, table: &ResultTable) -> io::Result<()> {
-        let md = self.root.join(format!("{name}.md"));
-        fs::write(&md, table.to_markdown())?;
-        self.written.push(md);
-        let csv = self.root.join(format!("{name}.csv"));
-        fs::write(&csv, table.to_csv())?;
-        self.written.push(csv);
-        Ok(())
+        self.file(&format!("{name}.md"), table.to_markdown().as_bytes())?;
+        self.file(&format!("{name}.csv"), table.to_csv().as_bytes())
     }
 
     /// Writes a serializable value as pretty JSON.
@@ -64,10 +69,28 @@ impl ExperimentArtifacts {
     /// Returns an I/O error if the file cannot be written or the value cannot
     /// be serialized.
     pub fn json<T: Serialize>(&mut self, name: &str, value: &T) -> io::Result<()> {
-        let path = self.root.join(format!("{name}.json"));
         let body = serde_json::to_string_pretty(value)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        fs::write(&path, body)?;
+        self.file(&format!("{name}.json"), body.as_bytes())
+    }
+
+    /// Writes one raw artifact file atomically under its final name. This is
+    /// both the sink all typed writers funnel into and the restore path for
+    /// artifacts journaled in a slot store: the bytes land exactly as given.
+    ///
+    /// # Errors
+    ///
+    /// Rejects file names with path separators (journaled names must stay
+    /// inside the artifact directory) and propagates write errors.
+    pub fn file(&mut self, file_name: &str, bytes: &[u8]) -> io::Result<()> {
+        if file_name.contains(['/', '\\']) || file_name == ".." {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("artifact name `{file_name}` must not leave the artifact directory"),
+            ));
+        }
+        let path = self.root.join(file_name);
+        write_atomic(&path, bytes)?;
         self.written.push(path);
         Ok(())
     }
@@ -110,6 +133,38 @@ mod tests {
         assert!(csv.starts_with("a,b"));
         let json = fs::read_to_string(dir.join("demo_raw.json")).unwrap();
         assert!(json.contains('1'));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn opening_cleans_crash_debris_and_leaves_artifacts() {
+        let dir =
+            std::env::temp_dir().join(format!("neummu-artifacts-debris-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("fig08.md"), "committed").unwrap();
+        fs::write(
+            dir.join(format!("fig08.csv{}123", neummu_store::atomic::TMP_MARKER)),
+            "torn",
+        )
+        .unwrap();
+        let artifacts = ExperimentArtifacts::new(&dir).unwrap();
+        assert_eq!(
+            fs::read_to_string(dir.join("fig08.md")).unwrap(),
+            "committed"
+        );
+        assert_eq!(fs::read_dir(artifacts.root()).unwrap().count(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn raw_file_restore_rejects_escaping_names() {
+        let dir =
+            std::env::temp_dir().join(format!("neummu-artifacts-escape-{}", std::process::id()));
+        let mut artifacts = ExperimentArtifacts::new(&dir).unwrap();
+        assert!(artifacts.file("../outside.md", b"x").is_err());
+        assert!(artifacts.file("sub/inside.md", b"x").is_err());
+        artifacts.file("inside.md", b"x").unwrap();
+        assert_eq!(fs::read(dir.join("inside.md")).unwrap(), b"x");
         fs::remove_dir_all(&dir).ok();
     }
 }

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! neummu-experiments [--quick] [--out <dir>] [--only <exp>[,<exp>...]]
-//!                    [--threads <n>] [--profile-trace <file>]
+//!                    [--threads <n>] [--profile-trace <file>] [--store <dir>]
 //! ```
 //!
 //! * `--quick` runs the reduced (smoke) suite instead of the full benchmark
@@ -24,6 +24,12 @@
 //!   is byte-for-byte the untraced run. Trace *content* (the decoded event
 //!   multiset, minus the runner's nondeterministic `wall/` kinds) is the
 //!   same for every thread count.
+//! * `--store` attaches a persistent slot store (see `neummu_store`):
+//!   memoized oracle baselines are restored from / committed to it, and each
+//!   finished experiment family's artifacts are journaled so an interrupted
+//!   run, rerun with the same flags, resumes where it was killed instead of
+//!   recomputing — with a byte-identical artifact tree. A damaged store is
+//!   recovered by recomputation, never trusted.
 //!
 //! Every experiment writes a Markdown table, a CSV file and a JSON dump into
 //! the artifact directory and prints the Markdown to stdout. After the run a
@@ -34,14 +40,16 @@
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
-use neummu_bench::ExperimentArtifacts;
+use neummu_bench::{commit_family, family_key, restore_family, ExperimentArtifacts};
 use neummu_sim::experiments::{
     characterization, mmu_cache_study, multi_tenant, performance, recommender, table1,
     ExperimentScale,
 };
 use neummu_sim::ExperimentRunner;
+use neummu_store::Store;
 use neummu_workloads::WorkloadId;
 
 struct Options {
@@ -50,6 +58,7 @@ struct Options {
     only: Option<BTreeSet<String>>,
     threads: usize,
     profile_trace: Option<String>,
+    store: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -58,6 +67,7 @@ fn parse_args() -> Result<Options, String> {
     let mut only = None;
     let mut threads = 0usize; // 0 = available parallelism
     let mut profile_trace = None;
+    let mut store = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -86,9 +96,12 @@ fn parse_args() -> Result<Options, String> {
                         .ok_or("--profile-trace requires a file argument")?,
                 );
             }
+            "--store" => {
+                store = Some(args.next().ok_or("--store requires a directory argument")?);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: neummu-experiments [--quick] [--out <dir>] [--only <exp>[,<exp>...]] [--threads <n>] [--profile-trace <file>]"
+                    "usage: neummu-experiments [--quick] [--out <dir>] [--only <exp>[,<exp>...]] [--threads <n>] [--profile-trace <file>] [--store <dir>]"
                 );
                 std::process::exit(0);
             }
@@ -101,6 +114,7 @@ fn parse_args() -> Result<Options, String> {
         only,
         threads,
         profile_trace,
+        store,
     })
 }
 
@@ -108,10 +122,45 @@ fn wants(options: &Options, id: &str) -> bool {
     options.only.as_ref().is_none_or(|set| set.contains(id))
 }
 
+/// Runs one experiment family restore-or-run-and-commit. With no store this
+/// is just `run`. With a store, a valid journal slot for `(scale, id)`
+/// restores the family's artifacts byte-for-byte and skips the simulation;
+/// otherwise the family runs and its artifacts are journaled afterwards —
+/// the slot commit is the family's durability point, so a crash anywhere
+/// before it simply reruns the (deterministic, idempotent) family.
+fn family(
+    store: Option<&Store>,
+    scale_label: &str,
+    id: &str,
+    artifacts: &mut ExperimentArtifacts,
+    run: impl FnOnce(&mut ExperimentArtifacts) -> Result<(), Box<dyn std::error::Error>>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(store) = store else {
+        return run(artifacts);
+    };
+    let key = family_key(scale_label, id);
+    if restore_family(store, &key, artifacts)? {
+        println!("[store] `{id}` restored from journal; simulation skipped\n");
+        return Ok(());
+    }
+    let first = artifacts.written().len();
+    run(artifacts)?;
+    commit_family(store, &key, artifacts, first);
+    Ok(())
+}
+
 fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     let mut artifacts = ExperimentArtifacts::new(&options.out_dir)?;
     let scale = options.scale;
-    let runner = ExperimentRunner::new(options.threads);
+    let store = match &options.store {
+        Some(dir) => Some(Arc::new(Store::open(dir)?)),
+        None => None,
+    };
+    let mut runner = ExperimentRunner::new(options.threads);
+    if let Some(store) = &store {
+        runner = runner.with_store(Arc::clone(store));
+    }
+    let store = store.as_deref();
     let started = Instant::now();
 
     let emit = |name: &str,
@@ -124,164 +173,250 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     };
 
     if wants(options, "table1") {
-        emit(
-            "table1_configuration",
-            table1::run_on(&runner),
+        family(
+            store,
+            scale.label(),
+            "table1",
             &mut artifacts,
+            |artifacts| emit("table1_configuration", table1::run_on(&runner), artifacts),
         )?;
     }
 
     if wants(options, "fig06") {
-        let result = characterization::fig06_page_divergence_on(&runner, scale)?;
-        artifacts.json("fig06_page_divergence", &result)?;
-        emit("fig06_page_divergence", result.to_table(), &mut artifacts)?;
+        family(store, scale.label(), "fig06", &mut artifacts, |artifacts| {
+            let result = characterization::fig06_page_divergence_on(&runner, scale)?;
+            artifacts.json("fig06_page_divergence", &result)?;
+            emit("fig06_page_divergence", result.to_table(), artifacts)
+        })?;
     }
 
     if wants(options, "fig07") {
-        for (workload, name) in [
-            (WorkloadId::Cnn1, "fig07a_cnn1"),
-            (WorkloadId::Rnn1, "fig07b_rnn1"),
-        ] {
-            let result = characterization::fig07_translation_bursts_on(&runner, workload, 1)?;
-            artifacts.json(name, &result)?;
-            println!(
-                "Figure 7 ({}): peak {} translations per {}-cycle window, bursty fraction {:.2}\n",
-                workload.label(),
-                result.peak(),
-                result.window_cycles,
-                result.bursty_fraction()
-            );
-            artifacts.table(name, &result.to_table())?;
-        }
+        family(store, scale.label(), "fig07", &mut artifacts, |artifacts| {
+            for (workload, name) in [
+                (WorkloadId::Cnn1, "fig07a_cnn1"),
+                (WorkloadId::Rnn1, "fig07b_rnn1"),
+            ] {
+                let result = characterization::fig07_translation_bursts_on(&runner, workload, 1)?;
+                artifacts.json(name, &result)?;
+                println!(
+                    "Figure 7 ({}): peak {} translations per {}-cycle window, bursty fraction {:.2}\n",
+                    workload.label(),
+                    result.peak(),
+                    result.window_cycles,
+                    result.bursty_fraction()
+                );
+                artifacts.table(name, &result.to_table())?;
+            }
+            Ok(())
+        })?;
     }
 
     if wants(options, "fig08") {
-        let result = performance::fig08_baseline_iommu_on(&runner, scale)?;
-        artifacts.json("fig08_baseline_iommu", &result)?;
-        emit(
-            "fig08_baseline_iommu",
-            result.to_table("Figure 8: baseline IOMMU normalized performance (4KB pages)"),
-            &mut artifacts,
-        )?;
+        family(store, scale.label(), "fig08", &mut artifacts, |artifacts| {
+            let result = performance::fig08_baseline_iommu_on(&runner, scale)?;
+            artifacts.json("fig08_baseline_iommu", &result)?;
+            emit(
+                "fig08_baseline_iommu",
+                result.to_table("Figure 8: baseline IOMMU normalized performance (4KB pages)"),
+                artifacts,
+            )
+        })?;
     }
 
     if wants(options, "fig10") {
-        let result = performance::fig10_prmb_sweep_on(&runner, scale)?;
-        artifacts.json("fig10_prmb_sweep", &result)?;
-        emit(
-            "fig10_prmb_sweep",
-            result.to_table("Figure 10: sensitivity to PRMB mergeable slots (8 PTWs)"),
-            &mut artifacts,
-        )?;
+        family(store, scale.label(), "fig10", &mut artifacts, |artifacts| {
+            let result = performance::fig10_prmb_sweep_on(&runner, scale)?;
+            artifacts.json("fig10_prmb_sweep", &result)?;
+            emit(
+                "fig10_prmb_sweep",
+                result.to_table("Figure 10: sensitivity to PRMB mergeable slots (8 PTWs)"),
+                artifacts,
+            )
+        })?;
     }
 
     if wants(options, "fig11") {
-        let result = performance::fig11_ptw_sweep_on(&runner, scale)?;
-        artifacts.json("fig11_ptw_sweep", &result)?;
-        emit(
-            "fig11_ptw_sweep",
-            result.to_table("Figure 11: sensitivity to the number of PTWs with PRMB(32)"),
-            &mut artifacts,
-        )?;
+        family(store, scale.label(), "fig11", &mut artifacts, |artifacts| {
+            let result = performance::fig11_ptw_sweep_on(&runner, scale)?;
+            artifacts.json("fig11_ptw_sweep", &result)?;
+            emit(
+                "fig11_ptw_sweep",
+                result.to_table("Figure 11: sensitivity to the number of PTWs with PRMB(32)"),
+                artifacts,
+            )
+        })?;
     }
 
     if wants(options, "fig12a") {
-        let result = performance::fig12a_ptw_no_prmb_on(&runner, scale)?;
-        artifacts.json("fig12a_ptw_no_prmb", &result)?;
-        emit(
-            "fig12a_ptw_no_prmb",
-            result.to_table("Figure 12a: sensitivity to the number of PTWs without the PRMB"),
+        family(
+            store,
+            scale.label(),
+            "fig12a",
             &mut artifacts,
+            |artifacts| {
+                let result = performance::fig12a_ptw_no_prmb_on(&runner, scale)?;
+                artifacts.json("fig12a_ptw_no_prmb", &result)?;
+                emit(
+                    "fig12a_ptw_no_prmb",
+                    result
+                        .to_table("Figure 12a: sensitivity to the number of PTWs without the PRMB"),
+                    artifacts,
+                )
+            },
         )?;
     }
 
     if wants(options, "fig12b") {
-        let result = performance::fig12b_energy_perf_on(&runner, scale)?;
-        artifacts.json("fig12b_energy_perf", &result)?;
-        emit("fig12b_energy_perf", result.to_table(), &mut artifacts)?;
+        family(
+            store,
+            scale.label(),
+            "fig12b",
+            &mut artifacts,
+            |artifacts| {
+                let result = performance::fig12b_energy_perf_on(&runner, scale)?;
+                artifacts.json("fig12b_energy_perf", &result)?;
+                emit("fig12b_energy_perf", result.to_table(), artifacts)
+            },
+        )?;
     }
 
     if wants(options, "fig13") {
-        let result = performance::fig13_tpreg_hit_rate_on(&runner, scale)?;
-        artifacts.json("fig13_tpreg_hit_rate", &result)?;
-        emit("fig13_tpreg_hit_rate", result.to_table(), &mut artifacts)?;
+        family(store, scale.label(), "fig13", &mut artifacts, |artifacts| {
+            let result = performance::fig13_tpreg_hit_rate_on(&runner, scale)?;
+            artifacts.json("fig13_tpreg_hit_rate", &result)?;
+            emit("fig13_tpreg_hit_rate", result.to_table(), artifacts)
+        })?;
     }
 
     if wants(options, "fig14") {
-        let result = characterization::fig14_va_trace_on(&runner, WorkloadId::Cnn1, 1)?;
-        artifacts.json("fig14_va_trace", &result)?;
-        emit("fig14_va_trace", result.to_table(), &mut artifacts)?;
+        family(store, scale.label(), "fig14", &mut artifacts, |artifacts| {
+            let result = characterization::fig14_va_trace_on(&runner, WorkloadId::Cnn1, 1)?;
+            artifacts.json("fig14_va_trace", &result)?;
+            emit("fig14_va_trace", result.to_table(), artifacts)
+        })?;
     }
 
     if wants(options, "mmu_cache") {
-        let result = mmu_cache_study::run_on(&runner, scale)?;
-        artifacts.json("mmu_cache_uptc_vs_tpc", &result)?;
-        println!(
-            "TPC eliminates {:.1}% of the page-table reads left by the UPTC\n",
-            result.tpc_walk_reduction_vs_uptc() * 100.0
-        );
-        emit("mmu_cache_uptc_vs_tpc", result.to_table(), &mut artifacts)?;
+        family(
+            store,
+            scale.label(),
+            "mmu_cache",
+            &mut artifacts,
+            |artifacts| {
+                let result = mmu_cache_study::run_on(&runner, scale)?;
+                artifacts.json("mmu_cache_uptc_vs_tpc", &result)?;
+                println!(
+                    "TPC eliminates {:.1}% of the page-table reads left by the UPTC\n",
+                    result.tpc_walk_reduction_vs_uptc() * 100.0
+                );
+                emit("mmu_cache_uptc_vs_tpc", result.to_table(), artifacts)
+            },
+        )?;
     }
 
     if wants(options, "summary") {
-        let result = performance::summary_neummu_on(&runner, scale)?;
-        artifacts.json("summary_neummu", &result)?;
-        emit("summary_neummu", result.to_table(), &mut artifacts)?;
+        family(
+            store,
+            scale.label(),
+            "summary",
+            &mut artifacts,
+            |artifacts| {
+                let result = performance::summary_neummu_on(&runner, scale)?;
+                artifacts.json("summary_neummu", &result)?;
+                emit("summary_neummu", result.to_table(), artifacts)
+            },
+        )?;
     }
 
     if wants(options, "largepage") {
-        let result = performance::largepage_dense_on(&runner, scale)?;
-        artifacts.json("largepage_dense", &result)?;
-        emit(
-            "largepage_dense",
-            result.to_table("Section VI-A: dense workloads with 2MB large pages"),
+        family(
+            store,
+            scale.label(),
+            "largepage",
             &mut artifacts,
+            |artifacts| {
+                let result = performance::largepage_dense_on(&runner, scale)?;
+                artifacts.json("largepage_dense", &result)?;
+                emit(
+                    "largepage_dense",
+                    result.to_table("Section VI-A: dense workloads with 2MB large pages"),
+                    artifacts,
+                )
+            },
         )?;
     }
 
     if wants(options, "spatial") {
-        let result = performance::spatial_npu_on(&runner, scale)?;
-        artifacts.json("spatial_npu", &result)?;
-        emit(
-            "spatial_npu",
-            result.to_table("Section VI-B: spatial-array NPU"),
+        family(
+            store,
+            scale.label(),
+            "spatial",
             &mut artifacts,
+            |artifacts| {
+                let result = performance::spatial_npu_on(&runner, scale)?;
+                artifacts.json("spatial_npu", &result)?;
+                emit(
+                    "spatial_npu",
+                    result.to_table("Section VI-B: spatial-array NPU"),
+                    artifacts,
+                )
+            },
         )?;
     }
 
     if wants(options, "sensitivity") {
-        let result = performance::sensitivity_on(&runner, scale)?;
-        artifacts.json("sensitivity", &result)?;
-        emit("sensitivity", result.to_table(), &mut artifacts)?;
+        family(
+            store,
+            scale.label(),
+            "sensitivity",
+            &mut artifacts,
+            |artifacts| {
+                let result = performance::sensitivity_on(&runner, scale)?;
+                artifacts.json("sensitivity", &result)?;
+                emit("sensitivity", result.to_table(), artifacts)
+            },
+        )?;
     }
 
     if wants(options, "fig15") {
-        let result = recommender::fig15_numa_breakdown_on(&runner, scale)?;
-        artifacts.json("fig15_numa_breakdown", &result)?;
-        println!(
-            "Figure 15: average latency reduction vs the MMU-less baseline: NUMA(slow) {:.0}%, NUMA(fast) {:.0}%\n",
-            result.average_latency_reduction("NUMA(slow)") * 100.0,
-            result.average_latency_reduction("NUMA(fast)") * 100.0
-        );
-        emit("fig15_numa_breakdown", result.to_table(), &mut artifacts)?;
+        family(store, scale.label(), "fig15", &mut artifacts, |artifacts| {
+            let result = recommender::fig15_numa_breakdown_on(&runner, scale)?;
+            artifacts.json("fig15_numa_breakdown", &result)?;
+            println!(
+                "Figure 15: average latency reduction vs the MMU-less baseline: NUMA(slow) {:.0}%, NUMA(fast) {:.0}%\n",
+                result.average_latency_reduction("NUMA(slow)") * 100.0,
+                result.average_latency_reduction("NUMA(fast)") * 100.0
+            );
+            emit("fig15_numa_breakdown", result.to_table(), artifacts)
+        })?;
     }
 
     if wants(options, "fig16") {
-        let result = recommender::fig16_demand_paging_on(&runner, scale)?;
-        artifacts.json("fig16_demand_paging", &result)?;
-        emit("fig16_demand_paging", result.to_table(), &mut artifacts)?;
+        family(store, scale.label(), "fig16", &mut artifacts, |artifacts| {
+            let result = recommender::fig16_demand_paging_on(&runner, scale)?;
+            artifacts.json("fig16_demand_paging", &result)?;
+            emit("fig16_demand_paging", result.to_table(), artifacts)
+        })?;
     }
 
     if wants(options, "multitenant") {
-        let result = multi_tenant::tenant_sweep_on(&runner, scale)?;
-        artifacts.json("multitenant_sweep", &result)?;
-        emit("multitenant_sweep", result.to_table(), &mut artifacts)?;
-        // The per-tenant counter table: the raw cross-tenant contention
-        // events (CounterPoint-style validation of the slowdown story).
-        emit(
-            "multitenant_tenant_counters",
-            result.counters_table(),
+        family(
+            store,
+            scale.label(),
+            "multitenant",
             &mut artifacts,
+            |artifacts| {
+                let result = multi_tenant::tenant_sweep_on(&runner, scale)?;
+                artifacts.json("multitenant_sweep", &result)?;
+                emit("multitenant_sweep", result.to_table(), artifacts)?;
+                // The per-tenant counter table: the raw cross-tenant contention
+                // events (CounterPoint-style validation of the slowdown story).
+                emit(
+                    "multitenant_tenant_counters",
+                    result.counters_table(),
+                    artifacts,
+                )
+            },
         )?;
     }
 
@@ -294,6 +429,24 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
     // snapshot covers the whole run.
     for (name, value) in neummu_mmu::counters::snapshot().named() {
         runner.profile().add_counter(name, value);
+    }
+    // Store traffic, surfaced both as `count/store_*` trace events and on
+    // stdout. Each memoized key consults the store exactly once per process,
+    // so these are deterministic for a given store state and flag set.
+    if let Some(store) = store {
+        let counters = store.counters();
+        for (name, value) in [
+            ("store_hits", counters.hits),
+            ("store_misses", counters.misses),
+            ("store_recovered", counters.recovered),
+            ("store_commits", counters.commits),
+        ] {
+            runner.profile().add_counter(name, value);
+        }
+        println!(
+            "store: {} slot hits, {} misses, {} recovered (damaged slots recomputed), {} commits",
+            counters.hits, counters.misses, counters.recovered, counters.commits
+        );
     }
     println!("{}", runner.profile().counters_table().to_markdown());
     let cache = runner.oracle_cache();

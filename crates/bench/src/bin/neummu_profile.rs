@@ -71,7 +71,11 @@ fn ms(nanos: u64) -> String {
 }
 
 fn report(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
-    let trace = Trace::load(&options.trace_path)?;
+    // A truncated or corrupt trace (a killed `--profile-trace` run, a partial
+    // copy) must die with one clear line naming the file, never a panic or a
+    // silent partial report.
+    let trace = Trace::load(&options.trace_path)
+        .map_err(|error| format!("cannot read trace `{}`: {error}", options.trace_path))?;
 
     if options.dump {
         // Canonical content: what must match across thread counts.

@@ -9,11 +9,15 @@
 //!   the core MMU structures.
 //!
 //! The [`artifacts`] module holds the small amount of shared plumbing for
-//! writing result tables to disk.
+//! writing result tables to disk (atomically — see the crash-safety notes
+//! there), and [`family`] journals finished experiment families into a
+//! [`neummu_store::Store`] so interrupted sweeps resume instead of rerunning.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod artifacts;
+pub mod family;
 
 pub use artifacts::{write_json, write_table, ExperimentArtifacts};
+pub use family::{commit_family, family_key, restore_family};

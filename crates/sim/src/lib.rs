@@ -26,6 +26,7 @@ pub mod embedding;
 pub mod error;
 pub mod experiments;
 pub mod multi_tenant;
+pub mod persist;
 pub mod report;
 pub mod runner;
 

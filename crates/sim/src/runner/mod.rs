@@ -85,6 +85,16 @@ impl ExperimentRunner {
         Self::new(1)
     }
 
+    /// Attaches a persistent slot store (see
+    /// [`OracleCache::attach_store`]): memoized baselines are restored from
+    /// and committed to it, so interrupted sweeps resume instead of
+    /// recomputing. Builder-style, called before the runner is shared.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<neummu_store::Store>) -> Self {
+        self.oracle_cache.attach_store(store);
+        self
+    }
+
     /// Number of worker threads jobs run on.
     #[must_use]
     pub fn threads(&self) -> usize {

@@ -23,12 +23,17 @@ use std::time::{Duration, Instant};
 
 use neummu_mmu::MmuConfig;
 use neummu_npu::NpuConfig;
+use neummu_store::Store;
 use neummu_vmem::PageSize;
 use neummu_workloads::{DenseWorkload, WorkloadId};
 
 use crate::dense::{DenseSimConfig, DenseSimulator, WorkloadResult};
 use crate::error::SimError;
 use crate::multi_tenant::TenantStats;
+use crate::persist::{
+    decode_tenant_stats, decode_workload_result, encode_tenant_stats, encode_workload_result,
+    ORACLE_NAMESPACE, TENANT_NAMESPACE,
+};
 
 /// Identity of one oracle baseline simulation.
 ///
@@ -88,13 +93,47 @@ impl OracleKey {
 type Slot<T> = Arc<OnceLock<Result<Arc<T>, SimError>>>;
 type SlotMap<T> = Mutex<HashMap<OracleKey, Slot<T>>>;
 
+/// How a cached value round-trips through the persistent store: the slot key
+/// (namespace prefix + injective key fingerprint) plus encode/decode hooks.
+/// Plain function pointers — the codecs are free functions in
+/// [`crate::persist`], and a `fn` keeps [`OracleCache::memoized`] monomorphic
+/// per value type rather than per call site.
+struct Persist<T> {
+    store_key: String,
+    encode: fn(&T) -> Vec<u8>,
+    decode: fn(&[u8]) -> Option<T>,
+}
+
+fn decode_workload_opt(payload: &[u8]) -> Option<WorkloadResult> {
+    decode_workload_result(payload).ok()
+}
+
+fn encode_tenant_one(stats: &TenantStats) -> Vec<u8> {
+    encode_tenant_stats(std::slice::from_ref(stats))
+}
+
+fn decode_tenant_one(payload: &[u8]) -> Option<TenantStats> {
+    match decode_tenant_stats(payload).ok()?.as_slice() {
+        [single] => Some(*single),
+        _ => None,
+    }
+}
+
 /// A thread-safe, exactly-once cache of oracle baseline results (and, under
 /// scenario-tagged keys, of the multi-tenant family's isolated tenant
 /// baselines).
+///
+/// With a [`Store`] attached ([`OracleCache::attach_store`]), each key's
+/// first in-process request consults the store before simulating and commits
+/// the result after simulating, making baselines durable across runs. Store
+/// damage of any kind falls back to recomputation — an attached store can
+/// slow a run down (by exactly one recompute per damaged slot) but never
+/// fail it or change its results.
 #[derive(Debug, Default)]
 pub struct OracleCache {
     slots: SlotMap<WorkloadResult>,
     tenant_slots: SlotMap<TenantStats>,
+    store: Option<Arc<Store>>,
     simulations: AtomicU64,
     hits: AtomicU64,
 }
@@ -104,6 +143,21 @@ impl OracleCache {
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches a persistent slot store. From now on each key's first
+    /// in-process request consults the store before simulating, and every
+    /// freshly simulated baseline is committed back. Store put failures are
+    /// swallowed (the value is still served from memory); damaged or stale
+    /// slots decode-fail into a recompute.
+    pub fn attach_store(&mut self, store: Arc<Store>) {
+        self.store = Some(store);
+    }
+
+    /// The attached persistent store, if any.
+    #[must_use]
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
     }
 
     /// Returns the oracle baseline for the point, simulating it on the first
@@ -144,9 +198,17 @@ impl OracleCache {
         on_simulated: impl FnOnce(Duration),
     ) -> Result<Arc<WorkloadResult>, SimError> {
         let key = OracleKey::new(workload, batch, page_size, &npu);
+        let persist = Persist {
+            // The derived Debug of OracleKey escapes its strings, so the
+            // rendering is injective: distinct keys, distinct store keys.
+            store_key: format!("{ORACLE_NAMESPACE}/{key:?}"),
+            encode: encode_workload_result,
+            decode: decode_workload_opt,
+        };
         self.memoized(
             &self.slots,
             key,
+            persist,
             || simulate_oracle(workload, batch, page_size, npu),
             on_simulated,
         )
@@ -157,10 +219,18 @@ impl OracleCache {
     /// simulation, reported via `on_simulated`), and serves every later
     /// request from the slot (counted as a hit). Concurrent requests for the
     /// same key block on the in-flight simulation instead of duplicating it.
+    ///
+    /// With a store attached, the first initialization consults the store
+    /// before simulating (a restored value counts as a hit, not a
+    /// simulation) and commits freshly simulated values back. Both sides run
+    /// inside `get_or_init`, so each key touches the store at most once per
+    /// process — store counters are therefore deterministic across thread
+    /// counts.
     fn memoized<T>(
         &self,
         map: &SlotMap<T>,
         key: OracleKey,
+        persist: Persist<T>,
         simulate: impl FnOnce() -> Result<T, SimError>,
         on_simulated: impl FnOnce(Duration),
     ) -> Result<Arc<T>, SimError> {
@@ -170,10 +240,23 @@ impl OracleCache {
         };
         let mut simulated: Option<Duration> = None;
         let result = slot.get_or_init(|| {
+            if let Some(restored) = self
+                .store
+                .as_deref()
+                .and_then(|store| store.get(&persist.store_key))
+                .and_then(|payload| (persist.decode)(&payload))
+            {
+                return Ok(Arc::new(restored));
+            }
             self.simulations.fetch_add(1, Ordering::Relaxed);
             let started = Instant::now();
             let result = simulate().map(Arc::new);
             simulated = Some(started.elapsed());
+            if let (Some(store), Ok(value)) = (self.store.as_deref(), &result) {
+                // A failed commit only costs the next run a recompute; the
+                // in-memory value is unaffected, so the error is dropped.
+                let _ = store.put(&persist.store_key, &(persist.encode)(value));
+            }
             result
         });
         match simulated {
@@ -201,7 +284,12 @@ impl OracleCache {
         simulate: impl FnOnce() -> Result<TenantStats, SimError>,
         on_simulated: impl FnOnce(Duration),
     ) -> Result<Arc<TenantStats>, SimError> {
-        self.memoized(&self.tenant_slots, key, simulate, on_simulated)
+        let persist = Persist {
+            store_key: format!("{TENANT_NAMESPACE}/{key:?}"),
+            encode: encode_tenant_one,
+            decode: decode_tenant_one,
+        };
+        self.memoized(&self.tenant_slots, key, persist, simulate, on_simulated)
     }
 
     /// Number of oracle simulations actually executed.
@@ -329,6 +417,54 @@ mod tests {
             .unwrap();
         assert_eq!(cache.simulations(), 2);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn store_backed_cache_restores_instead_of_resimulating() {
+        let dir = std::env::temp_dir().join(format!(
+            "neummu_oracle_store_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let npu = NpuConfig::tpu_like();
+
+        // Cold store: the first cache simulates and commits.
+        let mut cold = OracleCache::new();
+        cold.attach_store(Arc::new(Store::open(&dir).unwrap()));
+        let simulated = cold
+            .oracle_result(WorkloadId::Rnn1, 1, PageSize::Size4K, npu)
+            .unwrap();
+        assert_eq!(cold.simulations(), 1);
+        let counters = cold.store().unwrap().counters();
+        assert_eq!((counters.misses, counters.commits), (1, 1));
+
+        // Warm store, fresh process (modeled by a fresh cache): the value is
+        // restored bit-identically without simulating.
+        let mut warm = OracleCache::new();
+        warm.attach_store(Arc::new(Store::open(&dir).unwrap()));
+        let restored = warm
+            .oracle_result(WorkloadId::Rnn1, 1, PageSize::Size4K, npu)
+            .unwrap();
+        assert_eq!(*restored, *simulated);
+        assert_eq!(warm.simulations(), 0);
+        assert_eq!(warm.store().unwrap().counters().hits, 1);
+
+        // A corrupted slot degrades to a recompute with the same result.
+        let store = Arc::new(Store::open(&dir).unwrap());
+        let key = OracleKey::new(WorkloadId::Rnn1, 1, PageSize::Size4K, &npu);
+        store
+            .corrupt_slot(&format!("{ORACLE_NAMESPACE}/{key:?}"), 17)
+            .unwrap();
+        let mut damaged = OracleCache::new();
+        damaged.attach_store(Arc::clone(&store));
+        let recomputed = damaged
+            .oracle_result(WorkloadId::Rnn1, 1, PageSize::Size4K, npu)
+            .unwrap();
+        assert_eq!(*recomputed, *simulated);
+        assert_eq!(damaged.simulations(), 1);
+        assert_eq!(store.counters().recovered, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! A minimal length-prefixed binary codec.
+//!
+//! The vendored `serde` stand-in can serialize but not deserialize, so every
+//! payload that must round-trip through the store (oracle baselines,
+//! artifact manifests) is encoded with this explicit little-endian codec
+//! instead. The format is positional: the decoder must read fields in
+//! exactly the order the encoder wrote them, and a payload-schema change
+//! must bump the namespace prefix of the store key (see the `persist`
+//! module of `neummu_sim`), so a stale-schema slot simply misses and is
+//! recomputed.
+
+use std::fmt;
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The byte stream ended before the field being read.
+    Truncated,
+    /// A field held a value the schema does not allow (bad enum tag,
+    /// non-UTF-8 string, oversized length).
+    Invalid(&'static str),
+    /// Decoding finished with unread bytes left over.
+    TrailingBytes,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "payload truncated"),
+            Self::Invalid(what) => write!(f, "invalid field: {what}"),
+            Self::TrailingBytes => write!(f, "trailing bytes after the last field"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends little-endian fields to a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Writes a `bool` as one byte (0 or 1).
+    pub fn bool(&mut self, value: bool) {
+        self.buf.push(u8::from(value));
+    }
+
+    /// Writes a `u16`.
+    pub fn u16(&mut self, value: u16) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes a `u32`.
+    pub fn u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes a `u64`.
+    pub fn u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes an `f64` via its exact bit pattern, so round-trips are
+    /// bit-identical (NaN payloads included).
+    pub fn f64(&mut self, value: f64) {
+        self.u64(value.to_bits());
+    }
+
+    /// Writes a length-prefixed byte string.
+    pub fn bytes(&mut self, value: &[u8]) {
+        self.u64(value.len() as u64);
+        self.buf.extend_from_slice(value);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, value: &str) {
+        self.bytes(value.as_bytes());
+    }
+}
+
+/// Reads fields back in the order [`ByteWriter`] wrote them.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading at the first byte of `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(len).ok_or(CodecError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(CodecError::Truncated);
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if the stream is exhausted.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `bool` (rejecting anything but 0 or 1).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] or [`CodecError::Invalid`].
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("bool out of range")),
+        }
+    }
+
+    /// Reads a `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if the stream is exhausted.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        let raw = self.take(2)?;
+        Ok(u16::from_le_bytes([raw[0], raw[1]]))
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if the stream is exhausted.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        let raw = self.take(4)?;
+        Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if the stream is exhausted.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let raw = self.take(8)?;
+        let mut le = [0u8; 8];
+        le.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(le))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if the stream is exhausted.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] if the prefix or body outruns the stream.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u64()?;
+        let len = usize::try_from(len).map_err(|_| CodecError::Invalid("length out of range"))?;
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] or [`CodecError::Invalid`] on non-UTF-8.
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let raw = self.bytes()?;
+        std::str::from_utf8(raw)
+            .map(str::to_string)
+            .map_err(|_| CodecError::Invalid("string is not UTF-8"))
+    }
+
+    /// Number of unread bytes.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Asserts the whole stream was consumed — every decoder's last call, so
+    /// a slot holding more data than the schema expects is rejected instead
+    /// of silently half-read.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TrailingBytes`] if bytes remain.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::TrailingBytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_every_field_kind() {
+        let mut w = ByteWriter::new();
+        w.u8(7);
+        w.bool(true);
+        w.u16(65_535);
+        w.u32(123_456);
+        w.u64(u64::MAX - 1);
+        w.f64(-0.125);
+        w.f64(f64::NAN);
+        w.str("hello/слот");
+        w.bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 65_535);
+        assert_eq!(r.u32().unwrap(), 123_456);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.125f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert_eq!(r.str().unwrap(), "hello/слот");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_rejected() {
+        let mut w = ByteWriter::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes[..7]);
+        assert_eq!(r.u64(), Err(CodecError::Truncated));
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u32().unwrap(), 42);
+        assert_eq!(r.finish(), Err(CodecError::TrailingBytes));
+    }
+
+    #[test]
+    fn bad_bool_and_bad_utf8_are_invalid() {
+        let mut r = ByteReader::new(&[2]);
+        assert!(matches!(r.bool(), Err(CodecError::Invalid(_))));
+        let mut w = ByteWriter::new();
+        w.bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            ByteReader::new(&bytes).str(),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn string_length_prefix_cannot_outrun_the_stream() {
+        let mut w = ByteWriter::new();
+        w.u64(1 << 40); // a length prefix far past the end
+        let bytes = w.into_bytes();
+        assert_eq!(ByteReader::new(&bytes).bytes(), Err(CodecError::Truncated));
+    }
+}

@@ -1,0 +1,211 @@
+//! Deterministic fault injection for the slot commit protocol.
+//!
+//! The store's crash-safety claim is only as good as the tests that attack
+//! it. A [`FaultPlan`] arms an *injected crash* at one labeled step of one
+//! `put` call (by put index), optionally tearing the write at a chosen byte.
+//! When the armed step is reached, the store performs exactly the side
+//! effects a real crash at that instant would leave on disk — a missing
+//! temp file, a torn temp file, an unrenamed temp file, or a committed slot
+//! with the caller's follow-up (journaling) never performed — and then
+//! returns [`StoreError::InjectedCrash`](crate::StoreError::InjectedCrash)
+//! instead of continuing.
+//!
+//! Plans are pure data derived from explicit coordinates or from a seed via
+//! a splitmix64 generator: no wall clock, no environment, no `RandomState`,
+//! so a failing injection scenario replays bit-identically from its seed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The labeled steps of the slot commit protocol, in execution order.
+///
+/// `Pre*` names mean "crash *before* this action happens".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CommitStep {
+    /// Before anything touches the filesystem: no temp file exists.
+    PreWrite,
+    /// In the middle of writing the temp file: a torn temp file of
+    /// [`FaultPoint::torn_at`] bytes is left behind.
+    MidWrite,
+    /// After the temp file is fully written and fsynced, before the atomic
+    /// rename: the final slot is still absent (or still holds its previous
+    /// committed value).
+    PreRename,
+    /// After the rename — the commit point — but before the caller performs
+    /// any follow-up such as journaling the surrounding experiment family.
+    /// The slot itself is durable.
+    PostRenamePreJournal,
+}
+
+impl CommitStep {
+    /// Every labeled step, in execution order. Tests iterate this to prove
+    /// each recovery path, so a new step added here is automatically part of
+    /// the exhaustive matrix.
+    pub const ALL: [CommitStep; 4] = [
+        CommitStep::PreWrite,
+        CommitStep::MidWrite,
+        CommitStep::PreRename,
+        CommitStep::PostRenamePreJournal,
+    ];
+
+    /// Stable label (used in error messages and test diagnostics).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::PreWrite => "pre-write",
+            Self::MidWrite => "mid-write",
+            Self::PreRename => "pre-rename",
+            Self::PostRenamePreJournal => "post-rename-pre-journal",
+        }
+    }
+}
+
+/// Where an armed plan strikes: the `put_index`-th `put` call (0-based,
+/// counted per store instance), at `step`, tearing the temp file after
+/// `torn_at` bytes when the step is [`CommitStep::MidWrite`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPoint {
+    /// 0-based index of the victim `put` call.
+    pub put_index: u64,
+    /// The commit step to crash at.
+    pub step: CommitStep,
+    /// Bytes of the slot file written before the tear (clamped to the slot
+    /// length; only meaningful for [`CommitStep::MidWrite`]).
+    pub torn_at: usize,
+}
+
+/// A deterministic crash schedule for one [`Store`](crate::Store) instance.
+///
+/// The default plan is disarmed and injects nothing — the production
+/// configuration.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    point: Option<FaultPoint>,
+    puts_started: AtomicU64,
+}
+
+impl FaultPlan {
+    /// The disarmed plan: never injects.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Arms a crash at an explicit coordinate.
+    #[must_use]
+    pub fn crash_at(point: FaultPoint) -> Self {
+        FaultPlan {
+            point: Some(point),
+            puts_started: AtomicU64::new(0),
+        }
+    }
+
+    /// Derives a crash coordinate from a seed: the victim put index is drawn
+    /// from `0..puts_hint`, the step uniformly from [`CommitStep::ALL`], and
+    /// the tear offset from `0..=4096`. Same seed, same plan — a failing
+    /// scenario replays exactly.
+    #[must_use]
+    pub fn from_seed(seed: u64, puts_hint: u64) -> Self {
+        let mut state = seed;
+        let mut next = move || -> u64 {
+            // splitmix64: tiny, deterministic, statistically fine for
+            // picking victims.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let put_index = next() % puts_hint.max(1);
+        let step = CommitStep::ALL[(next() % CommitStep::ALL.len() as u64) as usize];
+        let torn_at = (next() % 4097) as usize;
+        Self::crash_at(FaultPoint {
+            put_index,
+            step,
+            torn_at,
+        })
+    }
+
+    /// The armed coordinate, if any.
+    #[must_use]
+    pub fn point(&self) -> Option<FaultPoint> {
+        self.point
+    }
+
+    /// Called by the store at the start of each `put`; returns that put's
+    /// 0-based index.
+    pub(crate) fn begin_put(&self) -> u64 {
+        self.puts_started.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// True if the plan strikes the given put at the given step.
+    pub(crate) fn strikes(&self, put_index: u64, step: CommitStep) -> bool {
+        self.point
+            .is_some_and(|p| p.put_index == put_index && p.step == step)
+    }
+
+    /// The tear offset for a `MidWrite` strike on the given put.
+    pub(crate) fn torn_at(&self, put_index: u64) -> Option<usize> {
+        self.point
+            .filter(|p| p.put_index == put_index && p.step == CommitStep::MidWrite)
+            .map(|p| p.torn_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_plan_never_strikes() {
+        let plan = FaultPlan::none();
+        for put in 0..4 {
+            let index = plan.begin_put();
+            assert_eq!(index, put);
+            for step in CommitStep::ALL {
+                assert!(!plan.strikes(index, step));
+            }
+            assert_eq!(plan.torn_at(index), None);
+        }
+    }
+
+    #[test]
+    fn armed_plan_strikes_exactly_its_coordinate() {
+        let plan = FaultPlan::crash_at(FaultPoint {
+            put_index: 2,
+            step: CommitStep::PreRename,
+            torn_at: 0,
+        });
+        assert!(!plan.strikes(1, CommitStep::PreRename));
+        assert!(!plan.strikes(2, CommitStep::PreWrite));
+        assert!(plan.strikes(2, CommitStep::PreRename));
+        assert_eq!(plan.torn_at(2), None); // not a MidWrite point
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_cover_all_steps() {
+        let a = FaultPlan::from_seed(42, 10).point().unwrap();
+        let b = FaultPlan::from_seed(42, 10).point().unwrap();
+        assert_eq!(a, b);
+        assert!(a.put_index < 10);
+        // Across seeds, every step is eventually drawn.
+        let mut seen = std::collections::BTreeSet::new();
+        for seed in 0..64 {
+            seen.insert(FaultPlan::from_seed(seed, 8).point().unwrap().step);
+        }
+        assert_eq!(seen.len(), CommitStep::ALL.len());
+    }
+
+    #[test]
+    fn step_labels_are_stable() {
+        let labels: Vec<_> = CommitStep::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "pre-write",
+                "mid-write",
+                "pre-rename",
+                "post-rename-pre-journal"
+            ]
+        );
+    }
+}

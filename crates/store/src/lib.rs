@@ -1,0 +1,48 @@
+//! Crash-safe persistent storage for the experiment runner.
+//!
+//! Overnight full-scale sweeps should resume bit-identically after an
+//! interruption instead of recomputing from scratch. This crate provides the
+//! persistence layer that makes that possible, in the style of
+//! persistent-memory programming models (idempotent per-key commit slots
+//! whose commit point survives a crash):
+//!
+//! * [`Store`] — a directory of per-key **slots** holding opaque payload
+//!   bytes (serialized oracle baselines, finished-artifact manifests). A slot
+//!   is committed with a write-to-temp / fsync / atomic-rename protocol, so
+//!   at every instant it is either *absent*, *fully committed*, or
+//!   *detectably torn*. Torn, corrupt or stale-version slots are deleted and
+//!   recomputed, never trusted: a damaged store never fails a run, it only
+//!   costs recompute.
+//! * [`slot`] — the checksummed, versioned on-disk slot format (magic +
+//!   version + lengths + CRC-32 + the full key, so a hash-collision or
+//!   stale slot is detected by key comparison, not trusted by file name).
+//! * [`atomic`] — the temp + fsync + rename primitive on its own, used for
+//!   every experiment artifact write so a crash can never leave a truncated
+//!   `.json`/`.csv`/`.md` on disk.
+//! * [`fault`] — the deterministic, seed-driven [`FaultPlan`] that can kill
+//!   the commit protocol at every labeled [`CommitStep`] (and tear a write at
+//!   a chosen byte), so every recovery path is exercised by tests instead of
+//!   trusted. In the spirit of CounterPoint, the "no crash, no torn write"
+//!   assumption is refuted mechanically, not assumed.
+//! * [`codec`] — the tiny length-prefixed binary reader/writer the payload
+//!   serializers are built on (the vendored `serde` has no deserializer, so
+//!   round-trippable payloads use this explicit codec).
+//!
+//! Nothing in this crate reads a clock, the environment, or any other
+//! nondeterminism source: recovery decisions depend only on the bytes found
+//! on disk, so a resumed run replays the exact computation an uninterrupted
+//! run would have performed.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod atomic;
+pub mod codec;
+pub mod fault;
+pub mod slot;
+mod store;
+
+pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use fault::{CommitStep, FaultPlan, FaultPoint};
+pub use slot::SlotDamage;
+pub use store::{Store, StoreCounters, StoreError};

@@ -1,0 +1,227 @@
+//! The on-disk slot format: a checksummed, versioned envelope around one
+//! key's payload bytes.
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"NEUMMUSL"
+//! 8       4     format version (little-endian u32, currently 1)
+//! 12      4     key length in bytes (u32)
+//! 16      8     payload length in bytes (u64)
+//! 24      4     CRC-32 (IEEE) over key bytes ++ payload bytes (u32)
+//! 28      ...   key (UTF-8), then payload
+//! ```
+//!
+//! The envelope makes every slot file self-verifying:
+//!
+//! * a **torn** file (crash mid-write, truncation, trailing garbage) fails
+//!   the length check or the CRC;
+//! * a **corrupt** file (bit rot, a flipped bit anywhere) fails the CRC or
+//!   the magic;
+//! * a **stale-version** file fails the version check;
+//! * a **hash-collision or stale-schema** file decodes fine but carries a
+//!   different key string, which the [`Store`](crate::Store) compares
+//!   against the requested key.
+//!
+//! In every damage case the decoder reports [`SlotDamage`] and the store
+//! deletes the file and recomputes — a slot is never half-trusted.
+
+use std::fmt;
+
+/// First eight bytes of every slot file.
+pub const SLOT_MAGIC: [u8; 8] = *b"NEUMMUSL";
+/// Current slot format version. Bump on any envelope layout change; slots
+/// carrying another version are deleted and recomputed.
+pub const SLOT_VERSION: u32 = 1;
+/// Fixed envelope size before the key bytes.
+pub const SLOT_HEADER_BYTES: usize = 28;
+
+/// How a slot file failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotDamage {
+    /// Shorter than the fixed header.
+    TooShort,
+    /// The magic bytes are wrong (not a slot file, or its first page was
+    /// never written).
+    BadMagic,
+    /// The envelope carries an unsupported format version.
+    BadVersion(u32),
+    /// The declared key+payload lengths disagree with the file size (torn
+    /// write or trailing garbage).
+    LengthMismatch,
+    /// The CRC-32 over key and payload does not match (bit corruption).
+    BadChecksum,
+    /// The key bytes are not UTF-8.
+    BadKey,
+}
+
+impl fmt::Display for SlotDamage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooShort => write!(f, "shorter than the slot header"),
+            Self::BadMagic => write!(f, "bad magic"),
+            Self::BadVersion(v) => write!(f, "unsupported slot version {v}"),
+            Self::LengthMismatch => write!(f, "declared lengths disagree with the file size"),
+            Self::BadChecksum => write!(f, "checksum mismatch"),
+            Self::BadKey => write!(f, "key is not UTF-8"),
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB8_8320) over `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc = !0u32;
+    for &byte in bytes {
+        let index = (crc ^ u32::from(byte)) & 0xff;
+        crc = (crc >> 8) ^ TABLE[index as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Encodes one `(key, payload)` pair as a self-verifying slot file.
+#[must_use]
+pub fn encode_slot(key: &str, payload: &[u8]) -> Vec<u8> {
+    let key_bytes = key.as_bytes();
+    let mut body = Vec::with_capacity(key_bytes.len() + payload.len());
+    body.extend_from_slice(key_bytes);
+    body.extend_from_slice(payload);
+    let crc = crc32(&body);
+
+    let mut out = Vec::with_capacity(SLOT_HEADER_BYTES + body.len());
+    out.extend_from_slice(&SLOT_MAGIC);
+    out.extend_from_slice(&SLOT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Validates and decodes a slot file into its `(key, payload)` pair.
+///
+/// # Errors
+///
+/// [`SlotDamage`] describing exactly how the file failed validation; the
+/// caller deletes the file and recomputes.
+pub fn decode_slot(bytes: &[u8]) -> Result<(String, Vec<u8>), SlotDamage> {
+    if bytes.len() < SLOT_HEADER_BYTES {
+        return Err(SlotDamage::TooShort);
+    }
+    if bytes[0..8] != SLOT_MAGIC {
+        return Err(SlotDamage::BadMagic);
+    }
+    let u32_at =
+        |i: usize| u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+    let version = u32_at(8);
+    if version != SLOT_VERSION {
+        return Err(SlotDamage::BadVersion(version));
+    }
+    let key_len = u32_at(12) as usize;
+    let payload_len = {
+        let mut le = [0u8; 8];
+        le.copy_from_slice(&bytes[16..24]);
+        u64::from_le_bytes(le)
+    };
+    let declared = usize::try_from(payload_len)
+        .ok()
+        .and_then(|p| key_len.checked_add(p))
+        .and_then(|body| SLOT_HEADER_BYTES.checked_add(body));
+    if declared != Some(bytes.len()) {
+        return Err(SlotDamage::LengthMismatch);
+    }
+    let crc = u32_at(24);
+    let body = &bytes[SLOT_HEADER_BYTES..];
+    if crc32(body) != crc {
+        return Err(SlotDamage::BadChecksum);
+    }
+    let key = std::str::from_utf8(&body[..key_len]).map_err(|_| SlotDamage::BadKey)?;
+    Ok((key.to_string(), body[key_len..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_reference_vector() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_key_and_payload() {
+        let bytes = encode_slot("oracle/v1/some-key", &[9, 8, 7, 6]);
+        let (key, payload) = decode_slot(&bytes).unwrap();
+        assert_eq!(key, "oracle/v1/some-key");
+        assert_eq!(payload, vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let bytes = encode_slot("k", &[]);
+        let (key, payload) = decode_slot(&bytes).unwrap();
+        assert_eq!(key, "k");
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_point_is_detected() {
+        let bytes = encode_slot("key", b"payload-bytes");
+        for len in 0..bytes.len() {
+            assert!(
+                decode_slot(&bytes[..len]).is_err(),
+                "a {len}-byte prefix of a {}-byte slot must be damage",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = encode_slot("key", b"payload");
+        for bit in 0..bytes.len() * 8 {
+            let mut copy = bytes.clone();
+            copy[bit / 8] ^= 1 << (bit % 8);
+            assert!(
+                decode_slot(&copy).is_err(),
+                "flipping bit {bit} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_a_length_mismatch() {
+        let mut bytes = encode_slot("key", b"payload");
+        bytes.push(0);
+        assert_eq!(decode_slot(&bytes), Err(SlotDamage::LengthMismatch));
+    }
+
+    #[test]
+    fn foreign_versions_are_stale() {
+        let mut bytes = encode_slot("key", b"payload");
+        bytes[8] = 99;
+        assert_eq!(decode_slot(&bytes), Err(SlotDamage::BadVersion(99)));
+    }
+}

@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
 # Records the perf trajectory of the translation hot path into a JSON file
-# (default BENCH_PR7.json): per-request translate latency from the
+# (default BENCH_PR8.json): per-request translate latency from the
 # mmu_microbench Criterion targets — including the ASID-tagged multi-tenant
 # burst stream and the run-coalesced burst path (one TLB touch per distinct
 # page) next to its per-transaction counterpart — plus the wall-clock time of
-# a full-scale serial artifact regeneration, run twice (tracing off and
-# `--profile-trace` on) so `trace_overhead_pct` records what the binary
-# event-trace subsystem costs when enabled.
+# a full-scale serial artifact regeneration, run four ways:
+#
+#   * tracing off (the plain reference),
+#   * `--profile-trace` on (`trace_overhead_pct` = what tracing costs),
+#   * `--store` on a cold store (`store_overhead_pct` = what slot commits and
+#     family journaling cost on a run that computes everything; budget < 3%),
+#   * `--store` on the now-warm store (`store_warm_regen_seconds` = the resume
+#     payoff: every family restored from its journal, nothing simulated).
 #
 # Usage: scripts/record_bench.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR7.json}"
+out="${1:-BENCH_PR8.json}"
 
 echo "building release binaries..." >&2
 cargo build --release >&2
@@ -41,27 +46,66 @@ oracle_ns="$(ns_per_elem 'oracle/memoized_burst_stream')"
 multi_tenant_ns="$(ns_per_elem 'translation_engine/multi_tenant_4asid_burst64')"
 run_coalesced_ns="$(ns_per_elem 'translation_engine/run_coalesced_burst')"
 
-echo "running full-scale serial regeneration (tracing off)..." >&2
-regen_out="$(mktemp -d)"
-start_ns="$(date +%s%N)"
-./target/release/neummu_experiments --threads 1 --out "$regen_out" > /dev/null
-end_ns="$(date +%s%N)"
-regen_s="$(python3 -c "print(f'{(${end_ns} - ${start_ns}) / 1e9:.2f}')")"
-rm -rf "$regen_out"
+# Times one full-scale serial regeneration; extra flags via "$@".
+timed_regen_once() {
+    local regen_out start_ns end_ns
+    regen_out="$(mktemp -d)"
+    start_ns="$(date +%s%N)"
+    ./target/release/neummu_experiments --threads 1 --out "$regen_out" "$@" > /dev/null
+    end_ns="$(date +%s%N)"
+    rm -rf "$regen_out"
+    python3 -c "print(f'{(${end_ns} - ${start_ns}) / 1e9:.2f}')"
+}
 
-echo "running full-scale serial regeneration (--profile-trace on)..." >&2
-regen_out="$(mktemp -d)"
+# Regeneration timings compare configurations a few percent apart — less than
+# this box's run-to-run noise — so the four configurations are INTERLEAVED
+# round-robin for $REPS passes (ambient load lands on every configuration,
+# not on whichever block ran during a slow phase) and each summary number is
+# the MIN of its samples: the workload is deterministic and the noise purely
+# additive (co-tenants, scheduler), so the minimum is the reading closest to
+# the true cost and the overhead ratios are formed from minima. (The store's
+# real added work is tiny: ~78 slot commits fsync in about 60 ms total, under
+# 1% of the run.) The raw samples are recorded alongside the summary numbers
+# so a noisy capture is visible as such.
+REPS=5
+
+min_of() {
+    printf '%s\n' "$@" | python3 -c \
+        "import sys; print(f'{min(map(float, sys.stdin.read().split())):.2f}')"
+}
+
+json_list() {
+    python3 -c "print('[' + ', '.join('''$*'''.split()) + ']')"
+}
+
 trace_file="$(mktemp -u).trace"
-start_ns="$(date +%s%N)"
-./target/release/neummu_experiments --threads 1 --out "$regen_out" \
-    --profile-trace "$trace_file" > /dev/null
-end_ns="$(date +%s%N)"
-traced_regen_s="$(python3 -c "print(f'{(${end_ns} - ${start_ns}) / 1e9:.2f}')")"
+warm_store_dir="$(mktemp -d)"
+timed_regen_once --store "$warm_store_dir" > /dev/null   # pre-warm once
+plain_times=""; traced_times=""; cold_times=""; warm_times=""
+for rep in $(seq "$REPS"); do
+    echo "timing full-scale serial regenerations, pass ${rep}/${REPS} (plain / traced / cold store / warm store)..." >&2
+    plain_times="$plain_times $(timed_regen_once)"
+    rm -f "$trace_file"
+    traced_times="$traced_times $(timed_regen_once --profile-trace "$trace_file")"
+    cold_store_dir="$(mktemp -d)"   # fresh store per rep: every run is truly cold
+    cold_times="$cold_times $(timed_regen_once --store "$cold_store_dir")"
+    rm -rf "$cold_store_dir"
+    warm_times="$warm_times $(timed_regen_once --store "$warm_store_dir")"
+done
+
+regen_s="$(min_of $plain_times)"
+traced_regen_s="$(min_of $traced_times)"
+store_cold_regen_s="$(min_of $cold_times)"
+store_warm_regen_s="$(min_of $warm_times)"
 trace_events="$(./target/release/neummu_profile "$trace_file" --top 0 \
     | sed -n 's|^trace .*: \([0-9]*\) events .*|\1|p')"
 trace_overhead_pct="$(python3 -c \
     "print(f'{(${traced_regen_s} / max(${regen_s}, 1e-9) - 1) * 100:.1f}')")"
-rm -rf "$regen_out" "$trace_file" "$bench_log"
+store_overhead_pct="$(python3 -c \
+    "print(f'{(${store_cold_regen_s} / max(${regen_s}, 1e-9) - 1) * 100:.1f}')")"
+store_resume_speedup="$(python3 -c \
+    "print(f'{${regen_s} / max(${store_warm_regen_s}, 1e-9):.1f}')")"
+rm -rf "$trace_file" "$warm_store_dir" "$bench_log"
 
 cat > "$out" <<EOF
 {
@@ -80,7 +124,17 @@ cat > "$out" <<EOF
   "full_scale_regen_serial_seconds": ${regen_s},
   "full_scale_regen_traced_seconds": ${traced_regen_s},
   "trace_overhead_pct": ${trace_overhead_pct},
-  "trace_events": ${trace_events:-null}
+  "trace_events": ${trace_events:-null},
+  "full_scale_regen_store_cold_seconds": ${store_cold_regen_s},
+  "full_scale_regen_store_warm_seconds": ${store_warm_regen_s},
+  "store_overhead_pct": ${store_overhead_pct},
+  "store_resume_speedup": ${store_resume_speedup},
+  "regen_samples_interleaved_seconds": {
+    "plain": $(json_list $plain_times),
+    "traced": $(json_list $traced_times),
+    "store_cold": $(json_list $cold_times),
+    "store_warm": $(json_list $warm_times)
+  }
 }
 EOF
 

@@ -16,6 +16,7 @@ pub use neummu_mem as mem;
 pub use neummu_mmu as mmu;
 pub use neummu_npu as npu;
 pub use neummu_sim as sim;
+pub use neummu_store as store;
 pub use neummu_trace as trace;
 pub use neummu_vmem as vmem;
 pub use neummu_workloads as workloads;
