@@ -290,6 +290,38 @@ fn bench_multi_tenant_translation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_serving_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    // The whole open-loop serving leg end to end at smoke shape: seeded
+    // arrival generation for 4 heterogeneous tenants, bounded admission
+    // queues, round-robin quanta on one shared engine, exact SLO
+    // histograms. Elements = completed requests, so the reported rate is
+    // simulated serving throughput (requests simulated per second) — the
+    // `serving_request_ns` datapoint `scripts/record_bench.sh` records.
+    use neummu_sim::experiments::serving::{point_config, tenant_population};
+    use neummu_sim::experiments::ExperimentScale;
+    use neummu_sim::serving::{ServingPolicy, ServingSimulator};
+    let config = point_config(ExperimentScale::Smoke, ServingPolicy::RoundRobin);
+    let tenants = tenant_population(ExperimentScale::Smoke, 1.2, config.txns_per_request);
+    let completed = ServingSimulator::new(config.clone())
+        .run(&tenants)
+        .unwrap()
+        .completed_requests();
+    assert!(completed > 0);
+    group.throughput(Throughput::Elements(completed));
+    group.bench_function("open_loop_smoke_rr", |b| {
+        b.iter(|| {
+            ServingSimulator::new(config.clone())
+                .run(black_box(&tenants))
+                .unwrap()
+                .completed_requests()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_tlb,
@@ -299,6 +331,7 @@ criterion_group!(
     bench_mmu_caches,
     bench_translation_engine_burst,
     bench_run_coalesced_burst,
-    bench_multi_tenant_translation
+    bench_multi_tenant_translation,
+    bench_serving_throughput
 );
 criterion_main!(benches);

@@ -13,7 +13,7 @@
 //! * `--only` restricts the run to a comma-separated list of experiment ids
 //!   (`table1`, `fig06`, `fig07`, `fig08`, `fig10`, `fig11`, `fig12a`,
 //!   `fig12b`, `fig13`, `fig14`, `mmu_cache`, `summary`, `largepage`,
-//!   `spatial`, `sensitivity`, `fig15`, `fig16`, `multitenant`).
+//!   `spatial`, `sensitivity`, `fig15`, `fig16`, `multitenant`, `serving`).
 //! * `--threads` sets the worker-thread count of the experiment runner
 //!   (default: the machine's available parallelism; `1` forces the serial
 //!   reference schedule). Artifacts are byte-identical for every thread
@@ -45,7 +45,7 @@ use std::time::Instant;
 
 use neummu_bench::{commit_family, family_key, restore_family, ExperimentArtifacts};
 use neummu_sim::experiments::{
-    characterization, mmu_cache_study, multi_tenant, performance, recommender, table1,
+    characterization, mmu_cache_study, multi_tenant, performance, recommender, serving, table1,
     ExperimentScale,
 };
 use neummu_sim::ExperimentRunner;
@@ -413,6 +413,26 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
                 // events (CounterPoint-style validation of the slowdown story).
                 emit(
                     "multitenant_tenant_counters",
+                    result.counters_table(),
+                    artifacts,
+                )
+            },
+        )?;
+    }
+
+    if wants(options, "serving") {
+        family(
+            store,
+            scale.label(),
+            "serving",
+            &mut artifacts,
+            |artifacts| {
+                let result = serving::serving_sweep_on(&runner, scale)?;
+                artifacts.json("serving_sweep", &result)?;
+                emit("serving_slo", result.slo_table(), artifacts)?;
+                emit("serving_goodput", result.goodput_table(), artifacts)?;
+                emit(
+                    "serving_tenant_counters",
                     result.counters_table(),
                     artifacts,
                 )

@@ -15,14 +15,15 @@
 //!
 //! ```text
 //! cargo run --release --bin neummu_experiments -- --quick --out /tmp/golden \
-//!     --only fig08,fig12b,fig13,mmu_cache,table1
-//! cp /tmp/golden/{fig08_baseline_iommu,fig12b_energy_perf,fig13_tpreg_hit_rate,mmu_cache_uptc_vs_tpc}.json \
-//!    /tmp/golden/table1_configuration.{csv,md} crates/bench/tests/golden/
+//!     --only fig08,fig12b,fig13,mmu_cache,table1,serving
+//! cp /tmp/golden/{fig08_baseline_iommu,fig12b_energy_perf,fig13_tpreg_hit_rate,mmu_cache_uptc_vs_tpc,serving_sweep}.json \
+//!    /tmp/golden/table1_configuration.{csv,md} /tmp/golden/serving_goodput.md \
+//!    /tmp/golden/serving_slo.csv crates/bench/tests/golden/
 //! ```
 
 use serde::Serialize;
 
-use neummu_sim::experiments::{mmu_cache_study, performance, table1, ExperimentScale};
+use neummu_sim::experiments::{mmu_cache_study, performance, serving, table1, ExperimentScale};
 use neummu_sim::ExperimentRunner;
 
 const SMOKE: ExperimentScale = ExperimentScale::Smoke;
@@ -82,6 +83,30 @@ fn mmu_cache_json_matches_golden() {
         "mmu_cache_uptc_vs_tpc.json",
         include_str!("golden/mmu_cache_uptc_vs_tpc.json"),
         &to_artifact_json(&result),
+    );
+}
+
+#[test]
+fn serving_sweep_artifacts_match_golden() {
+    // Pins the whole open-loop serving leg at once: arrival generation,
+    // admission queueing, all four scheduling policies, the shared-engine
+    // timing, the exact SLO percentiles and the rendered tables.
+    let runner = ExperimentRunner::new(4);
+    let result = serving::serving_sweep_on(&runner, SMOKE).unwrap();
+    assert_matches_golden(
+        "serving_sweep.json",
+        include_str!("golden/serving_sweep.json"),
+        &to_artifact_json(&result),
+    );
+    assert_matches_golden(
+        "serving_goodput.md",
+        include_str!("golden/serving_goodput.md"),
+        &result.goodput_table().to_markdown(),
+    );
+    assert_matches_golden(
+        "serving_slo.csv",
+        include_str!("golden/serving_slo.csv"),
+        &result.slo_table().to_csv(),
     );
 }
 

@@ -34,6 +34,12 @@ pub struct Tlb {
     lookups: u64,
     hits: u64,
     fills: u64,
+    /// Resident entries per ASID, indexed by [`Asid::index`] and grown on
+    /// demand. Maintained incrementally at every fill/eviction/invalidation,
+    /// so [`Tlb::occupancy_of`] is O(1) — cheap enough that a scheduling
+    /// policy may consult it on every pick (the serving simulator's
+    /// TLB-occupancy-aware throttling does exactly that).
+    occupancy_by_asid: Vec<u64>,
 }
 
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -72,7 +78,23 @@ impl Tlb {
             lookups: 0,
             hits: 0,
             fills: 0,
+            occupancy_by_asid: Vec::new(),
         }
+    }
+
+    /// Adjusts the per-ASID occupancy counter by `delta` entries, growing the
+    /// counter vector the first time a context is seen. Every entry
+    /// fill/eviction/invalidation path funnels through here, which is what
+    /// keeps [`Tlb::occupancy_of`] exact without scanning the sets.
+    fn adjust_occupancy(occupancy_by_asid: &mut Vec<u64>, asid: Asid, delta: i64) {
+        let index = asid.index();
+        if index >= occupancy_by_asid.len() {
+            occupancy_by_asid.resize(index + 1, 0);
+        }
+        let slot = &mut occupancy_by_asid[index];
+        *slot = slot
+            .checked_add_signed(delta)
+            .expect("occupancy counters never go negative");
     }
 
     /// Total capacity in entries.
@@ -212,17 +234,21 @@ impl Tlb {
                 page_number,
                 last_used: stamp,
             });
+            Self::adjust_occupancy(&mut self.occupancy_by_asid, asid, 1);
             return;
         }
         let victim = set
             .iter_mut()
             .min_by_key(|e| e.last_used)
             .expect("a full set always has a victim");
+        let evicted = victim.asid;
         *victim = TlbEntry {
             asid,
             page_number,
             last_used: stamp,
         };
+        Self::adjust_occupancy(&mut self.occupancy_by_asid, evicted, -1);
+        Self::adjust_occupancy(&mut self.occupancy_by_asid, asid, 1);
     }
 
     /// Invalidates a single [`Asid::GLOBAL`] translation (used when a page is
@@ -238,6 +264,7 @@ impl Tlb {
         let set = &mut self.sets[set_idx];
         if let Some(pos) = set.iter().position(|e| e.matches(asid, page_number)) {
             set.swap_remove(pos);
+            Self::adjust_occupancy(&mut self.occupancy_by_asid, asid, -1);
             true
         } else {
             false
@@ -249,6 +276,7 @@ impl Tlb {
         for set in &mut self.sets {
             set.clear();
         }
+        self.occupancy_by_asid.fill(0);
     }
 
     /// Invalidates every translation of one context, leaving all other
@@ -275,6 +303,7 @@ impl Tlb {
             set.retain(|e| e.asid != asid);
             removed += before - set.len();
         }
+        Self::adjust_occupancy(&mut self.occupancy_by_asid, asid, -(removed as i64));
         removed
     }
 
@@ -285,18 +314,28 @@ impl Tlb {
         let set_idx = self.set_index(page_number);
         let set = &mut self.sets[set_idx];
         let before = set.len();
-        set.retain(|e| e.page_number != page_number);
+        let occupancy_by_asid = &mut self.occupancy_by_asid;
+        set.retain(|e| {
+            if e.page_number == page_number {
+                Self::adjust_occupancy(occupancy_by_asid, e.asid, -1);
+                false
+            } else {
+                true
+            }
+        });
         before - set.len()
     }
 
     /// Number of resident entries belonging to the given context (a
     /// cross-tenant capacity-share snapshot for the contention breakdowns).
+    /// O(1): read from the incrementally maintained per-ASID counters, not by
+    /// scanning the sets — scheduling policies consult this per pick.
     #[must_use]
     pub fn occupancy_of(&self, asid: Asid) -> usize {
-        self.sets
-            .iter()
-            .map(|set| set.iter().filter(|e| e.asid == asid).count())
-            .sum()
+        self.occupancy_by_asid
+            .get(asid.index())
+            .copied()
+            .unwrap_or(0) as usize
     }
 
     /// Number of valid entries currently resident.
@@ -521,6 +560,68 @@ mod tests {
         }
         // Flushing an absent tenant is a no-op.
         assert_eq!(tlb.flush_asid(Asid::new(9)), 0);
+    }
+
+    /// Reference implementation of `occupancy_of`: scan every set. The
+    /// incremental counters must agree with it after any mutation sequence.
+    fn scanned_occupancy(tlb: &Tlb, asid: Asid) -> usize {
+        tlb.sets
+            .iter()
+            .map(|set| set.iter().filter(|e| e.asid == asid).count())
+            .sum()
+    }
+
+    #[test]
+    fn occupancy_counters_track_fills_evictions_and_invalidations() {
+        // A tiny TLB forces evictions quickly; three tenants interleave
+        // inserts, targeted invalidations, broadcast shootdowns and per-ASID
+        // flushes. After every mutation the O(1) counter must equal the scan.
+        let mut tlb = Tlb::new(8, 2);
+        let tenants = [Asid::new(0), Asid::new(1), Asid::new(5)];
+        let check = |tlb: &Tlb| {
+            for &asid in &tenants {
+                assert_eq!(
+                    tlb.occupancy_of(asid),
+                    scanned_occupancy(tlb, asid),
+                    "{asid} counter drifted from the scan"
+                );
+            }
+        };
+        for round in 0..6u64 {
+            for (lane, &asid) in tenants.iter().enumerate() {
+                tlb.insert_tagged(asid, round * 3 + lane as u64);
+                check(&tlb);
+            }
+        }
+        tlb.invalidate_tagged(tenants[1], 4);
+        check(&tlb);
+        tlb.invalidate_all_contexts(4);
+        check(&tlb);
+        let resident = scanned_occupancy(&tlb, tenants[2]);
+        assert_eq!(tlb.flush_asid(tenants[2]), resident);
+        check(&tlb);
+        tlb.flush();
+        for &asid in &tenants {
+            assert_eq!(tlb.occupancy_of(asid), 0);
+        }
+        check(&tlb);
+        // Unknown contexts read zero without growing anything.
+        assert_eq!(tlb.occupancy_of(Asid::new(999)), 0);
+    }
+
+    #[test]
+    fn occupancy_counter_handles_cross_asid_eviction() {
+        // Single-set TLB: tenant B's insert evicts tenant A's LRU entry, so
+        // A's counter must drop and B's must rise in the same operation.
+        let mut tlb = Tlb::new(2, 2);
+        let (a, b) = (Asid::new(1), Asid::new(2));
+        tlb.insert_tagged(a, 10);
+        tlb.insert_tagged(a, 20);
+        assert_eq!(tlb.occupancy_of(a), 2);
+        tlb.insert_tagged(b, 30);
+        assert_eq!(tlb.occupancy_of(a), 1);
+        assert_eq!(tlb.occupancy_of(b), 1);
+        assert_eq!(tlb.occupancy(), 2);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`multi_tenant`] — beyond the paper: the tenant-count sweep measuring
 //!   per-tenant slowdown and TLB/walker contention when one NPU's
 //!   translation front end is time-shared between ASID-tagged tenants.
+//! * [`serving`] — beyond the paper: open-loop datacenter serving. Seeded
+//!   arrival generators feed bounded admission queues; a load × policy sweep
+//!   reports exact per-tenant SLO percentiles and goodput under overload.
 //!
 //! Every runner takes an [`ExperimentScale`]: `Full` regenerates the figure
 //! over the complete benchmark suite (what the `neummu-experiments` binary
@@ -31,6 +34,7 @@ pub mod mmu_cache_study;
 pub mod multi_tenant;
 pub mod performance;
 pub mod recommender;
+pub mod serving;
 pub mod table1;
 
 use serde::{Deserialize, Serialize};

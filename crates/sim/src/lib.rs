@@ -12,6 +12,11 @@
 //!   (Figures 15 and 16): model-parallel embedding tables, CPU-relayed copies
 //!   vs. fine-grained NUMA gathers vs. demand paging.
 //!
+//! Two schedulers stack on top: [`multi_tenant`] runs a closed-loop batch of
+//! tenants to completion on one shared engine, and [`serving`] is the
+//! open-loop datacenter leg — seeded arrival generators, bounded admission
+//! queues, pluggable scheduling policies and exact SLO percentiles.
+//!
 //! [`experiments`] contains one runner per table/figure of the paper; each
 //! returns a typed result that can be rendered with [`report`]. [`runner`]
 //! executes those experiments as parallel job graphs on a scoped thread pool,
@@ -29,6 +34,7 @@ pub mod multi_tenant;
 pub mod persist;
 pub mod report;
 pub mod runner;
+pub mod serving;
 
 pub use dense::{DenseSimConfig, DenseSimulator, LayerResult, TranslationTrace, WorkloadResult};
 pub use embedding::{
@@ -40,6 +46,10 @@ pub use multi_tenant::{
 };
 pub use report::ResultTable;
 pub use runner::{ExperimentRunner, OracleCache, SelfProfile};
+pub use serving::{
+    ArrivalConfig, ArrivalShape, LatencyHistogram, OverflowPolicy, ServingConfig, ServingPolicy,
+    ServingResult, ServingSimulator, ServingTenantSpec,
+};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
@@ -56,4 +66,8 @@ pub mod prelude {
     };
     pub use crate::report::ResultTable;
     pub use crate::runner::{ExperimentRunner, OracleCache, SelfProfile};
+    pub use crate::serving::{
+        ArrivalConfig, ArrivalShape, LatencyHistogram, OverflowPolicy, ServingConfig,
+        ServingPolicy, ServingResult, ServingSimulator, ServingTenantSpec,
+    };
 }

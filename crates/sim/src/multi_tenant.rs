@@ -45,6 +45,7 @@ use neummu_vmem::{
 use neummu_workloads::{DenseWorkload, WorkloadId};
 
 use crate::error::SimError;
+use crate::serving::{PolicyState, ServingPolicy};
 
 /// One tenant time-sharing the NPU: a dense workload at a batch size.
 ///
@@ -179,7 +180,7 @@ pub struct TenantStats {
 }
 
 impl TenantStats {
-    fn new(asid: Asid) -> Self {
+    pub(crate) fn new(asid: Asid) -> Self {
         TenantStats {
             asid,
             requests: 0,
@@ -253,7 +254,12 @@ impl MultiTenantResult {
 /// engine could not fully replay is pushed back and resumes from its suffix.
 /// The transaction sequence this produces is exactly the per-transaction
 /// decomposition the scheduler used to iterate.
-struct TenantStream {
+///
+/// A *cyclic* stream (the open-loop serving simulator's mode) restarts from
+/// the first fetch when the last one is exhausted — each inference request
+/// re-fetches the model's operands at the same virtual addresses — and
+/// therefore never runs dry.
+pub(crate) struct TenantStream {
     dma: DmaEngine,
     /// `(segment base, fetch)` for every IA/W fetch of every tile of every
     /// layer, in issue order.
@@ -262,12 +268,32 @@ struct TenantStream {
     current: Option<(u64, PageRunIter)>,
     /// Remainder of a clipped or partially consumed run (with its base VA).
     pending: Option<(u64, PageRun)>,
+    /// Wrap around at the end of the fetch list instead of ending.
+    cyclic: bool,
 }
 
 impl TenantStream {
+    /// Creates a stream over the given fetch list.
+    pub(crate) fn new(dma: DmaEngine, fetches: Vec<(u64, TileFetch)>, cyclic: bool) -> Self {
+        TenantStream {
+            dma,
+            fetches,
+            next_fetch: 0,
+            current: None,
+            pending: None,
+            cyclic,
+        }
+    }
+
+    /// Fetches not yet started (a backlog proxy for depth-aware policies; the
+    /// in-progress fetch is not counted).
+    pub(crate) fn fetches_remaining(&self) -> u64 {
+        (self.fetches.len() - self.next_fetch) as u64
+    }
+
     /// The next same-page run of at most `max_txns` transactions, with the
     /// segment base VA its offsets are relative to.
-    fn next_run(&mut self, max_txns: u64, page_bytes: u64) -> Option<(u64, PageRun)> {
+    pub(crate) fn next_run(&mut self, max_txns: u64, page_bytes: u64) -> Option<(u64, PageRun)> {
         let (base, run) = match self.pending.take() {
             Some(pending) => pending,
             None => loop {
@@ -276,6 +302,9 @@ impl TenantStream {
                         break (*base, run);
                     }
                     self.current = None;
+                }
+                if self.next_fetch == self.fetches.len() && self.cyclic {
+                    self.next_fetch = 0;
                 }
                 let &(base, fetch) = self.fetches.get(self.next_fetch)?;
                 self.next_fetch += 1;
@@ -296,7 +325,7 @@ impl TenantStream {
     /// run, the clip remainder is still pending; the two are contiguous
     /// pieces of the same original run, so they are rejoined rather than one
     /// overwriting the other.
-    fn push_back(&mut self, base: u64, run: PageRun) {
+    pub(crate) fn push_back(&mut self, base: u64, run: PageRun) {
         self.pending = Some(match self.pending.take() {
             Some((pending_base, clip_remainder)) => {
                 debug_assert_eq!(base, pending_base, "pieces of one run share a base");
@@ -305,6 +334,53 @@ impl TenantStream {
             None => (base, run),
         });
     }
+}
+
+/// Maps one tenant's dense operands (per-layer IA and weight segments) into
+/// its private address space and returns the `(segment base, fetch)` pairs of
+/// its tile fetch stream, in issue order. Shared between the closed-loop
+/// scheduler and the open-loop serving simulator so both drive the engine
+/// with identical per-tenant streams.
+pub(crate) fn map_tenant_fetches(
+    space: &mut neummu_vmem::AddressSpace,
+    workload: WorkloadId,
+    batch: u64,
+    npu: &NpuConfig,
+    node: MemNode,
+    memory_capacity_bytes: u64,
+    page_size: neummu_vmem::PageSize,
+) -> Result<Vec<(u64, TileFetch)>, SimError> {
+    // Every tenant draws frames from its own backing pool: physical frame
+    // identity never affects timing, and a private pool keeps a tenant's
+    // layout independent of who else is scheduled.
+    let mut memory = PhysicalMemory::new(&[NodeSpec::new(node, memory_capacity_bytes)]);
+    let layers = DenseWorkload::new(workload).layers(batch);
+    let seg_opts = SegmentOptions::new(node, page_size);
+    let mut fetches = Vec::new();
+    for (layer_index, layer) in layers.iter().enumerate() {
+        let plan = TilingPlan::for_layer(layer, npu)?;
+        let ia_seg = space.alloc_segment(
+            format!("l{layer_index}_{}_ia", layer.name()),
+            plan.ia_segment_bytes().max(1),
+            seg_opts,
+            &mut memory,
+        )?;
+        let w_seg = space.alloc_segment(
+            format!("l{layer_index}_{}_w", layer.name()),
+            plan.w_segment_bytes().max(1),
+            seg_opts,
+            &mut memory,
+        )?;
+        for tile in plan.tiles() {
+            if let Some(fetch) = tile.ia_fetch {
+                fetches.push((ia_seg.start().raw(), fetch));
+            }
+            if let Some(fetch) = tile.w_fetch {
+                fetches.push((w_seg.start().raw(), fetch));
+            }
+        }
+    }
+    Ok(fetches)
 }
 
 /// Per-tenant or shared simulation resources, depending on the mode.
@@ -324,24 +400,54 @@ impl Resources {
     }
 }
 
-/// Round-robin, burst-interleaving scheduler that multiplexes N tenants'
-/// translation streams onto one NPU's translation front end.
+/// Burst-interleaving scheduler that multiplexes N tenants' translation
+/// streams onto one NPU's translation front end under a pluggable
+/// [`ServingPolicy`] (round-robin by default — the historical behaviour,
+/// bit-identical to the original rotation).
 #[derive(Debug, Clone)]
 pub struct TenantScheduler {
     config: MultiTenantConfig,
+    policy: ServingPolicy,
+    /// Per-tenant WFQ weights (tenant-indexed; missing entries default to 1).
+    weights: Vec<u64>,
 }
 
 impl TenantScheduler {
-    /// Creates a scheduler with the given configuration.
+    /// Creates a round-robin scheduler with the given configuration.
     #[must_use]
     pub fn new(config: MultiTenantConfig) -> Self {
-        TenantScheduler { config }
+        TenantScheduler {
+            config,
+            policy: ServingPolicy::RoundRobin,
+            weights: Vec::new(),
+        }
+    }
+
+    /// Overrides the scheduling policy (round-robin if never called).
+    #[must_use]
+    pub fn with_policy(mut self, policy: ServingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets per-tenant weighted-fair weights (tenant-indexed; missing entries
+    /// default to 1; only read by [`ServingPolicy::WeightedFair`]).
+    #[must_use]
+    pub fn with_weights(mut self, weights: Vec<u64>) -> Self {
+        self.weights = weights;
+        self
     }
 
     /// The scheduler's configuration.
     #[must_use]
     pub fn config(&self) -> &MultiTenantConfig {
         &self.config
+    }
+
+    /// The scheduler's policy.
+    #[must_use]
+    pub fn policy(&self) -> ServingPolicy {
+        self.policy
     }
 
     /// Runs the tenant mix to completion and returns per-tenant counters.
@@ -384,45 +490,20 @@ impl TenantScheduler {
         for spec in tenants {
             let asid = registry.create(format!("tenant-{}", spec.label()));
             let space = registry.get_mut(asid).expect("just created");
-            // Every tenant draws frames from its own backing pool: physical
-            // frame identity never affects timing, and a private pool keeps a
-            // tenant's layout independent of who else is scheduled.
-            let mut memory =
-                PhysicalMemory::new(&[NodeSpec::new(config.node, config.memory_capacity_bytes)]);
-            let layers = DenseWorkload::new(spec.workload).layers(spec.batch);
-            let seg_opts = SegmentOptions::new(config.node, config.mmu.page_size);
-            let dma = DmaEngine::new(config.npu.dma);
-            let mut fetches = Vec::new();
-            for (layer_index, layer) in layers.iter().enumerate() {
-                let plan = TilingPlan::for_layer(layer, &config.npu)?;
-                let ia_seg = space.alloc_segment(
-                    format!("l{layer_index}_{}_ia", layer.name()),
-                    plan.ia_segment_bytes().max(1),
-                    seg_opts,
-                    &mut memory,
-                )?;
-                let w_seg = space.alloc_segment(
-                    format!("l{layer_index}_{}_w", layer.name()),
-                    plan.w_segment_bytes().max(1),
-                    seg_opts,
-                    &mut memory,
-                )?;
-                for tile in plan.tiles() {
-                    if let Some(fetch) = tile.ia_fetch {
-                        fetches.push((ia_seg.start().raw(), fetch));
-                    }
-                    if let Some(fetch) = tile.w_fetch {
-                        fetches.push((w_seg.start().raw(), fetch));
-                    }
-                }
-            }
-            streams.push(TenantStream {
-                dma,
+            let fetches = map_tenant_fetches(
+                space,
+                spec.workload,
+                spec.batch,
+                &config.npu,
+                config.node,
+                config.memory_capacity_bytes,
+                config.mmu.page_size,
+            )?;
+            streams.push(TenantStream::new(
+                DmaEngine::new(config.npu.dma),
                 fetches,
-                next_fetch: 0,
-                current: None,
-                pending: None,
-            });
+                false,
+            ));
             stats.push(TenantStats::new(asid));
         }
 
@@ -439,19 +520,47 @@ impl TenantScheduler {
             clocks: vec![0u64; replicas],
         };
 
-        // Round-robin over live tenants, `burst_transactions` per turn. Each
-        // turn consumes its quantum as same-page runs through the
+        // Policy-picked turns over live tenants, `burst_transactions` per
+        // turn. Each turn consumes its quantum as same-page runs through the
         // run-coalesced engine path: runs are clipped to the remaining quota
         // (a run never spans a tenant switch), and a partially replayed run
         // resumes from its suffix — so the request sequence the shared
         // engine observes is exactly the old per-transaction interleaving.
+        // Under the default round-robin policy the cyclic cursor visits live
+        // tenants in exactly the order the original `VecDeque` rotation did
+        // (pop front, serve, push back), so default runs are bit-identical to
+        // the pre-policy scheduler.
         let page_bytes = config.mmu.page_size.bytes();
         // One `tenant/turn` trace span per scheduler turn: the tenant's slice
         // of the shared front end, in simulated cycles, with the number of
         // transactions it got through as the payload.
         let turn_trace = neummu_trace::global().map(|sink| (sink, sink.kind("tenant/turn")));
-        let mut rotation: std::collections::VecDeque<usize> = (0..tenants.len()).collect();
-        while let Some(tenant) = rotation.pop_front() {
+        let mut policy_state = PolicyState::new(self.policy, tenants.len(), &self.weights);
+        let mut live = vec![true; tenants.len()];
+        let mut live_count = tenants.len();
+        let mut depths = vec![0u64; tenants.len()];
+        let mut occupancies = vec![0u64; tenants.len()];
+        while live_count > 0 {
+            if self.policy.needs_depths() {
+                for (tenant, depth) in depths.iter_mut().enumerate() {
+                    *depth = if live[tenant] {
+                        streams[tenant].fetches_remaining()
+                    } else {
+                        0
+                    };
+                }
+            }
+            if self.policy.needs_occupancy() {
+                for (tenant, occupancy) in occupancies.iter_mut().enumerate() {
+                    *occupancy = resources.engines[resources.index_for(tenant)]
+                        .tlb()
+                        .occupancy_of(stats[tenant].asid) as u64;
+                }
+            }
+            let tlb_capacity = resources.engines[0].tlb().capacity() as u64;
+            let tenant = policy_state
+                .pick(&live, &depths, &occupancies, tlb_capacity)
+                .expect("at least one tenant is live");
             use neummu_mmu::AddressTranslator as _;
             let slot = resources.index_for(tenant);
             let asid = stats[tenant].asid;
@@ -527,12 +636,13 @@ impl TenantScheduler {
                     });
                 }
             }
+            policy_state.charge(tenant, consumed);
             if exhausted {
                 stats[tenant].final_tlb_occupancy = resources.engines[resources.index_for(tenant)]
                     .tlb()
                     .occupancy_of(asid) as u64;
-            } else {
-                rotation.push_back(tenant);
+                live[tenant] = false;
+                live_count -= 1;
             }
         }
 

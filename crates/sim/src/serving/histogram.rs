@@ -1,0 +1,226 @@
+//! Exact integer latency histograms and non-interpolated percentiles.
+//!
+//! SLO reporting lives and dies on its tails: an interpolated p99.9 from a
+//! bucketed histogram can under-report the worst observed latency by an
+//! arbitrary factor. This histogram therefore keeps **exact** integer cycle
+//! counts (a `BTreeMap<latency, count>` — ordered, so traversal is
+//! deterministic and D001-clean) and reports the *nearest-rank* percentile:
+//! `P(q)` is the `⌈q·N⌉`-th smallest observed value, computed with integer
+//! arithmetic for the named SLO percentiles (p50/p99/p99.9) so no float
+//! rounding can shift a rank. Every reported percentile is a latency that
+//! actually occurred.
+
+use std::collections::BTreeMap;
+
+/// An exact latency histogram over integer cycle counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: BTreeMap<u64, u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, latency_cycles: u64) {
+        *self.counts.entry(latency_cycles).or_insert(0) += 1;
+        self.total += 1;
+        self.sum += u128::from(latency_cycles);
+        self.max = self.max.max(latency_cycles);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Largest recorded observation (`0` when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded observations (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.total as f64)
+        }
+    }
+
+    /// The `rank`-th smallest observation (1-based). `None` if `rank` is zero
+    /// or exceeds the observation count.
+    #[must_use]
+    pub fn nearest_rank(&self, rank: u64) -> Option<u64> {
+        if rank == 0 || rank > self.total {
+            return None;
+        }
+        let mut seen = 0u64;
+        for (&latency, &count) in &self.counts {
+            seen += count;
+            if seen >= rank {
+                return Some(latency);
+            }
+        }
+        unreachable!("counts sum to total, so some prefix covers every valid rank")
+    }
+
+    /// Nearest-rank percentile with an integer-rational quantile
+    /// `numerator/denominator` (e.g. `999/1000` for p99.9): the
+    /// `⌈N·num/den⌉`-th smallest observation, exactly — never interpolated,
+    /// never a value that was not observed. `None` when the histogram is
+    /// empty or the quantile is malformed (zero denominator or a quantile
+    /// above one).
+    #[must_use]
+    pub fn percentile_exact(&self, numerator: u64, denominator: u64) -> Option<u64> {
+        if denominator == 0 || numerator > denominator {
+            return None;
+        }
+        if self.total == 0 {
+            return None;
+        }
+        // ⌈total·num/den⌉ in u128 (no overflow for any u64 inputs), clamped
+        // to rank 1 so p0 reads the minimum rather than nothing.
+        let scaled = u128::from(self.total) * u128::from(numerator);
+        let rank = scaled.div_ceil(u128::from(denominator)).max(1) as u64;
+        self.nearest_rank(rank)
+    }
+
+    /// Median (nearest-rank p50).
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile_exact(50, 100)
+    }
+
+    /// Nearest-rank p99.
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile_exact(99, 100)
+    }
+
+    /// Nearest-rank p99.9 — the SLO tail. With fewer than 1000 observations
+    /// this is the maximum (the ⌈0.999·N⌉-th value is the last one), which is
+    /// the honest answer: the observed worst case.
+    #[must_use]
+    pub fn p999(&self) -> Option<u64> {
+        self.percentile_exact(999, 1000)
+    }
+
+    /// Iterates `(latency, count)` in increasing latency order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .map(|(&latency, &count)| (latency, count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn histogram(values: &[u64]) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn empty_histogram_reports_none_everywhere() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.p999(), None);
+        assert_eq!(h.nearest_rank(1), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        // Regression: with one sample, every quantile — including the deep
+        // tail — must be that sample, not an interpolation artifact.
+        let h = histogram(&[37]);
+        assert_eq!(h.p50(), Some(37));
+        assert_eq!(h.p99(), Some(37));
+        assert_eq!(h.p999(), Some(37));
+        assert_eq!(h.max(), 37);
+        assert_eq!(h.mean(), Some(37.0));
+    }
+
+    #[test]
+    fn two_samples_split_median_low_tail_high() {
+        // Regression: nearest-rank p50 of {10, 90} is the 1st value (⌈0.5·2⌉
+        // = rank 1), and every tail percentile is the 2nd — never 50, which
+        // an interpolating implementation would invent.
+        let h = histogram(&[90, 10]);
+        assert_eq!(h.p50(), Some(10));
+        assert_eq!(h.p99(), Some(90));
+        assert_eq!(h.p999(), Some(90));
+    }
+
+    #[test]
+    fn all_equal_stream_collapses_every_percentile() {
+        // Regression: a constant latency stream has exactly one honest
+        // answer for every quantile.
+        let h = histogram(&[5; 1234]);
+        assert_eq!(h.total(), 1234);
+        assert_eq!(h.p50(), Some(5));
+        assert_eq!(h.p99(), Some(5));
+        assert_eq!(h.p999(), Some(5));
+        assert_eq!(h.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn nearest_rank_is_exact_on_a_known_ladder() {
+        // 1000 distinct values 1..=1000: percentile ranks are transparent.
+        let values: Vec<u64> = (1..=1000).collect();
+        let h = histogram(&values);
+        assert_eq!(h.p50(), Some(500));
+        assert_eq!(h.p99(), Some(990));
+        assert_eq!(h.p999(), Some(999));
+        assert_eq!(h.percentile_exact(1, 1), Some(1000));
+        assert_eq!(
+            h.percentile_exact(0, 1),
+            Some(1),
+            "p0 clamps to the minimum"
+        );
+        assert_eq!(h.nearest_rank(0), None);
+        assert_eq!(h.nearest_rank(1001), None);
+    }
+
+    #[test]
+    fn reported_percentiles_are_observed_values() {
+        // Percentiles of a gappy distribution land on observed values only.
+        let h = histogram(&[1, 1, 1, 1000]);
+        assert_eq!(h.p50(), Some(1));
+        assert_eq!(h.p99(), Some(1000));
+        let all: Vec<(u64, u64)> = h.iter().collect();
+        assert_eq!(all, vec![(1, 3), (1000, 1)]);
+    }
+
+    #[test]
+    fn malformed_quantiles_are_rejected() {
+        let h = histogram(&[1, 2, 3]);
+        assert_eq!(h.percentile_exact(3, 2), None, "quantile above one");
+        assert_eq!(h.percentile_exact(1, 0), None, "zero denominator");
+    }
+}

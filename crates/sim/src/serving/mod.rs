@@ -1,0 +1,556 @@
+//! Open-loop datacenter serving on one shared translation front end.
+//!
+//! The closed-loop [`crate::multi_tenant`] scheduler runs every tenant's
+//! stream to completion as fast as the hardware allows. A datacenter does not
+//! get that luxury: requests arrive when users send them ("heavy traffic from
+//! millions of users" — the ROADMAP's north star), queue at the front end,
+//! and either meet their latency SLO or don't. This module is that serving
+//! leg, built as three orthogonal pieces plus a simulator that composes them:
+//!
+//! * [`arrivals`] — deterministic seeded arrival-time generators (Poisson,
+//!   bursty, diurnal), one ChaCha8 stream per tenant;
+//! * [`queue`] — bounded per-tenant admission queues with drop/defer
+//!   overflow accounting and a conservation law the proptests lock;
+//! * [`policy`] — pluggable tenant-scheduling policies (round-robin,
+//!   weighted-fair, burst-quantum preemption, TLB-occupancy-aware
+//!   throttling) shared with the closed-loop scheduler;
+//! * [`histogram`] — exact integer latency histograms with non-interpolated
+//!   nearest-rank percentiles (p50/p99/p99.9 — the SLO numbers).
+//!
+//! The [`ServingSimulator`] drives admitted requests through the **same**
+//! tagged, run-coalesced translation path as every other simulator in this
+//! repo (one shared [`TranslationEngine`], one shared DRAM bandwidth
+//! server): a request is a fixed-length slice of its tenant's cyclic DMA
+//! tile-fetch stream — each inference re-touches the model's operands at the
+//! same virtual addresses — so IOTLB reach, PRMB merging and walker
+//! bandwidth shape the tail latencies exactly as they do the closed-loop
+//! figures. Everything is deterministic: identical configs produce
+//! bit-identical results on every thread count.
+//!
+//! [`TranslationEngine`]: neummu_mmu::TranslationEngine
+
+pub mod arrivals;
+pub mod histogram;
+pub mod policy;
+pub mod queue;
+
+pub use arrivals::{derive_seed, ArrivalConfig, ArrivalShape};
+pub use histogram::LatencyHistogram;
+pub use policy::{PolicyState, ServingPolicy};
+pub use queue::{AdmissionQueue, OverflowPolicy, QueueStats, Request};
+
+use serde::{Deserialize, Serialize};
+
+use neummu_mem::dram::{DramConfig, DramModel};
+use neummu_mmu::{MmuConfig, MmuKind, TranslationEngine, TranslationSource};
+use neummu_npu::{DmaEngine, NpuConfig};
+use neummu_vmem::{AddressSpaceRegistry, MemNode, VirtAddr};
+use neummu_workloads::WorkloadId;
+
+use crate::error::SimError;
+use crate::multi_tenant::{map_tenant_fetches, TenantStats, TenantStream};
+
+/// One tenant of a serving run: a model, a scheduling weight and an arrival
+/// process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingTenantSpec {
+    /// The model the tenant serves.
+    pub workload: WorkloadId,
+    /// Batch size of one inference request.
+    pub batch: u64,
+    /// Weighted-fair scheduling weight (≥ 1; only read by
+    /// [`ServingPolicy::WeightedFair`]).
+    pub weight: u64,
+    /// The tenant's arrival process.
+    pub arrivals: ArrivalConfig,
+}
+
+impl ServingTenantSpec {
+    /// Human-readable `workload/batch` label (figure notation).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}/b{:02}", self.workload.label(), self.batch)
+    }
+}
+
+/// Configuration of an open-loop serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingConfig {
+    /// MMU design point of the shared translation engine (must be
+    /// cycle-accounted; [`MmuKind::Oracle`] is rejected).
+    pub mmu: MmuConfig,
+    /// NPU architecture parameters (tiling, DMA transaction size).
+    pub npu: NpuConfig,
+    /// Shared local memory system parameters.
+    pub dram: DramConfig,
+    /// Memory node the tenants' operands live on.
+    pub node: MemNode,
+    /// Backing capacity allocated to each tenant's operands.
+    pub memory_capacity_bytes: u64,
+    /// Service quantum: DMA transactions a tenant's request is granted before
+    /// the policy re-picks.
+    pub burst_transactions: u64,
+    /// DMA transactions constituting one inference request (a fixed-length
+    /// slice of the tenant's cyclic tile-fetch stream).
+    pub txns_per_request: u64,
+    /// Bounded admission-queue depth per tenant.
+    pub queue_depth: usize,
+    /// What a full queue does with a new arrival.
+    pub overflow: OverflowPolicy,
+    /// Tenant-scheduling policy.
+    pub policy: ServingPolicy,
+    /// Cycles between queue-depth timeline samples.
+    pub queue_sample_interval: u64,
+}
+
+impl ServingConfig {
+    /// The paper's default setup (TPU-like NPU, Table I memory system) with
+    /// the given MMU design point, round-robin scheduling, 64-transaction
+    /// quanta, 128-transaction requests and depth-64 dropping queues.
+    #[must_use]
+    pub fn with_mmu(mmu: MmuConfig) -> Self {
+        ServingConfig {
+            mmu,
+            npu: NpuConfig::tpu_like(),
+            dram: DramConfig::table1(),
+            node: MemNode::Npu(0),
+            memory_capacity_bytes: 64 << 30,
+            burst_transactions: 64,
+            txns_per_request: 128,
+            queue_depth: 64,
+            overflow: OverflowPolicy::Drop,
+            policy: ServingPolicy::RoundRobin,
+            queue_sample_interval: 1 << 16,
+        }
+    }
+
+    /// Overrides the scheduling policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: ServingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the service quantum.
+    #[must_use]
+    pub fn with_burst(mut self, burst_transactions: u64) -> Self {
+        self.burst_transactions = burst_transactions;
+        self
+    }
+
+    /// Overrides the request size in DMA transactions.
+    #[must_use]
+    pub fn with_txns_per_request(mut self, txns_per_request: u64) -> Self {
+        self.txns_per_request = txns_per_request;
+        self
+    }
+
+    /// Overrides the bounded queue depth.
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth;
+        self
+    }
+
+    /// Overrides the overflow policy.
+    #[must_use]
+    pub fn with_overflow(mut self, overflow: OverflowPolicy) -> Self {
+        self.overflow = overflow;
+        self
+    }
+
+    /// Overrides the queue-depth sampling interval.
+    #[must_use]
+    pub fn with_sample_interval(mut self, queue_sample_interval: u64) -> Self {
+        self.queue_sample_interval = queue_sample_interval;
+        self
+    }
+}
+
+/// Per-tenant outcome of one serving run: translation counters, queue
+/// accounting, exact latency histograms and the completion order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantServingStats {
+    /// Translation-path counters (shared with the closed-loop scheduler).
+    pub translation: TenantStats,
+    /// Admission-queue accounting.
+    pub queue: QueueStats,
+    /// Exact sojourn latency (arrival → last data byte) per completed
+    /// request — the end-to-end SLO histogram.
+    pub sojourn: LatencyHistogram,
+    /// Exact translation-stall cycles per completed request (the accept-minus
+    /// -issue stalls its transactions accumulated) — the MMU's share of the
+    /// tail.
+    pub stall: LatencyHistogram,
+    /// Arrival sequence numbers in completion order (FIFO service must keep
+    /// this strictly increasing — a proptest-locked invariant).
+    pub completion_order: Vec<u64>,
+}
+
+/// One sample of the queue-depth timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueueDepthSample {
+    /// Sample cycle.
+    pub cycle: u64,
+    /// Requests waiting across all tenants (bounded queues + spillover).
+    pub waiting_total: u64,
+    /// Deepest single tenant's waiting count at the sample.
+    pub waiting_max: u64,
+}
+
+/// The outcome of one open-loop serving run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingResult {
+    /// Tenant specs, in ASID order.
+    pub tenants: Vec<ServingTenantSpec>,
+    /// Per-tenant outcomes, in ASID order.
+    pub stats: Vec<TenantServingStats>,
+    /// Queue-depth timeline (samples every
+    /// [`ServingConfig::queue_sample_interval`] cycles while the run is
+    /// busy).
+    pub timeline: Vec<QueueDepthSample>,
+    /// Cycle at which the last completed request's data arrived.
+    pub makespan_cycles: u64,
+}
+
+impl ServingResult {
+    /// Completed requests across all tenants.
+    #[must_use]
+    pub fn completed_requests(&self) -> u64 {
+        self.stats.iter().map(|s| s.queue.completed).sum()
+    }
+
+    /// Offered requests across all tenants.
+    #[must_use]
+    pub fn offered_requests(&self) -> u64 {
+        self.stats.iter().map(|s| s.queue.offered).sum()
+    }
+
+    /// Goodput: completed requests per million cycles of makespan.
+    #[must_use]
+    pub fn goodput_per_mcycle(&self) -> f64 {
+        if self.makespan_cycles == 0 {
+            return 0.0;
+        }
+        self.completed_requests() as f64 * 1e6 / self.makespan_cycles as f64
+    }
+}
+
+/// One tenant's live state during the run.
+struct TenantLane {
+    stream: TenantStream,
+    arrivals: Vec<u64>,
+    next_arrival: usize,
+    queue: AdmissionQueue,
+    /// `(request, transactions left, latest data-ready cycle, stall cycles)`.
+    in_service: Option<(Request, u64, u64, u64)>,
+}
+
+impl TenantLane {
+    fn runnable(&self) -> bool {
+        self.in_service.is_some() || self.queue.depth() > 0
+    }
+
+    /// The tenant's next not-yet-offered arrival time, if any.
+    fn next_arrival_cycle(&self) -> Option<u64> {
+        self.arrivals.get(self.next_arrival).copied()
+    }
+}
+
+/// The open-loop serving simulator: arrivals → admission queues → policy →
+/// one shared run-coalesced translation engine.
+#[derive(Debug, Clone)]
+pub struct ServingSimulator {
+    config: ServingConfig,
+}
+
+impl ServingSimulator {
+    /// Creates a simulator with the given configuration.
+    #[must_use]
+    pub fn new(config: ServingConfig) -> Self {
+        ServingSimulator { config }
+    }
+
+    /// The simulator's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    fn validate(&self, tenants: &[ServingTenantSpec]) -> Result<(), SimError> {
+        let config = &self.config;
+        let invalid = |reason: String| Err(SimError::InvalidConfig { reason });
+        if tenants.is_empty() {
+            return invalid("a serving run needs at least one tenant".to_string());
+        }
+        if config.burst_transactions == 0 {
+            return invalid("service quantum must be at least one transaction".to_string());
+        }
+        if config.txns_per_request == 0 {
+            return invalid("a request must span at least one transaction".to_string());
+        }
+        if config.queue_depth == 0 {
+            return invalid("admission queue depth must be at least 1".to_string());
+        }
+        if config.queue_sample_interval == 0 {
+            return invalid("queue sample interval must be at least one cycle".to_string());
+        }
+        if config.mmu.kind == MmuKind::Oracle {
+            return invalid(
+                "the serving simulator models contention on a cycle-accounted engine; \
+                 the oracular MMU has nothing to contend for"
+                    .to_string(),
+            );
+        }
+        config.npu.validate()?;
+        for spec in tenants {
+            spec.arrivals.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Runs the open-loop serving simulation: generates every tenant's
+    /// arrival sequence, admits arrivals through the bounded queues, lets the
+    /// policy hand out service quanta on the shared engine, and drains the
+    /// queues after the last arrival. Deterministic: the result is a pure
+    /// function of the configuration and tenant specs.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidConfig`] for an empty tenant list, zero
+    ///   quantum/request/queue/sampling parameters, an oracular MMU, or an
+    ///   invalid arrival config (NaN or non-positive rates are rejected here
+    ///   rather than looping forever).
+    /// * Propagates tiling and mapping errors.
+    #[allow(clippy::too_many_lines)]
+    pub fn run(&self, tenants: &[ServingTenantSpec]) -> Result<ServingResult, SimError> {
+        use neummu_mmu::AddressTranslator as _;
+        let config = &self.config;
+        self.validate(tenants)?;
+
+        // Per-tenant address spaces, cyclic fetch streams, arrival sequences
+        // and admission queues.
+        let mut registry = AddressSpaceRegistry::new();
+        let mut lanes = Vec::with_capacity(tenants.len());
+        let mut stats = Vec::with_capacity(tenants.len());
+        for spec in tenants {
+            let asid = registry.create(format!("serving-{}", spec.label()));
+            let space = registry.get_mut(asid).expect("just created");
+            let fetches = map_tenant_fetches(
+                space,
+                spec.workload,
+                spec.batch,
+                &config.npu,
+                config.node,
+                config.memory_capacity_bytes,
+                config.mmu.page_size,
+            )?;
+            lanes.push(TenantLane {
+                stream: TenantStream::new(DmaEngine::new(config.npu.dma), fetches, true),
+                arrivals: spec.arrivals.generate()?,
+                next_arrival: 0,
+                queue: AdmissionQueue::new(config.queue_depth, config.overflow),
+                in_service: None,
+            });
+            stats.push(TenantServingStats {
+                translation: TenantStats::new(asid),
+                queue: QueueStats::default(),
+                sojourn: LatencyHistogram::new(),
+                stall: LatencyHistogram::new(),
+                completion_order: Vec::new(),
+            });
+        }
+
+        let mut engine = TranslationEngine::new(config.mmu);
+        let mut dram = DramModel::new(config.dram);
+        let tlb_capacity = engine.tlb().capacity() as u64;
+        let page_bytes = config.mmu.page_size.bytes();
+        let weights: Vec<u64> = tenants.iter().map(|t| t.weight).collect();
+        let mut policy_state = PolicyState::new(config.policy, tenants.len(), &weights);
+        let mut depths = vec![0u64; tenants.len()];
+        let mut occupancies = vec![0u64; tenants.len()];
+        let mut runnable = vec![false; tenants.len()];
+        let mut timeline = Vec::new();
+        // One `serving/turn` trace span per granted quantum, mirroring the
+        // closed-loop scheduler's `tenant/turn` spans.
+        let turn_trace = neummu_trace::global().map(|sink| (sink, sink.kind("serving/turn")));
+
+        let mut now = 0u64;
+        let mut next_sample = 0u64;
+        loop {
+            // Admit every arrival at or before the current cycle. A tenant
+            // waking from idle catches its WFQ virtual service up to the
+            // global virtual time (no retroactive credit for idling).
+            for (tenant, lane) in lanes.iter_mut().enumerate() {
+                let was_runnable = lane.runnable();
+                let mut seq = lane.queue.stats().offered;
+                while lane.next_arrival_cycle().is_some_and(|cycle| cycle <= now) {
+                    let arrival_cycle = lane.arrivals[lane.next_arrival];
+                    lane.next_arrival += 1;
+                    lane.queue.offer(Request { seq, arrival_cycle });
+                    seq += 1;
+                }
+                if !was_runnable && lane.runnable() {
+                    policy_state.note_backlogged(tenant);
+                }
+            }
+
+            // Queue-depth timeline sample.
+            if now >= next_sample {
+                let mut waiting_total = 0u64;
+                let mut waiting_max = 0u64;
+                for lane in &lanes {
+                    let waiting = lane.queue.waiting();
+                    waiting_total += waiting;
+                    waiting_max = waiting_max.max(waiting);
+                }
+                timeline.push(QueueDepthSample {
+                    cycle: now,
+                    waiting_total,
+                    waiting_max,
+                });
+                next_sample = now + config.queue_sample_interval;
+            }
+
+            // Find someone to serve, or jump the clock to the next arrival,
+            // or finish.
+            for (tenant, lane) in lanes.iter().enumerate() {
+                runnable[tenant] = lane.runnable();
+            }
+            if !runnable.iter().any(|&r| r) {
+                let Some(next) = lanes
+                    .iter()
+                    .filter_map(TenantLane::next_arrival_cycle)
+                    .min()
+                else {
+                    break; // All arrivals offered, all queues drained: done.
+                };
+                now = now.max(next);
+                continue;
+            }
+            if config.policy.needs_depths() {
+                for (tenant, lane) in lanes.iter().enumerate() {
+                    depths[tenant] = lane.queue.waiting() + u64::from(lane.in_service.is_some());
+                }
+            }
+            if config.policy.needs_occupancy() {
+                for (tenant, occupancy) in occupancies.iter_mut().enumerate() {
+                    *occupancy = engine.tlb().occupancy_of(stats[tenant].translation.asid) as u64;
+                }
+            }
+            let tenant = policy_state
+                .pick(&runnable, &depths, &occupancies, tlb_capacity)
+                .expect("a runnable tenant exists");
+
+            // Serve one quantum of the tenant's head request.
+            let lane = &mut lanes[tenant];
+            let tenant_stats = &mut stats[tenant];
+            let asid = tenant_stats.translation.asid;
+            if lane.in_service.is_none() {
+                let request = lane.queue.pop_for_service().expect("runnable tenant");
+                lane.in_service = Some((request, config.txns_per_request, 0, 0));
+            }
+            let space = registry.get(asid).expect("registered above");
+            let page_table = space.page_table();
+            let turn_start = now;
+            let (_, txns_left, _, _) = lane.in_service.expect("set above");
+            let mut quota = config.burst_transactions.min(txns_left);
+            let granted = quota;
+            while quota > 0 {
+                let (base, run) = lane
+                    .stream
+                    .next_run(quota, page_bytes)
+                    .expect("cyclic streams never run dry");
+                let issue = now;
+                let va = VirtAddr::new(base + run.first.offset);
+                let out = engine.translate_run_tagged(page_table, asid, va, run.txn_count, issue);
+                let translation = &mut tenant_stats.translation;
+                translation.requests += out.consumed;
+                translation.stall_cycles += out.first.accept_cycle - issue;
+                for (source, requests) in
+                    [(out.first.source, 1), (out.replay_source, out.replayed())]
+                {
+                    if requests == 0 {
+                        continue;
+                    }
+                    match source {
+                        TranslationSource::TlbHit => translation.tlb_hits += requests,
+                        TranslationSource::Merged => translation.merged += requests,
+                        TranslationSource::PageWalk { levels_read } => {
+                            translation.walks += requests;
+                            translation.walk_levels_read += requests * u64::from(levels_read);
+                        }
+                        TranslationSource::Oracle => unreachable!("oracle configs are rejected"),
+                    }
+                }
+                if out.first.fault {
+                    translation.faults += 1;
+                }
+                if out.replay_fault {
+                    translation.faults += out.replayed();
+                }
+                now = out.last_accept() + 1;
+                let scheduled = run.prefix(out.consumed);
+                let data_ready = dram.schedule_run(
+                    out.first.complete_cycle,
+                    out.complete_stride,
+                    scheduled.txn_count,
+                    scheduled.first.bytes,
+                    scheduled.interior_txn_bytes(),
+                    scheduled.txn_len(scheduled.txn_count - 1),
+                );
+                translation.completion_cycle = translation.completion_cycle.max(data_ready);
+                let (_, txns_left, ready_max, stall) =
+                    lane.in_service.as_mut().expect("in service");
+                *txns_left -= out.consumed;
+                *ready_max = (*ready_max).max(data_ready);
+                *stall += out.first.accept_cycle - issue;
+                quota -= out.consumed;
+                if out.consumed < run.txn_count {
+                    lane.stream.push_back(base, run.suffix(out.consumed));
+                }
+            }
+            let (request, txns_left, ready_max, stall) = lane.in_service.expect("in service");
+            if txns_left == 0 {
+                lane.in_service = None;
+                lane.queue.complete();
+                tenant_stats
+                    .sojourn
+                    .record(ready_max.saturating_sub(request.arrival_cycle));
+                tenant_stats.stall.record(stall);
+                tenant_stats.completion_order.push(request.seq);
+            }
+            policy_state.charge(tenant, granted - quota);
+            if let Some((sink, kind)) = turn_trace {
+                let consumed = granted - quota;
+                if consumed > 0 {
+                    sink.emit(neummu_trace::Event {
+                        kind,
+                        asid: asid.raw(),
+                        start: turn_start,
+                        end: now,
+                        payload: consumed,
+                    });
+                }
+            }
+        }
+
+        // Final bookkeeping: queue counters and capacity shares.
+        for (lane, tenant_stats) in lanes.iter().zip(&mut stats) {
+            tenant_stats.queue = lane.queue.stats();
+            tenant_stats.translation.final_tlb_occupancy =
+                engine.tlb().occupancy_of(tenant_stats.translation.asid) as u64;
+        }
+        let makespan_cycles = stats
+            .iter()
+            .map(|s| s.translation.completion_cycle)
+            .max()
+            .unwrap_or(0);
+        Ok(ServingResult {
+            tenants: tenants.to_vec(),
+            stats,
+            timeline,
+            makespan_cycles,
+        })
+    }
+}

@@ -52,6 +52,27 @@ fn aggregated_experiments_are_identical_across_thread_counts() {
 }
 
 #[test]
+fn serving_sweep_is_identical_across_thread_counts() {
+    // The open-loop serving family joins the byte-identical-artifacts
+    // contract: its per-tenant SLO rows, goodput points and queue-depth
+    // timelines are a pure function of the configuration, not the schedule.
+    use neummu_sim::experiments::serving;
+    let serial = serving::serving_sweep_on(&ExperimentRunner::new(1), SMOKE).unwrap();
+    let parallel = serving::serving_sweep_on(&ExperimentRunner::new(4), SMOKE).unwrap();
+    assert_eq!(serial, parallel);
+    assert_eq!(
+        serde_json::to_string_pretty(&serial).unwrap(),
+        serde_json::to_string_pretty(&parallel).unwrap(),
+        "serving_sweep.json must not depend on the thread count"
+    );
+    assert_eq!(serial.slo_table().to_csv(), parallel.slo_table().to_csv());
+    assert_eq!(
+        serial.goodput_table().to_markdown(),
+        parallel.goodput_table().to_markdown()
+    );
+}
+
+#[test]
 fn memoized_oracle_equals_direct_oracle_simulation() {
     let runner = ExperimentRunner::new(4);
     let npu = NpuConfig::tpu_like();

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Records the perf trajectory of the translation hot path into a JSON file
-# (default BENCH_PR8.json): per-request translate latency from the
+# (default BENCH_PR9.json): per-request translate latency from the
 # mmu_microbench Criterion targets — including the ASID-tagged multi-tenant
-# burst stream and the run-coalesced burst path (one TLB touch per distinct
-# page) next to its per-transaction counterpart — plus the wall-clock time of
-# a full-scale serial artifact regeneration, run four ways:
+# burst stream, the run-coalesced burst path (one TLB touch per distinct
+# page) next to its per-transaction counterpart, and the end-to-end open-loop
+# serving leg (arrivals -> admission queues -> policy -> shared engine,
+# ns per completed request) — plus the wall-clock time of a full-scale serial
+# artifact regeneration (which now includes the serving family), run four
+# ways:
 #
 #   * tracing off (the plain reference),
 #   * `--profile-trace` on (`trace_overhead_pct` = what tracing costs),
@@ -17,7 +20,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR8.json}"
+out="${1:-BENCH_PR9.json}"
 
 echo "building release binaries..." >&2
 cargo build --release >&2
@@ -45,6 +48,7 @@ walk_ns="$(ns_per_elem 'page_table/walk_4k_mapped')"
 oracle_ns="$(ns_per_elem 'oracle/memoized_burst_stream')"
 multi_tenant_ns="$(ns_per_elem 'translation_engine/multi_tenant_4asid_burst64')"
 run_coalesced_ns="$(ns_per_elem 'translation_engine/run_coalesced_burst')"
+serving_request_ns="$(ns_per_elem 'serving/open_loop_smoke_rr')"
 
 # Times one full-scale serial regeneration; extra flags via "$@".
 timed_regen_once() {
@@ -121,6 +125,7 @@ cat > "$out" <<EOF
     "walk": ${walk_ns}
   },
   "oracle_memoized_ns_per_req": ${oracle_ns},
+  "serving_request_ns": ${serving_request_ns},
   "full_scale_regen_serial_seconds": ${regen_s},
   "full_scale_regen_traced_seconds": ${traced_regen_s},
   "trace_overhead_pct": ${trace_overhead_pct},
