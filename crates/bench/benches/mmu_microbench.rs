@@ -10,8 +10,8 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use neummu_mmu::{
-    AddressTranslator, MmuConfig, Tlb, TranslationEngine, TranslationPathCache,
-    UnifiedPageTableCache, WalkCache, WalkerPool,
+    AddressTranslator, DeviceFaultConfig, MmuConfig, ResilienceConfig, Tlb, TranslationEngine,
+    TranslationPathCache, UnifiedPageTableCache, WalkCache, WalkerPool,
 };
 use neummu_vmem::{MemNode, PageSize, PageTable, PathTag, PhysFrameNum, VirtAddr};
 
@@ -290,6 +290,45 @@ fn bench_multi_tenant_translation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_fault_storm_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resilience");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    let pages = 2048u64;
+    let pt = streaming_table(pages);
+    // The `translation_engine/neummu` burst again, but through an engine
+    // whose fault plan injects on 10% of walks with the full recovery stack
+    // armed (retry + watchdog + quarantine + retransmit). The ns/req figure
+    // is the cost of translating *through* a fault storm — the
+    // `resilience_recovery_ns` datapoint `scripts/record_bench.sh` records.
+    // The `disarmed_plan` companion runs a zero-rate plan over the same
+    // stream: its gap to `translation_engine/neummu` is the whole price of
+    // the fault gate when faults are configured but never fire.
+    let requests: Vec<VirtAddr> = (0..pages * 8)
+        .map(|i| VirtAddr::new(0x10_0000_0000 + i * 512))
+        .collect();
+    group.throughput(Throughput::Elements(requests.len() as u64));
+    for (name, rate) in [("fault_storm_recovery", 0.1), ("disarmed_plan", 0.0)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut engine = TranslationEngine::with_faults(
+                    MmuConfig::neummu(),
+                    DeviceFaultConfig::uniform(0x5EED, rate),
+                    ResilienceConfig::all_on(),
+                )
+                .unwrap();
+                let mut cycle = 0u64;
+                for va in &requests {
+                    let outcome = engine.translate(&pt, black_box(*va), cycle);
+                    cycle = outcome.accept_cycle + 1;
+                }
+                engine.stats().walks
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_serving_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("serving");
     group.warm_up_time(Duration::from_millis(500));
@@ -332,6 +371,7 @@ criterion_group!(
     bench_translation_engine_burst,
     bench_run_coalesced_burst,
     bench_multi_tenant_translation,
+    bench_fault_storm_recovery,
     bench_serving_throughput
 );
 criterion_main!(benches);

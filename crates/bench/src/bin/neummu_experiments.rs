@@ -13,7 +13,8 @@
 //! * `--only` restricts the run to a comma-separated list of experiment ids
 //!   (`table1`, `fig06`, `fig07`, `fig08`, `fig10`, `fig11`, `fig12a`,
 //!   `fig12b`, `fig13`, `fig14`, `mmu_cache`, `summary`, `largepage`,
-//!   `spatial`, `sensitivity`, `fig15`, `fig16`, `multitenant`, `serving`).
+//!   `spatial`, `sensitivity`, `fig15`, `fig16`, `multitenant`, `serving`,
+//!   `resilience`).
 //! * `--threads` sets the worker-thread count of the experiment runner
 //!   (default: the machine's available parallelism; `1` forces the serial
 //!   reference schedule). Artifacts are byte-identical for every thread
@@ -45,8 +46,8 @@ use std::time::Instant;
 
 use neummu_bench::{commit_family, family_key, restore_family, ExperimentArtifacts};
 use neummu_sim::experiments::{
-    characterization, mmu_cache_study, multi_tenant, performance, recommender, serving, table1,
-    ExperimentScale,
+    characterization, mmu_cache_study, multi_tenant, performance, recommender, resilience, serving,
+    table1, ExperimentScale,
 };
 use neummu_sim::ExperimentRunner;
 use neummu_store::Store;
@@ -436,6 +437,26 @@ fn run_all(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
                     result.counters_table(),
                     artifacts,
                 )
+            },
+        )?;
+    }
+
+    if wants(options, "resilience") {
+        family(
+            store,
+            scale.label(),
+            "resilience",
+            &mut artifacts,
+            |artifacts| {
+                let result = resilience::resilience_sweep_on(&runner, scale)?;
+                artifacts.json("resilience_sweep", &result)?;
+                emit(
+                    "resilience_availability",
+                    result.availability_table(),
+                    artifacts,
+                )?;
+                emit("resilience_recovery", result.recovery_table(), artifacts)?;
+                emit("resilience_overhead", result.overhead_table(), artifacts)
             },
         )?;
     }

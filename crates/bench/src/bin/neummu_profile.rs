@@ -18,7 +18,13 @@
 //!    `Weight` (the payload sum) is the number of underlying requests.
 //! 3. **Per-tenant activity** — cycle-span events grouped by ASID; in
 //!    multi-tenant runs this splits engine time by tenant.
-//! 4. **Counters** — `count/<name>` payload totals.
+//! 4. **Device faults** — rendered only when the trace contains `fault/*`
+//!    events (a fault-injected run): per `fault/<kind>/<outcome>` event
+//!    counts, total/mean extra cycles (the payload is each fault's recovery
+//!    latency beyond the fault-free walk) and the faulted walks' span tail.
+//!    Fault-free traces never intern the `fault/*` labels, so this section
+//!    is absent and their reports are byte-identical to pre-fault builds.
+//! 5. **Counters** — `count/<name>` payload totals.
 //!
 //! `--dump` instead prints the trace's canonical content lines (sorted,
 //! `wall/` kinds excluded) — the exact byte stream CI diffs across thread
@@ -165,6 +171,40 @@ fn report(options: &Options) -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
     println!("{}", tenants.to_markdown());
+
+    let fault_kinds: Vec<_> = kinds
+        .iter()
+        .filter(|s| s.label.starts_with("fault/"))
+        .collect();
+    if !fault_kinds.is_empty() {
+        let mut faults = ResultTable::new(
+            "Device faults (injected walks by kind/outcome)",
+            &[
+                "Kind",
+                "Events",
+                "Extra cycles",
+                "Mean extra",
+                "Walk span P99",
+                "Walk span max",
+            ],
+        );
+        for stat in &fault_kinds {
+            let mean_extra = if stat.events == 0 {
+                0.0
+            } else {
+                stat.payload_total as f64 / stat.events as f64
+            };
+            faults.push_row(&[
+                stat.label.clone(),
+                stat.events.to_string(),
+                stat.payload_total.to_string(),
+                format!("{mean_extra:.1}"),
+                stat.span_p99.to_string(),
+                stat.span_max.to_string(),
+            ]);
+        }
+        println!("{}", faults.to_markdown());
+    }
 
     let mut counters = ResultTable::new("Counters", &["Counter", "Value"]);
     for stat in kinds.iter().filter(|s| s.class == EventClass::Counter) {

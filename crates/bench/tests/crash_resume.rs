@@ -62,7 +62,7 @@ fn assert_dirs_identical(reference: &Path, candidate: &Path, context: &str) {
     }
 }
 
-const FAMILIES: &str = "table1,fig08,fig12b,multitenant,serving";
+const FAMILIES: &str = "table1,fig08,fig12b,multitenant,serving,resilience";
 
 fn baseline(dir: &Path) -> PathBuf {
     let out = dir.join("baseline");

@@ -171,6 +171,35 @@ fn profile_output_matches_golden() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A trace recorded from a fault-injected run renders the device-fault
+/// section — and the checked-in fault-free golden rendering (asserted above)
+/// proves the section is absent when no `fault/*` labels were interned.
+#[test]
+fn faulted_trace_renders_the_fault_section() {
+    let dir = temp_dir("faults");
+    let trace = dir.join("faulted.trace");
+    run_experiments(&[
+        "--quick",
+        "--only",
+        "resilience",
+        "--out",
+        dir.join("out").to_str().unwrap(),
+        "--profile-trace",
+        trace.to_str().unwrap(),
+    ]);
+    let tables = profile_stdout(&dir, &[trace.to_str().unwrap()]);
+    assert!(
+        tables.contains("### Device faults"),
+        "fault-injected trace did not render the device-fault section"
+    );
+    // Recovered and hung outcomes both appear: the smoke sweep runs the
+    // all-on stack (recovers) and the all-off baseline (livelock-detects).
+    for kind in ["fault/stuck/recovered", "fault/dropped/hung"] {
+        assert!(tables.contains(kind), "no `{kind}` row in the section");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Regenerates `tests/golden/smoke.trace` and the two golden renderings.
 /// Run explicitly after an intentional change (see the module docs).
 #[test]

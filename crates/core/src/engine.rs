@@ -22,6 +22,10 @@ use std::sync::OnceLock;
 use serde::{Deserialize, Serialize};
 
 use neummu_energy::{EnergyEvent, EnergyMeter};
+use neummu_faults::{
+    DeviceFaultConfig, DeviceFaultPlan, FaultCounters, FaultError, InjectedFault, ResilienceConfig,
+    FAULT_KINDS,
+};
 use neummu_vmem::{Asid, PageSize, PageTable, PathTag, VirtAddr, WalkProbe};
 
 use crate::config::{MmuConfig, MmuKind};
@@ -399,6 +403,50 @@ fn tap_kinds() -> Option<&'static [neummu_trace::KindId; TAP_KIND_COUNT]> {
     Some(KINDS.get_or_init(|| TAP_LABELS.map(|label| sink.kind(label))))
 }
 
+/// Fault outcomes a trace event distinguishes: recovered / failed / hung.
+const FAULT_OUTCOME_COUNT: usize = 3;
+
+/// Trace kind labels for injected device faults, `fault/<kind>/<outcome>`,
+/// row order matching [`neummu_faults::FaultKind::index`]. Unlike
+/// [`TAP_LABELS`] these are
+/// interned *lazily*, on the first fault actually emitted: registering them
+/// eagerly alongside the tap labels would add twelve kinds to every trace's
+/// label table and change the bytes of fault-free golden traces.
+const FAULT_TRACE_LABELS: [[&str; FAULT_OUTCOME_COUNT]; FAULT_KINDS] = [
+    [
+        "fault/timeout/recovered",
+        "fault/timeout/failed",
+        "fault/timeout/hung",
+    ],
+    [
+        "fault/dropped/recovered",
+        "fault/dropped/failed",
+        "fault/dropped/hung",
+    ],
+    [
+        "fault/transient/recovered",
+        "fault/transient/failed",
+        "fault/transient/hung",
+    ],
+    [
+        "fault/stuck/recovered",
+        "fault/stuck/failed",
+        "fault/stuck/hung",
+    ],
+];
+
+/// Kind ids for [`FAULT_TRACE_LABELS`], interned on first use (see there).
+fn fault_trace_kinds() -> Option<&'static [[neummu_trace::KindId; FAULT_OUTCOME_COUNT]; FAULT_KINDS]>
+{
+    static KINDS: OnceLock<[[neummu_trace::KindId; FAULT_OUTCOME_COUNT]; FAULT_KINDS]> =
+        OnceLock::new();
+    if let Some(kinds) = KINDS.get() {
+        return Some(kinds);
+    }
+    let sink = neummu_trace::global()?;
+    Some(KINDS.get_or_init(|| FAULT_TRACE_LABELS.map(|row| row.map(|label| sink.kind(label)))))
+}
+
 impl EngineTap {
     /// A tap that emits iff a global sink is installed right now.
     fn new() -> Self {
@@ -672,6 +720,18 @@ impl Drop for OracleTranslator {
     }
 }
 
+/// Device-fault injection state attached by
+/// [`TranslationEngine::with_faults`]: the seeded fault plan plus the
+/// resilience mechanisms that decide each injected fault's outcome. Boxed
+/// behind an `Option` so a fault-free engine pays exactly one `is_none`
+/// branch per walk admission and stays bit-identical to the pre-fault
+/// engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct EngineFaults {
+    plan: DeviceFaultPlan,
+    resilience: ResilienceConfig,
+}
+
 /// The cycle-accounted IOMMU / NeuMMU translation engine.
 #[derive(Debug, Serialize, Deserialize)]
 pub struct TranslationEngine {
@@ -682,6 +742,7 @@ pub struct TranslationEngine {
     energy: EnergyMeter,
     hot: HotTally,
     tap: EngineTap,
+    faults: Option<Box<EngineFaults>>,
 }
 
 impl TranslationEngine {
@@ -701,7 +762,32 @@ impl TranslationEngine {
             energy: EnergyMeter::default(),
             hot: HotTally::default(),
             tap: EngineTap::new(),
+            faults: None,
         }
+    }
+
+    /// Creates an engine with a seeded device-fault plan attached. Every
+    /// walk admission draws from the plan; injected faults are resolved
+    /// against the `resilience` mechanisms at admission time (see
+    /// [`neummu_faults`]). Both configs are validated here so an invalid
+    /// rate or a zero-cycle budget never reaches the hot path.
+    pub fn with_faults(
+        config: MmuConfig,
+        faults: DeviceFaultConfig,
+        resilience: ResilienceConfig,
+    ) -> Result<Self, FaultError> {
+        resilience.validate()?;
+        let plan = DeviceFaultPlan::new(faults)?;
+        let mut engine = TranslationEngine::new(config);
+        engine.faults = Some(Box::new(EngineFaults { plan, resilience }));
+        Ok(engine)
+    }
+
+    /// Exact injected/detected/recovered/hung fault accounting, when a fault
+    /// plan is attached.
+    #[must_use]
+    pub fn fault_counters(&self) -> Option<&FaultCounters> {
+        self.faults.as_ref().map(|f| f.plan.counters())
     }
 
     /// Builds the translator matching a configuration — the oracle for
@@ -729,6 +815,130 @@ impl TranslationEngine {
 
     fn page_number_of(&self, va: VirtAddr) -> u64 {
         va.page_number(self.config.page_size)
+    }
+
+    /// Fault-injection gate on the walk-admission path. For the fault-free
+    /// engine this is a single `is_none` branch; with a disarmed plan, one
+    /// more load. Armed plans first readmit any quarantined walkers whose
+    /// cool-down expired, then draw only when a walker is actually free — a
+    /// draw must map 1:1 onto a walk admission, or the structural-stall
+    /// retry loop would inflate the injected counts. Returns the resolved
+    /// fault plus the cycle until which the serving walker quarantines (0
+    /// for none). Registered under lint rule H001: must stay
+    /// allocation-free.
+    #[inline]
+    fn fault_check(&mut self, now: u64, walk_latency: u64) -> Option<(InjectedFault, u64)> {
+        let faults = self.faults.as_deref_mut()?;
+        if faults.plan.is_disarmed() {
+            return None;
+        }
+        self.walkers.readmit_quarantined(now);
+        if !self.walkers.has_free_walker() {
+            return None;
+        }
+        let fault = faults.plan.draw_walk(&faults.resilience, walk_latency)?;
+        let quarantine_until = if fault.quarantine {
+            now + fault.total_latency + faults.resilience.quarantine_cooldown_cycles
+        } else {
+            0
+        };
+        Some((fault, quarantine_until))
+    }
+
+    /// Admits one fault-perturbed walk: the injected fault's analytically
+    /// resolved `total_latency` replaces the fault-free walk latency, the
+    /// TPreg is bypassed (a faulty walk reads the full path and must not
+    /// pollute the path registers), and a failed or hung fault retires the
+    /// walk unmapped — it never fills the TLB and the request reports a
+    /// translation fault for the host to resolve. Outlined and cold: even
+    /// storm configs perturb a small fraction of walks.
+    #[cold]
+    #[allow(clippy::too_many_arguments)]
+    fn admit_perturbed(
+        &mut self,
+        asid: Asid,
+        page_number: u64,
+        full_levels: u32,
+        mapped: bool,
+        fault: InjectedFault,
+        quarantine_until: u64,
+        now: u64,
+        issue_cycle: u64,
+    ) -> Option<TranslationOutcome> {
+        let effective_mapped = mapped && !fault.failed;
+        let WalkAdmission::Started {
+            completes_at,
+            levels_read,
+            ..
+        } = self.walkers.start_walk_perturbed(
+            asid,
+            now,
+            page_number,
+            full_levels,
+            fault.total_latency,
+            effective_mapped,
+            quarantine_until,
+        )
+        else {
+            return None;
+        };
+        self.stats.tlb_misses += 1;
+        self.stats.walks += 1;
+        self.stats.walk_memory_accesses += u64::from(levels_read);
+        self.energy
+            .record(EnergyEvent::PageWalkMemoryAccess, u64::from(levels_read));
+        if !effective_mapped {
+            self.stats.faults += 1;
+        }
+        self.stats.last_completion_cycle = self.stats.last_completion_cycle.max(completes_at);
+        self.stats.stall_cycles += now - issue_cycle;
+        self.tap.record(TAP_WALK, asid, now, completes_at, 1);
+        if !effective_mapped {
+            self.tap.record(TAP_FAULT, asid, now, completes_at, 1);
+        }
+        let walk_latency = u64::from(full_levels) * self.config.walk_latency_per_level;
+        self.emit_fault_event(&fault, asid, now, completes_at, walk_latency);
+        Some(TranslationOutcome {
+            accept_cycle: now,
+            complete_cycle: completes_at,
+            source: TranslationSource::PageWalk { levels_read },
+            fault: !effective_mapped,
+        })
+    }
+
+    /// Emits one `fault/<kind>/<outcome>` trace event spanning the perturbed
+    /// walk, payload carrying the extra cycles the fault cost over the
+    /// fault-free walk (the exact recovery latency for recovered faults).
+    /// Faults are emitted individually, unbinned — they are rare and each
+    /// one matters to the analyzer.
+    fn emit_fault_event(
+        &self,
+        fault: &InjectedFault,
+        asid: Asid,
+        start: u64,
+        end: u64,
+        walk_latency: u64,
+    ) {
+        if !self.tap.enabled {
+            return;
+        }
+        let (Some(sink), Some(kinds)) = (neummu_trace::global(), fault_trace_kinds()) else {
+            return;
+        };
+        let outcome = if fault.recovered {
+            0
+        } else if fault.hung {
+            2
+        } else {
+            1
+        };
+        sink.emit(neummu_trace::Event {
+            kind: kinds[fault.kind.index()][outcome],
+            asid: asid.raw(),
+            start,
+            end,
+            payload: fault.total_latency.saturating_sub(walk_latency),
+        });
     }
 
     /// Retires every walk completed by `cycle`, filling the TLB. Split-borrow
@@ -801,6 +1011,7 @@ impl TranslationEngine {
             stats,
             hot,
             tap,
+            faults: _,
         } = self;
         let last_cycle = first_accept + want;
         let mut cursor = first_accept;
@@ -889,6 +1100,7 @@ impl TranslationEngine {
             stats,
             hot,
             tap,
+            faults: _,
         } = self;
         debug_assert!(
             !config.tpreg_enabled,
@@ -1102,6 +1314,29 @@ impl AddressTranslator for TranslationEngine {
             // A fault is detected as soon as the walk reaches the missing
             // level; either way at least one entry is read.
             let full_levels = probe.memory_accesses().max(1);
+            if let Some((fault, quarantine_until)) = self.fault_check(
+                now,
+                u64::from(full_levels) * self.config.walk_latency_per_level,
+            ) {
+                if let Some(outcome) = self.admit_perturbed(
+                    asid,
+                    page_number,
+                    full_levels,
+                    mapped,
+                    fault,
+                    quarantine_until,
+                    now,
+                    cycle,
+                ) {
+                    return outcome;
+                }
+                // Unreachable in practice — the gate drew only after
+                // verifying a free walker — but degrade to a structural
+                // stall rather than asserting.
+                self.stats.structural_stalls += 1;
+                now += 1;
+                continue;
+            }
             if self.config.tpreg_enabled {
                 self.energy.record(EnergyEvent::TpregAccess, 1);
             }
@@ -1272,7 +1507,19 @@ impl AddressTranslator for TranslationEngine {
     fn reset(&mut self) {
         self.hot.flush();
         self.tap.flush();
+        // An attached fault plan survives the reset but is rebuilt from its
+        // config: a reset engine replays the exact same fault schedule from
+        // the start, counters cleared — the same "fresh engine" semantics
+        // every other field gets.
+        let faults = self.faults.take().map(|f| {
+            Box::new(EngineFaults {
+                plan: DeviceFaultPlan::new(*f.plan.config())
+                    .expect("an attached plan was already validated"),
+                resilience: f.resilience,
+            })
+        });
         *self = TranslationEngine::new(self.config);
+        self.faults = faults;
     }
 
     fn invalidate_page(&mut self, va: VirtAddr) {
@@ -1316,6 +1563,7 @@ impl Clone for TranslationEngine {
             energy: self.energy.clone(),
             hot: HotTally::default(),
             tap: EngineTap::new(),
+            faults: self.faults.clone(),
         }
     }
 }
@@ -2015,5 +2263,141 @@ mod tests {
             16
         );
         assert!(mmu.energy().total_nj() > 0.0);
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_is_bit_identical_to_no_plan() {
+        let pt = mapped_table(0xa00_0000, 64);
+        let mut plain = TranslationEngine::new(MmuConfig::neummu());
+        let mut faulted = TranslationEngine::with_faults(
+            MmuConfig::neummu(),
+            DeviceFaultConfig::none(0xFEED),
+            ResilienceConfig::all_on(),
+        )
+        .unwrap();
+        let mut cycle = 0;
+        for i in 0..512u64 {
+            let va = VirtAddr::new(0xa00_0000 + (i % 64) * 4096);
+            let a = plain.translate(&pt, va, cycle);
+            let b = faulted.translate(&pt, va, cycle);
+            assert_eq!(a, b, "request {i} diverged under a disarmed plan");
+            cycle = a.accept_cycle + 1;
+        }
+        assert_eq!(plain.stats(), faulted.stats());
+        assert_eq!(faulted.fault_counters(), Some(&FaultCounters::default()));
+    }
+
+    #[test]
+    fn recovered_fault_delays_but_still_fills_the_tlb() {
+        // Stuck-walker faults at rate 1.0 with the watchdog on: the first
+        // touch of a page is a perturbed walk costing watchdog + walk
+        // cycles, recovered — so the repeat touch must be a TLB hit.
+        let pt = mapped_table(0xa00_0000, 4);
+        let config = MmuConfig::neummu();
+        let resilience = ResilienceConfig::all_on().with_quarantine(false);
+        let mut mmu = TranslationEngine::with_faults(
+            config,
+            DeviceFaultConfig::none(1).with_kind(
+                neummu_faults::FaultKind::WalkerStuck,
+                neummu_faults::FaultRate::of(1.0),
+            ),
+            resilience,
+        )
+        .unwrap();
+        let out = mmu.translate(&pt, VirtAddr::new(0xa00_0000), 0);
+        assert!(!out.fault);
+        let walk_latency = 4 * config.walk_latency_per_level;
+        assert_eq!(
+            out.complete_cycle,
+            resilience.watchdog_cycles + walk_latency
+        );
+        let counters = mmu.fault_counters().unwrap();
+        assert_eq!(counters.total_recovered(), 1);
+        let repeat = mmu.translate(&pt, VirtAddr::new(0xa00_0000), out.complete_cycle + 1);
+        assert_eq!(repeat.source, TranslationSource::TlbHit);
+    }
+
+    #[test]
+    fn hung_fault_reports_a_translation_fault_and_never_fills_the_tlb() {
+        // Dropped responses with retransmit off hang to the livelock bound
+        // and retire unmapped even though the page is mapped.
+        let pt = mapped_table(0xa00_0000, 4);
+        let resilience = ResilienceConfig::all_off();
+        let mut mmu = TranslationEngine::with_faults(
+            MmuConfig::neummu(),
+            DeviceFaultConfig::none(2).with_kind(
+                neummu_faults::FaultKind::DroppedResponse,
+                neummu_faults::FaultRate::of(1.0),
+            ),
+            resilience,
+        )
+        .unwrap();
+        let out = mmu.translate(&pt, VirtAddr::new(0xa00_0000), 0);
+        assert!(out.fault, "a hung walk yields no usable translation");
+        assert_eq!(out.complete_cycle, resilience.livelock_bound_cycles);
+        assert_eq!(mmu.fault_counters().unwrap().total_hung(), 1);
+        // Past the livelock bound the walk has retired — unmapped, so the
+        // TLB was never filled and the next touch walks again.
+        let repeat = mmu.translate(&pt, VirtAddr::new(0xa00_0000), out.complete_cycle + 1);
+        assert!(matches!(repeat.source, TranslationSource::PageWalk { .. }));
+    }
+
+    #[test]
+    fn quarantine_shrinks_the_pool_and_readmits_after_cooldown() {
+        // One walker, stuck fault with watchdog + quarantine: the walk
+        // recovers, its walker parks, and until the cool-down expires the
+        // only walker is gone — a second translation must stall until
+        // readmission rather than hang or panic on an empty pool.
+        let pt = mapped_table(0xa00_0000, 4);
+        let config = MmuConfig::neummu().with_ptws(1);
+        let resilience = ResilienceConfig::all_on();
+        let mut mmu = TranslationEngine::with_faults(
+            config,
+            DeviceFaultConfig::none(3).with_kind(
+                neummu_faults::FaultKind::WalkerStuck,
+                neummu_faults::FaultRate::bursty(1.0, 1),
+            ),
+            resilience,
+        )
+        .unwrap();
+        let first = mmu.translate(&pt, VirtAddr::new(0xa00_0000), 0);
+        assert!(!first.fault);
+        let quarantine_ends = first.complete_cycle + resilience.quarantine_cooldown_cycles;
+        // Issued right after the first walk retires: every walker is parked,
+        // so the request stalls until readmission (where rate 1.0 strikes
+        // again and the perturbed walk starts at the readmission cycle).
+        let second = mmu.translate(&pt, VirtAddr::new(0xa00_1000), first.complete_cycle + 1);
+        assert!(second.accept_cycle >= quarantine_ends);
+        assert!(mmu.stats().structural_stalls > 0);
+    }
+
+    #[test]
+    fn fault_plan_survives_reset_and_replays_from_the_start() {
+        let pt = mapped_table(0xa00_0000, 64);
+        let config = MmuConfig::neummu();
+        let faults = DeviceFaultConfig::uniform(7, 0.25);
+        let resilience = ResilienceConfig::all_on();
+        let mut mmu = TranslationEngine::with_faults(config, faults, resilience).unwrap();
+        let run = |mmu: &mut TranslationEngine| {
+            let mut cycle = 0;
+            let mut outs = Vec::new();
+            for i in 0..256u64 {
+                let out = mmu.translate(&pt, VirtAddr::new(0xa00_0000 + (i % 64) * 4096), cycle);
+                outs.push(out);
+                cycle = out.accept_cycle + 1;
+            }
+            outs
+        };
+        let first = run(&mut mmu);
+        let counters_first = mmu.fault_counters().unwrap().clone();
+        assert!(counters_first.total_injected() > 0);
+        AddressTranslator::reset(&mut mmu);
+        assert_eq!(mmu.fault_counters(), Some(&FaultCounters::default()));
+        let second = run(&mut mmu);
+        assert_eq!(
+            first, second,
+            "a reset engine must replay the same schedule"
+        );
+        assert_eq!(mmu.fault_counters(), Some(&counters_first));
     }
 }

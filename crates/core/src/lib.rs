@@ -70,6 +70,12 @@ pub use engine::{
     TranslationSource,
 };
 pub use mmu_cache::{MmuCacheKind, TranslationPathCache, UnifiedPageTableCache, WalkCache};
+// Fault-injection vocabulary, re-exported so downstream crates configuring a
+// faulted engine need not depend on `neummu_faults` directly.
+pub use neummu_faults::{
+    DeviceFaultConfig, DeviceFaultPlan, FaultCounters, FaultError, FaultKind, FaultRate,
+    InjectedFault, ResilienceConfig,
+};
 pub use stats::TranslationStats;
 pub use tlb::Tlb;
 pub use tpreg::TranslationPathRegister;

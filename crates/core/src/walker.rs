@@ -123,6 +123,10 @@ struct InFlightWalk {
     /// same-key walk may own that key now), and its result must be
     /// discarded at retirement.
     flushed: bool,
+    /// When nonzero, the serving walker hard-failed during this walk and is
+    /// parked (not returned to the free list) at retirement until this
+    /// cycle. Set only by [`WalkerPool::start_walk_perturbed`].
+    quarantine_until: u64,
 }
 
 /// Min-heap ordering by completion time.
@@ -166,6 +170,10 @@ pub struct WalkerPool {
     pts: PtsMap,
     /// Completion order.
     heap: BinaryHeap<HeapEntry>,
+    /// Hard-failed walkers parked until their cool-down expires, as
+    /// `(walker, readmit_at)`. Empty unless fault injection quarantined a
+    /// walker; healthy runs never touch it.
+    quarantined: Vec<(usize, u64)>,
 }
 
 impl WalkerPool {
@@ -194,6 +202,7 @@ impl WalkerPool {
             free_slots: Vec::new(),
             pts: PtsMap::default(),
             heap: BinaryHeap::new(),
+            quarantined: Vec::new(),
         }
     }
 
@@ -237,7 +246,14 @@ impl WalkerPool {
             if !walk.flushed {
                 self.pts.remove(&(walk.asid, walk.page_number));
             }
-            self.free_walkers.push_back(walk.walker);
+            if walk.quarantine_until > 0 {
+                // The walker hard-failed during this walk: park it instead
+                // of returning it to the free list. The pool shrinks until
+                // the cool-down expires and readmit_quarantined runs.
+                self.quarantined.push((walk.walker, walk.quarantine_until));
+            } else {
+                self.free_walkers.push_back(walk.walker);
+            }
             retired += 1;
             retire(CompletedWalk {
                 asid: walk.asid,
@@ -264,6 +280,34 @@ impl WalkerPool {
     #[must_use]
     pub fn next_completion(&self) -> Option<u64> {
         self.heap.peek().map(|e| e.completes_at)
+    }
+
+    /// Number of walkers currently parked in quarantine.
+    #[must_use]
+    pub fn quarantined_walkers(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// Earliest cycle at which a quarantined walker becomes eligible for
+    /// re-admission (`None` if the quarantine is empty).
+    #[must_use]
+    pub fn earliest_readmit(&self) -> Option<u64> {
+        self.quarantined.iter().map(|&(_, at)| at).min()
+    }
+
+    /// Returns every quarantined walker whose cool-down expired by `cycle`
+    /// to the free list. Allocation-free; a no-op (one emptiness check) when
+    /// nothing is quarantined, which is every cycle of a fault-free run.
+    pub fn readmit_quarantined(&mut self, cycle: u64) {
+        let mut i = 0;
+        while i < self.quarantined.len() {
+            if self.quarantined[i].1 <= cycle {
+                let (walker, _) = self.quarantined.swap_remove(i);
+                self.free_walkers.push_back(walker);
+            } else {
+                i += 1;
+            }
+        }
     }
 
     /// Probes the PTS for an in-flight [`Asid::GLOBAL`] walk of
@@ -347,10 +391,9 @@ impl WalkerPool {
         mapped: bool,
     ) -> WalkAdmission {
         let Some(walker) = self.free_walkers.pop_front() else {
-            let retry_at = self
-                .next_completion()
-                .expect("no free walkers implies at least one in-flight walk");
-            return WalkAdmission::Rejected { retry_at };
+            return WalkAdmission::Rejected {
+                retry_at: self.rejected_retry_at(),
+            };
         };
 
         let path_match = if self.tpreg_enabled {
@@ -378,7 +421,79 @@ impl WalkerPool {
             merged_requests: 0,
             mapped,
             flushed: false,
+            quarantine_until: 0,
         };
+        self.enqueue_walk(walk);
+        WalkAdmission::Started {
+            walker,
+            completes_at,
+            path_match,
+            levels_read,
+        }
+    }
+
+    /// Starts a walk whose latency was overridden by an injected device
+    /// fault. The perturbed walk bypasses the TPreg entirely (a faulty walk
+    /// reads the full path and must not pollute the path registers), costs
+    /// exactly `total_latency` cycles, and — when `quarantine_until` is
+    /// nonzero — parks its walker at retirement until that cycle. Everything
+    /// else (PTS entry, PRMB merging, completion ordering) behaves exactly
+    /// like [`WalkerPool::start_walk_tagged`], which is what makes request
+    /// conservation hold under faults: a fault only ever changes a walk's
+    /// latency and mapped-ness, never its riders.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_walk_perturbed(
+        &mut self,
+        asid: Asid,
+        cycle: u64,
+        page_number: u64,
+        full_levels: u32,
+        total_latency: u64,
+        mapped: bool,
+        quarantine_until: u64,
+    ) -> WalkAdmission {
+        let Some(walker) = self.free_walkers.pop_front() else {
+            return WalkAdmission::Rejected {
+                retry_at: self.rejected_retry_at(),
+            };
+        };
+        let completes_at = cycle + total_latency;
+        let walk = InFlightWalk {
+            asid,
+            page_number,
+            walker,
+            completes_at,
+            merged_requests: 0,
+            mapped,
+            flushed: false,
+            quarantine_until,
+        };
+        self.enqueue_walk(walk);
+        WalkAdmission::Started {
+            walker,
+            completes_at,
+            path_match: PathMatch::miss(),
+            levels_read: full_levels,
+        }
+    }
+
+    /// Retry cycle for a rejected admission: the earliest event that frees a
+    /// walker — a walk completion or a quarantine re-admission.
+    fn rejected_retry_at(&self) -> u64 {
+        match (self.next_completion(), self.earliest_readmit()) {
+            (Some(completion), Some(readmit)) => completion.min(readmit),
+            (Some(completion), None) => completion,
+            (None, Some(readmit)) => readmit,
+            (None, None) => {
+                unreachable!("no free walkers implies an in-flight or quarantined walker")
+            }
+        }
+    }
+
+    /// Slots the walk into storage, the PTS and the completion heap.
+    fn enqueue_walk(&mut self, walk: InFlightWalk) {
+        let key = (walk.asid, walk.page_number);
+        let completes_at = walk.completes_at;
         let slot = if let Some(slot) = self.free_slots.pop() {
             self.walks[slot] = Some(walk);
             slot
@@ -387,18 +502,12 @@ impl WalkerPool {
             self.walks.len() - 1
         };
         if self.prmb_slots > 0 {
-            self.pts.insert((asid, page_number), slot);
+            self.pts.insert(key, slot);
         }
         self.heap.push(HeapEntry {
             completes_at,
             walk_slot: slot,
         });
-        WalkAdmission::Started {
-            walker,
-            completes_at,
-            path_match,
-            levels_read,
-        }
     }
 
     /// Invalidates every walker's TPreg (page-table update).
@@ -652,5 +761,76 @@ mod tests {
         pool.start_walk(0, 77, tag_of_page(77), 1, false);
         let retired = pool.retire_completed(u64::MAX);
         assert!(!retired[0].mapped);
+    }
+
+    #[test]
+    fn perturbed_walk_costs_exactly_its_total_latency() {
+        let mut pool = WalkerPool::new(2, 4, 100, true);
+        let WalkAdmission::Started {
+            completes_at,
+            path_match,
+            levels_read,
+            ..
+        } = pool.start_walk_perturbed(Asid::GLOBAL, 10, 42, 4, 1_234, true, 0)
+        else {
+            panic!("perturbed walk must start");
+        };
+        assert_eq!(completes_at, 10 + 1_234);
+        assert_eq!(levels_read, 4);
+        assert_eq!(
+            path_match.skippable_levels(),
+            0,
+            "perturbed walks bypass the TPreg"
+        );
+        assert!(pool.retire_completed(10 + 1_233).is_empty());
+        let retired = pool.retire_completed(10 + 1_234);
+        assert_eq!(retired.len(), 1);
+        assert!(retired[0].mapped);
+    }
+
+    #[test]
+    fn perturbed_walk_accepts_prmb_merges() {
+        let mut pool = WalkerPool::new(2, 4, 100, false);
+        pool.start_walk_perturbed(Asid::GLOBAL, 0, 42, 4, 5_000, true, 0);
+        assert_eq!(pool.try_merge(42), Some((0, 5_000)));
+        let retired = pool.retire_completed(5_000);
+        assert_eq!(retired[0].merged_requests, 1);
+    }
+
+    #[test]
+    fn quarantined_walker_is_parked_until_cooldown() {
+        let mut pool = WalkerPool::new(1, 0, 100, false);
+        pool.start_walk_perturbed(Asid::GLOBAL, 0, 42, 4, 400, true, 1_000);
+        assert_eq!(pool.retire_completed(400).len(), 1);
+        // The only walker is now quarantined: the pool has shrunk to zero.
+        assert!(!pool.has_free_walker());
+        assert_eq!(pool.quarantined_walkers(), 1);
+        assert_eq!(pool.earliest_readmit(), Some(1_000));
+        // A new walk is rejected with the readmission cycle, not a panic
+        // (the heap is empty — there is no in-flight completion to wait on).
+        let admission = pool.start_walk(500, 43, tag_of_page(43), 4, true);
+        assert_eq!(admission, WalkAdmission::Rejected { retry_at: 1_000 });
+        // Before the cool-down expires readmission is a no-op.
+        pool.readmit_quarantined(999);
+        assert!(!pool.has_free_walker());
+        // At the cool-down boundary the walker rejoins the free list.
+        pool.readmit_quarantined(1_000);
+        assert!(pool.has_free_walker());
+        assert_eq!(pool.quarantined_walkers(), 0);
+        assert!(matches!(
+            pool.start_walk(1_000, 43, tag_of_page(43), 4, true),
+            WalkAdmission::Started { .. }
+        ));
+    }
+
+    #[test]
+    fn rejected_retry_at_is_min_of_completion_and_readmit() {
+        let mut pool = WalkerPool::new(2, 0, 100, false);
+        // Walker 0 quarantines until cycle 5_000; walker 1 walks until 700.
+        pool.start_walk_perturbed(Asid::GLOBAL, 0, 1, 4, 300, true, 5_000);
+        assert_eq!(pool.retire_completed(300).len(), 1);
+        pool.start_walk(300, 2, tag_of_page(2), 4, true);
+        let admission = pool.start_walk(350, 3, tag_of_page(3), 4, true);
+        assert_eq!(admission, WalkAdmission::Rejected { retry_at: 700 });
     }
 }

@@ -23,6 +23,9 @@
 //! * [`serving`] — beyond the paper: open-loop datacenter serving. Seeded
 //!   arrival generators feed bounded admission queues; a load × policy sweep
 //!   reports exact per-tenant SLO percentiles and goodput under overload.
+//! * [`resilience`] — beyond the paper: device-fault injection. A fault-rate
+//!   × recovery-mechanism sweep reports availability/goodput curves, exact
+//!   recovery-latency percentiles and faults-disabled mechanism overhead.
 //!
 //! Every runner takes an [`ExperimentScale`]: `Full` regenerates the figure
 //! over the complete benchmark suite (what the `neummu-experiments` binary
@@ -34,6 +37,7 @@ pub mod mmu_cache_study;
 pub mod multi_tenant;
 pub mod performance;
 pub mod recommender;
+pub mod resilience;
 pub mod serving;
 pub mod table1;
 

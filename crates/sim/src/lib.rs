@@ -47,8 +47,9 @@ pub use multi_tenant::{
 pub use report::ResultTable;
 pub use runner::{ExperimentRunner, OracleCache, SelfProfile};
 pub use serving::{
-    ArrivalConfig, ArrivalShape, LatencyHistogram, OverflowPolicy, ServingConfig, ServingPolicy,
-    ServingResult, ServingSimulator, ServingTenantSpec,
+    ArrivalConfig, ArrivalShape, CircuitBreakerConfig, LatencyHistogram, OverflowPolicy,
+    ServingConfig, ServingFaults, ServingPolicy, ServingResult, ServingSimulator,
+    ServingTenantSpec,
 };
 
 /// Convenience re-exports for downstream crates.
@@ -67,7 +68,8 @@ pub mod prelude {
     pub use crate::report::ResultTable;
     pub use crate::runner::{ExperimentRunner, OracleCache, SelfProfile};
     pub use crate::serving::{
-        ArrivalConfig, ArrivalShape, LatencyHistogram, OverflowPolicy, ServingConfig,
-        ServingPolicy, ServingResult, ServingSimulator, ServingTenantSpec,
+        ArrivalConfig, ArrivalShape, CircuitBreakerConfig, LatencyHistogram, OverflowPolicy,
+        ServingConfig, ServingFaults, ServingPolicy, ServingResult, ServingSimulator,
+        ServingTenantSpec,
     };
 }

@@ -30,9 +30,19 @@ impl LatencyHistogram {
 
     /// Records one observation.
     pub fn record(&mut self, latency_cycles: u64) {
-        *self.counts.entry(latency_cycles).or_insert(0) += 1;
-        self.total += 1;
-        self.sum += u128::from(latency_cycles);
+        self.record_n(latency_cycles, 1);
+    }
+
+    /// Records `count` observations of the same latency in one step —
+    /// rebuilds a histogram from pre-counted `(latency, count)` pairs (e.g.
+    /// [`neummu_mmu::FaultCounters::recovery_latency`]) without looping.
+    pub fn record_n(&mut self, latency_cycles: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry(latency_cycles).or_insert(0) += count;
+        self.total += count;
+        self.sum += u128::from(latency_cycles) * u128::from(count);
         self.max = self.max.max(latency_cycles);
     }
 

@@ -42,7 +42,10 @@ pub use queue::{AdmissionQueue, OverflowPolicy, QueueStats, Request};
 use serde::{Deserialize, Serialize};
 
 use neummu_mem::dram::{DramConfig, DramModel};
-use neummu_mmu::{MmuConfig, MmuKind, TranslationEngine, TranslationSource};
+use neummu_mmu::{
+    DeviceFaultConfig, FaultCounters, MmuConfig, MmuKind, ResilienceConfig, TranslationEngine,
+    TranslationSource,
+};
 use neummu_npu::{DmaEngine, NpuConfig};
 use neummu_vmem::{AddressSpaceRegistry, MemNode, VirtAddr};
 use neummu_workloads::WorkloadId;
@@ -73,6 +76,54 @@ impl ServingTenantSpec {
     }
 }
 
+/// Per-tenant circuit breaker: sheds load when a tenant's sojourn p99 blows
+/// its SLO (fault storms, overload). The breaker watches tumbling windows of
+/// `window_requests` completed requests; when a window's exact nearest-rank
+/// p99 exceeds `sojourn_slo_p99_cycles`, the breaker *opens* for
+/// `cooldown_cycles`: arrivals stamped inside the open interval are shed —
+/// never offered to the admission queue — so the backlog drains instead of
+/// compounding. Shed requests are counted per tenant in
+/// [`TenantServingStats::shed`], outside the queue's own
+/// offered/dropped/deferred accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CircuitBreakerConfig {
+    /// The tenant's sojourn-latency SLO: windows whose exact p99 exceeds
+    /// this open the breaker.
+    pub sojourn_slo_p99_cycles: u64,
+    /// Completed requests per tumbling evaluation window.
+    pub window_requests: u64,
+    /// Cycles the breaker stays open once tripped.
+    pub cooldown_cycles: u64,
+}
+
+impl CircuitBreakerConfig {
+    /// Rejects zero-impossible knobs (mirrors [`ArrivalConfig::validate`]).
+    pub(crate) fn validate(&self) -> Result<(), SimError> {
+        let invalid = |reason: String| Err(SimError::InvalidConfig { reason });
+        if self.sojourn_slo_p99_cycles == 0 {
+            return invalid("circuit breaker SLO must be at least one cycle".to_string());
+        }
+        if self.window_requests == 0 {
+            return invalid("circuit breaker window must cover at least one request".to_string());
+        }
+        if self.cooldown_cycles == 0 {
+            return invalid("circuit breaker cooldown must be at least one cycle".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Device-fault injection for a serving run: the seeded fault plan the
+/// shared engine draws from, plus the resilience mechanisms that resolve
+/// each injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServingFaults {
+    /// Per-kind fault rates and the draw seed.
+    pub device: DeviceFaultConfig,
+    /// Which recovery mechanisms are armed.
+    pub resilience: ResilienceConfig,
+}
+
 /// Configuration of an open-loop serving run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingConfig {
@@ -101,6 +152,12 @@ pub struct ServingConfig {
     pub policy: ServingPolicy,
     /// Cycles between queue-depth timeline samples.
     pub queue_sample_interval: u64,
+    /// Per-tenant circuit breaker (`None` disables shedding entirely; the
+    /// run is then bit-identical to a pre-breaker build).
+    pub breaker: Option<CircuitBreakerConfig>,
+    /// Device-fault injection on the shared engine (`None`, the default,
+    /// runs the perfect device).
+    pub faults: Option<ServingFaults>,
 }
 
 impl ServingConfig {
@@ -121,6 +178,8 @@ impl ServingConfig {
             overflow: OverflowPolicy::Drop,
             policy: ServingPolicy::RoundRobin,
             queue_sample_interval: 1 << 16,
+            breaker: None,
+            faults: None,
         }
     }
 
@@ -165,6 +224,20 @@ impl ServingConfig {
         self.queue_sample_interval = queue_sample_interval;
         self
     }
+
+    /// Arms the per-tenant circuit breaker.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: CircuitBreakerConfig) -> Self {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// Attaches device-fault injection to the shared engine.
+    #[must_use]
+    pub fn with_faults(mut self, device: DeviceFaultConfig, resilience: ResilienceConfig) -> Self {
+        self.faults = Some(ServingFaults { device, resilience });
+        self
+    }
 }
 
 /// Per-tenant outcome of one serving run: translation counters, queue
@@ -185,6 +258,13 @@ pub struct TenantServingStats {
     /// Arrival sequence numbers in completion order (FIFO service must keep
     /// this strictly increasing — a proptest-locked invariant).
     pub completion_order: Vec<u64>,
+    /// Arrivals shed by an open circuit breaker: consumed from the arrival
+    /// sequence but never offered to the admission queue. Always zero
+    /// without a breaker. Conservation:
+    /// `generated arrivals == queue.offered + shed`.
+    pub shed: u64,
+    /// Times this tenant's breaker opened.
+    pub breaker_trips: u64,
 }
 
 /// One sample of the queue-depth timeline.
@@ -211,6 +291,9 @@ pub struct ServingResult {
     pub timeline: Vec<QueueDepthSample>,
     /// Cycle at which the last completed request's data arrived.
     pub makespan_cycles: u64,
+    /// The engine's exact fault accounting, when fault injection was
+    /// configured (`None` for the perfect device).
+    pub fault_counters: Option<FaultCounters>,
 }
 
 impl ServingResult {
@@ -224,6 +307,18 @@ impl ServingResult {
     #[must_use]
     pub fn offered_requests(&self) -> u64 {
         self.stats.iter().map(|s| s.queue.offered).sum()
+    }
+
+    /// Requests shed by open circuit breakers across all tenants.
+    #[must_use]
+    pub fn shed_requests(&self) -> u64 {
+        self.stats.iter().map(|s| s.shed).sum()
+    }
+
+    /// Breaker trips across all tenants.
+    #[must_use]
+    pub fn breaker_trips(&self) -> u64 {
+        self.stats.iter().map(|s| s.breaker_trips).sum()
     }
 
     /// Goodput: completed requests per million cycles of makespan.
@@ -244,6 +339,15 @@ struct TenantLane {
     queue: AdmissionQueue,
     /// `(request, transactions left, latest data-ready cycle, stall cycles)`.
     in_service: Option<(Request, u64, u64, u64)>,
+    /// Tumbling sojourn window the circuit breaker evaluates (unused — and
+    /// never recorded into — without a breaker).
+    breaker_window: LatencyHistogram,
+    /// Cycle until which this tenant's breaker is open (0 = closed).
+    breaker_open_until: u64,
+    /// Arrivals shed by the open breaker.
+    shed: u64,
+    /// Times the breaker opened.
+    breaker_trips: u64,
 }
 
 impl TenantLane {
@@ -303,6 +407,16 @@ impl ServingSimulator {
             );
         }
         config.npu.validate()?;
+        if let Some(breaker) = &config.breaker {
+            breaker.validate()?;
+        }
+        if let Some(faults) = &config.faults {
+            let invalid_fault = |e: neummu_mmu::FaultError| SimError::InvalidConfig {
+                reason: e.to_string(),
+            };
+            faults.device.validate().map_err(invalid_fault)?;
+            faults.resilience.validate().map_err(invalid_fault)?;
+        }
         for spec in tenants {
             spec.arrivals.validate()?;
         }
@@ -351,6 +465,10 @@ impl ServingSimulator {
                 next_arrival: 0,
                 queue: AdmissionQueue::new(config.queue_depth, config.overflow),
                 in_service: None,
+                breaker_window: LatencyHistogram::new(),
+                breaker_open_until: 0,
+                shed: 0,
+                breaker_trips: 0,
             });
             stats.push(TenantServingStats {
                 translation: TenantStats::new(asid),
@@ -358,10 +476,18 @@ impl ServingSimulator {
                 sojourn: LatencyHistogram::new(),
                 stall: LatencyHistogram::new(),
                 completion_order: Vec::new(),
+                shed: 0,
+                breaker_trips: 0,
             });
         }
 
-        let mut engine = TranslationEngine::new(config.mmu);
+        let mut engine = match &config.faults {
+            None => TranslationEngine::new(config.mmu),
+            Some(faults) => {
+                TranslationEngine::with_faults(config.mmu, faults.device, faults.resilience)
+                    .expect("fault configs were validated above")
+            }
+        };
         let mut dram = DramModel::new(config.dram);
         let tlb_capacity = engine.tlb().capacity() as u64;
         let page_bytes = config.mmu.page_size.bytes();
@@ -387,6 +513,13 @@ impl ServingSimulator {
                 while lane.next_arrival_cycle().is_some_and(|cycle| cycle <= now) {
                     let arrival_cycle = lane.arrivals[lane.next_arrival];
                     lane.next_arrival += 1;
+                    // An open breaker sheds arrivals stamped inside its
+                    // interval: consumed, never offered, so the backlog
+                    // drains while the tenant's SLO recovers.
+                    if arrival_cycle < lane.breaker_open_until {
+                        lane.shed += 1;
+                        continue;
+                    }
                     lane.queue.offer(Request { seq, arrival_cycle });
                     seq += 1;
                 }
@@ -514,11 +647,21 @@ impl ServingSimulator {
             if txns_left == 0 {
                 lane.in_service = None;
                 lane.queue.complete();
-                tenant_stats
-                    .sojourn
-                    .record(ready_max.saturating_sub(request.arrival_cycle));
+                let sojourn = ready_max.saturating_sub(request.arrival_cycle);
+                tenant_stats.sojourn.record(sojourn);
                 tenant_stats.stall.record(stall);
                 tenant_stats.completion_order.push(request.seq);
+                if let Some(breaker) = &config.breaker {
+                    lane.breaker_window.record(sojourn);
+                    if lane.breaker_window.total() >= breaker.window_requests {
+                        let p99 = lane.breaker_window.p99().expect("non-empty window");
+                        if p99 > breaker.sojourn_slo_p99_cycles {
+                            lane.breaker_open_until = now + breaker.cooldown_cycles;
+                            lane.breaker_trips += 1;
+                        }
+                        lane.breaker_window = LatencyHistogram::new();
+                    }
+                }
             }
             policy_state.charge(tenant, granted - quota);
             if let Some((sink, kind)) = turn_trace {
@@ -538,6 +681,8 @@ impl ServingSimulator {
         // Final bookkeeping: queue counters and capacity shares.
         for (lane, tenant_stats) in lanes.iter().zip(&mut stats) {
             tenant_stats.queue = lane.queue.stats();
+            tenant_stats.shed = lane.shed;
+            tenant_stats.breaker_trips = lane.breaker_trips;
             tenant_stats.translation.final_tlb_occupancy =
                 engine.tlb().occupancy_of(tenant_stats.translation.asid) as u64;
         }
@@ -551,6 +696,7 @@ impl ServingSimulator {
             stats,
             timeline,
             makespan_cycles,
+            fault_counters: engine.fault_counters().cloned(),
         })
     }
 }

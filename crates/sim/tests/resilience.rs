@@ -1,0 +1,297 @@
+//! Property-locked invariants of the resilient-translation subsystem.
+//!
+//! Three guarantees, each over randomized fault mixes (per-kind rates and
+//! bursts), mechanism sets (every subset of retry / watchdog / quarantine /
+//! retransmit, with and without the circuit breaker) and plan seeds:
+//!
+//! * **conservation** — no request is lost under any fault mix: at drain
+//!   every offered request either completed or was dropped by its bounded
+//!   queue, breaker shedding only moves arrivals between `offered` and
+//!   `shed` (the generated arrival count is a pure function of the arrival
+//!   config, so a breaker run and a breaker-free run partition the same
+//!   total), and every injected fault is either detected or hung — never
+//!   silently absorbed;
+//! * **no deadlock** — every run finishes, and its makespan stays under a
+//!   generous closed-form bound built from the worst single-walk cost
+//!   (livelock bound + full retry/backoff/retransmit chain), so a walk that
+//!   stopped making progress would fail the test rather than spin forever;
+//! * **zero-rate identity** — a plan whose every rate is `0.0` produces a
+//!   run bit-identical to the no-faults build, whatever the seed and armed
+//!   mechanisms: same stats, same timelines, same makespan. This is the
+//!   typed-result half of the byte-identical-artifacts acceptance bar.
+//!
+//! Plus the config-validation regressions: NaN / negative / above-one rates,
+//! zero-impossible cycle knobs and invalid breakers are rejected with
+//! `SimError::InvalidConfig`, mirroring `ArrivalConfig::validate`.
+
+use proptest::prelude::*;
+
+use neummu_mmu::{DeviceFaultConfig, FaultKind, FaultRate, MmuConfig, ResilienceConfig};
+use neummu_sim::serving::{
+    derive_seed, ArrivalConfig, ArrivalShape, CircuitBreakerConfig, ServingConfig, ServingResult,
+    ServingSimulator, ServingTenantSpec,
+};
+use neummu_sim::SimError;
+use neummu_workloads::WorkloadId;
+
+/// A small heterogeneous population: three tenants, three arrival shapes.
+fn population(rate_per_mcycle: f64, horizon: u64, seed: u64) -> Vec<ServingTenantSpec> {
+    let shapes = [
+        ArrivalShape::Poisson,
+        ArrivalShape::Bursty {
+            mean_burst_arrivals: 4.0,
+            duty_fraction: 0.3,
+        },
+        ArrivalShape::Diurnal {
+            period_cycles: horizon / 2,
+            trough_fraction: 0.2,
+        },
+    ];
+    let workloads = [WorkloadId::Cnn1, WorkloadId::Rnn2, WorkloadId::Cnn1];
+    (0..3)
+        .map(|i| ServingTenantSpec {
+            workload: workloads[i],
+            batch: 1,
+            weight: 1 + i as u64,
+            arrivals: ArrivalConfig {
+                shape: shapes[i],
+                rate_per_mcycle,
+                horizon_cycles: horizon,
+                seed: derive_seed(seed, i as u64),
+            },
+        })
+        .collect()
+}
+
+/// A fast resilience configuration (small cycle knobs so hung walks cost
+/// thousands, not hundreds of thousands, of simulated cycles) with the given
+/// mechanisms armed.
+fn resilience(retry: bool, watchdog: bool, quarantine: bool, retransmit: bool) -> ResilienceConfig {
+    let mut r = ResilienceConfig::all_off()
+        .with_retry(retry)
+        .with_watchdog(watchdog)
+        .with_quarantine(quarantine)
+        .with_retransmit(retransmit);
+    r.max_retries = 2;
+    r.backoff_base_cycles = 50;
+    r.timeout_cycles = 200;
+    r.watchdog_cycles = 300;
+    r.quarantine_cooldown_cycles = 1_000;
+    r.retransmit_cycles = 100;
+    r.livelock_bound_cycles = 5_000;
+    r
+}
+
+/// The worst possible extra cost of one walk under `r`: it hangs to the
+/// livelock bound, or burns the full retry chain (timeout + exponential
+/// backoff per attempt), the watchdog, the full retransmit chain and the
+/// final walk — summed, not maxed, so the bound is generous.
+fn worst_walk_cycles(r: &ResilienceConfig, walk_latency: u64) -> u64 {
+    let attempts = u64::from(r.max_retries) + 1;
+    let backoff: u64 = (0..=r.max_retries)
+        .map(|a| r.backoff_base_cycles << a)
+        .sum();
+    r.livelock_bound_cycles
+        + attempts * (r.timeout_cycles + walk_latency + r.retransmit_cycles)
+        + backoff
+        + r.watchdog_cycles
+        + r.quarantine_cooldown_cycles
+}
+
+fn base_config(faults: Option<(DeviceFaultConfig, ResilienceConfig)>) -> ServingConfig {
+    let mut config = ServingConfig::with_mmu(MmuConfig::neummu())
+        .with_burst(8)
+        .with_txns_per_request(8)
+        .with_queue_depth(4)
+        .with_sample_interval(1024);
+    if let Some((device, resilience)) = faults {
+        config = config.with_faults(device, resilience);
+    }
+    config
+}
+
+fn run(config: ServingConfig, horizon: u64, arrival_seed: u64) -> ServingResult {
+    ServingSimulator::new(config)
+        .run(&population(300.0, horizon, arrival_seed))
+        .expect("serving run")
+}
+
+const HORIZON: u64 = 4_000;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Conservation and no-deadlock under arbitrary fault mixes and
+    /// mechanism sets.
+    #[test]
+    fn faulted_runs_conserve_requests_and_terminate(
+        timeout_rate in 0.0f64..0.3,
+        dropped_rate in 0.0f64..0.3,
+        transient_rate in 0.0f64..0.3,
+        stuck_rate in 0.0f64..0.2,
+        burst in 1u32..4,
+        plan_seed in any::<u64>(),
+        arrival_seed in any::<u64>(),
+        retry in any::<bool>(),
+        watchdog in any::<bool>(),
+        quarantine in any::<bool>(),
+        retransmit in any::<bool>(),
+        breaker in any::<bool>(),
+    ) {
+        let device = DeviceFaultConfig::none(plan_seed)
+            .with_kind(FaultKind::WalkTimeout, FaultRate::of(timeout_rate))
+            .with_kind(FaultKind::DroppedResponse, FaultRate::of(dropped_rate))
+            .with_kind(FaultKind::TransientError, FaultRate::of(transient_rate))
+            .with_kind(FaultKind::WalkerStuck, FaultRate::bursty(stuck_rate, burst));
+        let r = resilience(retry, watchdog, quarantine, retransmit);
+        let mut config = base_config(Some((device, r)));
+        if breaker {
+            config = config.with_breaker(CircuitBreakerConfig {
+                sojourn_slo_p99_cycles: 2_000,
+                window_requests: 4,
+                cooldown_cycles: 1_000,
+            });
+        }
+        let txns = config.txns_per_request;
+        // The run returning at all is the first half of the no-deadlock
+        // guarantee (a hung retirement would loop forever inside `run`).
+        let result = run(config, HORIZON, arrival_seed);
+
+        // Queue conservation at drain, per tenant.
+        let mut offered = 0u64;
+        let mut shed = 0u64;
+        for stats in &result.stats {
+            prop_assert_eq!(stats.queue.offered, stats.queue.completed + stats.queue.dropped);
+            offered += stats.queue.offered;
+            shed += stats.shed;
+        }
+        // Breaker shedding only splits the generated arrivals: a breaker-free
+        // run of the same arrival config offers exactly `offered + shed`.
+        let baseline = run(base_config(None), HORIZON, arrival_seed);
+        prop_assert_eq!(offered + shed, baseline.offered_requests());
+
+        // Fault accounting: injected faults are detected or hung, never
+        // silently absorbed; the recovery histogram covers each recovery.
+        let counters = result.fault_counters.as_ref().expect("faulted run keeps counters");
+        prop_assert_eq!(counters.total_injected(), counters.total_detected() + counters.total_hung());
+        prop_assert!(counters.total_recovered() <= counters.total_detected());
+        let histogram_total: u64 = counters.recovery_latency.values().sum();
+        prop_assert_eq!(histogram_total, counters.total_recovered());
+
+        // Closed-form makespan bound: arrivals stop at the horizon, so the
+        // drain can serialize at most every walk of every offered request
+        // behind the worst single-walk cost.
+        let walks = (offered + 1) * txns;
+        let bound = HORIZON + walks * worst_walk_cycles(&r, 4 * 100) + 100_000;
+        prop_assert!(
+            result.makespan_cycles <= bound,
+            "makespan {} exceeds the no-deadlock bound {}",
+            result.makespan_cycles,
+            bound
+        );
+    }
+
+    /// A zero-rate plan is bit-identical to the no-faults build, whatever
+    /// the seed and armed mechanisms.
+    #[test]
+    fn zero_rate_plans_are_bit_identical_to_no_faults(
+        plan_seed in any::<u64>(),
+        arrival_seed in any::<u64>(),
+        retry in any::<bool>(),
+        watchdog in any::<bool>(),
+        quarantine in any::<bool>(),
+        retransmit in any::<bool>(),
+    ) {
+        let device = DeviceFaultConfig::none(plan_seed);
+        let r = resilience(retry, watchdog, quarantine, retransmit);
+        let faulted = run(base_config(Some((device, r))), HORIZON, arrival_seed);
+        let plain = run(base_config(None), HORIZON, arrival_seed);
+        prop_assert_eq!(&faulted.tenants, &plain.tenants);
+        prop_assert_eq!(&faulted.stats, &plain.stats);
+        prop_assert_eq!(&faulted.timeline, &plain.timeline);
+        prop_assert_eq!(faulted.makespan_cycles, plain.makespan_cycles);
+        // The only permitted difference: the faulted build carries (empty)
+        // counters, the plain build carries none.
+        let counters = faulted.fault_counters.expect("zero-rate run keeps counters");
+        prop_assert_eq!(counters.total_injected(), 0);
+        prop_assert!(plain.fault_counters.is_none());
+    }
+}
+
+/// Invalid fault and breaker configurations are rejected at `run` with
+/// `SimError::InvalidConfig`, one regression per rejection class.
+#[test]
+fn invalid_fault_configs_are_rejected() {
+    let reject = |config: ServingConfig, what: &str| {
+        let err = ServingSimulator::new(config)
+            .run(&population(300.0, HORIZON, 7))
+            .expect_err(&format!("{what} must be rejected"));
+        assert!(
+            matches!(err, SimError::InvalidConfig { .. }),
+            "{what}: wrong error {err:?}"
+        );
+    };
+    let good = ResilienceConfig::all_on();
+
+    // NaN, negative and above-one rates.
+    let nan = DeviceFaultConfig::none(1).with_kind(FaultKind::WalkTimeout, FaultRate::of(f64::NAN));
+    reject(base_config(Some((nan, good))), "NaN rate");
+    let negative =
+        DeviceFaultConfig::none(1).with_kind(FaultKind::TransientError, FaultRate::of(-0.1));
+    reject(base_config(Some((negative, good))), "negative rate");
+    let above_one =
+        DeviceFaultConfig::none(1).with_kind(FaultKind::DroppedResponse, FaultRate::of(1.5));
+    reject(base_config(Some((above_one, good))), "rate above one");
+    // A zero burst can never inject.
+    let zero_burst =
+        DeviceFaultConfig::none(1).with_kind(FaultKind::WalkerStuck, FaultRate::bursty(0.1, 0));
+    reject(base_config(Some((zero_burst, good))), "zero burst");
+
+    // Zero-impossible cycle knobs.
+    let device = DeviceFaultConfig::uniform(1, 0.1);
+    let mut zero_timeout = good;
+    zero_timeout.timeout_cycles = 0;
+    reject(base_config(Some((device, zero_timeout))), "zero timeout");
+    let mut zero_backoff = good;
+    zero_backoff.backoff_base_cycles = 0;
+    reject(base_config(Some((device, zero_backoff))), "zero backoff");
+    let mut zero_retries = good;
+    zero_retries.max_retries = 0;
+    reject(base_config(Some((device, zero_retries))), "zero retries");
+    let mut low_livelock = good;
+    low_livelock.livelock_bound_cycles = good.timeout_cycles;
+    reject(
+        base_config(Some((device, low_livelock))),
+        "livelock bound not above timeout",
+    );
+
+    // Invalid breakers.
+    for (breaker, what) in [
+        (
+            CircuitBreakerConfig {
+                sojourn_slo_p99_cycles: 0,
+                window_requests: 4,
+                cooldown_cycles: 100,
+            },
+            "zero breaker SLO",
+        ),
+        (
+            CircuitBreakerConfig {
+                sojourn_slo_p99_cycles: 1_000,
+                window_requests: 0,
+                cooldown_cycles: 100,
+            },
+            "zero breaker window",
+        ),
+        (
+            CircuitBreakerConfig {
+                sojourn_slo_p99_cycles: 1_000,
+                window_requests: 4,
+                cooldown_cycles: 0,
+            },
+            "zero breaker cooldown",
+        ),
+    ] {
+        reject(base_config(None).with_breaker(breaker), what);
+    }
+}

@@ -1,26 +1,38 @@
 #!/usr/bin/env bash
 # Records the perf trajectory of the translation hot path into a JSON file
-# (default BENCH_PR9.json): per-request translate latency from the
+# (default BENCH_PR10.json): per-request translate latency from the
 # mmu_microbench Criterion targets — including the ASID-tagged multi-tenant
 # burst stream, the run-coalesced burst path (one TLB touch per distinct
-# page) next to its per-transaction counterpart, and the end-to-end open-loop
-# serving leg (arrivals -> admission queues -> policy -> shared engine,
-# ns per completed request) — plus the wall-clock time of a full-scale serial
-# artifact regeneration (which now includes the serving family), run four
-# ways:
+# page) next to its per-transaction counterpart, the fault-storm recovery
+# path (translating through 10% injected device faults with the full
+# retry/watchdog/quarantine/retransmit stack armed) and the end-to-end
+# open-loop serving leg (arrivals -> admission queues -> policy -> shared
+# engine, ns per completed request) — plus the wall-clock time of a
+# full-scale serial artifact regeneration (which now includes the serving
+# and resilience families), run five ways:
 #
 #   * tracing off (the plain reference),
 #   * `--profile-trace` on (`trace_overhead_pct` = what tracing costs),
 #   * `--store` on a cold store (`store_overhead_pct` = what slot commits and
 #     family journaling cost on a run that computes everything; budget < 3%),
 #   * `--store` on the now-warm store (`store_warm_regen_seconds` = the resume
-#     payoff: every family restored from its journal, nothing simulated).
+#     payoff: every family restored from its journal, nothing simulated),
+#   * `--only` the pre-fault families (`faults_disabled_overhead_pct` = what
+#     this binary, which carries the fault gate in the engine, costs on the
+#     exact family list the previous baseline timed; compared against
+#     BENCH_PR9.json's full_scale_regen_serial_seconds; budget < 2%).
 #
 # Usage: scripts/record_bench.sh [output.json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_PR9.json}"
+out="${1:-BENCH_PR10.json}"
+
+# Every family the previous baseline (BENCH_PR9.json) regenerated — i.e.
+# everything except the new `resilience` family. Timing this list on the
+# current binary isolates the faults-disabled engine overhead from the cost
+# of the new family itself.
+PREFAULT_FAMILIES="table1,fig06,fig07,fig08,fig10,fig11,fig12a,fig12b,fig13,fig14,mmu_cache,summary,largepage,spatial,sensitivity,fig15,fig16,multitenant,serving"
 
 echo "building release binaries..." >&2
 cargo build --release >&2
@@ -49,6 +61,8 @@ oracle_ns="$(ns_per_elem 'oracle/memoized_burst_stream')"
 multi_tenant_ns="$(ns_per_elem 'translation_engine/multi_tenant_4asid_burst64')"
 run_coalesced_ns="$(ns_per_elem 'translation_engine/run_coalesced_burst')"
 serving_request_ns="$(ns_per_elem 'serving/open_loop_smoke_rr')"
+resilience_recovery_ns="$(ns_per_elem 'resilience/fault_storm_recovery')"
+resilience_disarmed_ns="$(ns_per_elem 'resilience/disarmed_plan')"
 
 # Times one full-scale serial regeneration; extra flags via "$@".
 timed_regen_once() {
@@ -85,9 +99,9 @@ json_list() {
 trace_file="$(mktemp -u).trace"
 warm_store_dir="$(mktemp -d)"
 timed_regen_once --store "$warm_store_dir" > /dev/null   # pre-warm once
-plain_times=""; traced_times=""; cold_times=""; warm_times=""
+plain_times=""; traced_times=""; cold_times=""; warm_times=""; prefault_times=""
 for rep in $(seq "$REPS"); do
-    echo "timing full-scale serial regenerations, pass ${rep}/${REPS} (plain / traced / cold store / warm store)..." >&2
+    echo "timing full-scale serial regenerations, pass ${rep}/${REPS} (plain / traced / cold store / warm store / pre-fault families)..." >&2
     plain_times="$plain_times $(timed_regen_once)"
     rm -f "$trace_file"
     traced_times="$traced_times $(timed_regen_once --profile-trace "$trace_file")"
@@ -95,12 +109,26 @@ for rep in $(seq "$REPS"); do
     cold_times="$cold_times $(timed_regen_once --store "$cold_store_dir")"
     rm -rf "$cold_store_dir"
     warm_times="$warm_times $(timed_regen_once --store "$warm_store_dir")"
+    prefault_times="$prefault_times $(timed_regen_once --only "$PREFAULT_FAMILIES")"
 done
 
 regen_s="$(min_of $plain_times)"
 traced_regen_s="$(min_of $traced_times)"
 store_cold_regen_s="$(min_of $cold_times)"
 store_warm_regen_s="$(min_of $warm_times)"
+prefault_regen_s="$(min_of $prefault_times)"
+# The faults-disabled overhead: this binary on the previous baseline's family
+# list vs the time BENCH_PR9.json recorded for that same list (null when the
+# baseline file is absent — the comparison is machine-local).
+faults_disabled_overhead_pct="$(python3 - <<PY
+import json, os
+try:
+    prev = json.load(open("BENCH_PR9.json"))["full_scale_regen_serial_seconds"]
+    print(f"{(${prefault_regen_s} / prev - 1) * 100:.1f}")
+except (OSError, KeyError, ValueError):
+    print("null")
+PY
+)"
 trace_events="$(./target/release/neummu_profile "$trace_file" --top 0 \
     | sed -n 's|^trace .*: \([0-9]*\) events .*|\1|p')"
 trace_overhead_pct="$(python3 -c \
@@ -126,6 +154,8 @@ cat > "$out" <<EOF
   },
   "oracle_memoized_ns_per_req": ${oracle_ns},
   "serving_request_ns": ${serving_request_ns},
+  "resilience_recovery_ns": ${resilience_recovery_ns},
+  "resilience_disarmed_plan_ns": ${resilience_disarmed_ns},
   "full_scale_regen_serial_seconds": ${regen_s},
   "full_scale_regen_traced_seconds": ${traced_regen_s},
   "trace_overhead_pct": ${trace_overhead_pct},
@@ -134,11 +164,14 @@ cat > "$out" <<EOF
   "full_scale_regen_store_warm_seconds": ${store_warm_regen_s},
   "store_overhead_pct": ${store_overhead_pct},
   "store_resume_speedup": ${store_resume_speedup},
+  "prefault_families_regen_seconds": ${prefault_regen_s},
+  "faults_disabled_overhead_pct": ${faults_disabled_overhead_pct},
   "regen_samples_interleaved_seconds": {
     "plain": $(json_list $plain_times),
     "traced": $(json_list $traced_times),
     "store_cold": $(json_list $cold_times),
-    "store_warm": $(json_list $warm_times)
+    "store_warm": $(json_list $warm_times),
+    "prefault_families": $(json_list $prefault_times)
   }
 }
 EOF
